@@ -1,0 +1,65 @@
+"""Section 2.2.1 — the Condorcet Jury Theorem curve P_maj(L).
+
+Regenerates the theoretical motivation for combining detectors, both
+analytically and by Monte-Carlo simulation: with detector accuracy
+p > 0.5 the majority vote's accuracy increases monotonically with the
+number of detectors and tends to 1; with p < 0.5 it tends to 0;
+p = 0.5 is invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.majority import condorcet_probability
+from repro.eval.report import format_table
+
+SIZES = (1, 3, 5, 9, 15, 25, 51)
+ACCURACIES = (0.4, 0.5, 0.6, 0.7, 0.9)
+
+
+def test_condorcet_curve(benchmark):
+    def compute():
+        analytic = {
+            p: [condorcet_probability(n, p) for n in SIZES]
+            for p in ACCURACIES
+        }
+        rng = np.random.default_rng(0)
+        trials = 40000
+        simulated = {}
+        for p in ACCURACIES:
+            row = []
+            for n in SIZES:
+                votes = rng.random((trials, n)) < p
+                row.append(float((votes.sum(axis=1) > n // 2).mean()))
+            simulated[p] = row
+        return analytic, simulated
+
+    analytic, simulated = run_once(benchmark, compute)
+
+    rows = [[f"p={p}"] + [f"{v:.3f}" for v in analytic[p]] for p in ACCURACIES]
+    print()
+    print(
+        format_table(
+            ["accuracy", *(f"L={n}" for n in SIZES)],
+            rows,
+            title="Condorcet P_maj(L) (analytic)",
+        )
+    )
+
+    for p in ACCURACIES:
+        for a, s in zip(analytic[p], simulated[p]):
+            assert a == pytest.approx(s, abs=0.02)
+
+    # Monotone increasing above 0.5, decreasing below, flat at 0.5.
+    for p in (0.6, 0.7, 0.9):
+        values = analytic[p]
+        assert all(b > a for a, b in zip(values, values[1:]))
+    values = analytic[0.4]
+    assert all(b < a for a, b in zip(values, values[1:]))
+    assert all(v == pytest.approx(0.5) for v in analytic[0.5])
+    # Limits.
+    assert analytic[0.7][-1] > 0.99
+    assert analytic[0.4][-1] < 0.1

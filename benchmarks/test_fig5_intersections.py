@@ -1,0 +1,108 @@
+"""Fig. 5 — communities by size and number of reporting detectors.
+
+Paper findings to reproduce:
+(1) the intersection of all four detectors is small relative to the
+    total number of communities (the detectors are sensitive to
+    distinct traffic);
+(2) the PCA detector dominates single communities, and its singles
+    have a far lower attack ratio than the other detectors' singles;
+(3) the attack ratio of communities grows with the number of
+    detectors reporting them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from benchmarks.conftest import GRANULARITY_DATES, run_once
+from repro.eval.report import format_table
+from repro.labeling.heuristics import label_community
+from repro.net.flow import Granularity
+
+SIZE_BUCKETS = [(1, 1), (2, 2), (3, 4), (5, 20), (21, 10**9)]
+
+
+def _bucket(size):
+    for lo, hi in SIZE_BUCKETS:
+        if lo <= size <= hi:
+            return f"{lo}" if lo == hi else f"{lo}-{hi if hi < 10**9 else '+'}"
+    raise AssertionError
+
+
+def test_fig5_intersections(granularity_runs, benchmark):
+    def compute():
+        cells = Counter()  # (bucket, n_detectors, category) -> count
+        single_by_detector = Counter()
+        single_attack_by_detector = Counter()
+        by_ndet = Counter()
+        attack_by_ndet = Counter()
+        total = 0
+        for date in GRANULARITY_DATES:
+            community_set = granularity_runs[(date, Granularity.UNIFLOW)]
+            extractor = community_set.extractor
+            for community in community_set.communities:
+                total += 1
+                n_detectors = len(community.detectors())
+                label = label_community(community, extractor)
+                cells[(_bucket(community.size), n_detectors, label.category)] += 1
+                by_ndet[n_detectors] += 1
+                if label.category == "attack":
+                    attack_by_ndet[n_detectors] += 1
+                if community.is_single:
+                    detector = next(iter(community.detectors()))
+                    single_by_detector[detector] += 1
+                    if label.category == "attack":
+                        single_attack_by_detector[detector] += 1
+        return {
+            "cells": cells,
+            "single_by_detector": single_by_detector,
+            "single_attack_by_detector": single_attack_by_detector,
+            "by_ndet": by_ndet,
+            "attack_by_ndet": attack_by_ndet,
+            "total": total,
+        }
+
+    data = run_once(benchmark, compute)
+
+    rows = []
+    for (bucket, n_detectors, category), count in sorted(data["cells"].items()):
+        rows.append([bucket, n_detectors, category, count])
+    print()
+    print(
+        format_table(
+            ["size", "#detectors", "heuristic", "#communities"],
+            rows,
+            title="Fig. 5 — communities by size x #detectors x label",
+        )
+    )
+    print(f"  singles by detector: {dict(data['single_by_detector'])}")
+    print(f"  attack singles:      {dict(data['single_attack_by_detector'])}")
+
+    # (1) Four-detector intersection is a minority of all communities.
+    four = data["by_ndet"].get(4, 0)
+    assert four < 0.5 * data["total"]
+
+    # (3) Attack ratio grows with the number of reporting detectors.
+    def ratio(n):
+        if data["by_ndet"].get(n, 0) == 0:
+            return None
+        return data["attack_by_ndet"].get(n, 0) / data["by_ndet"][n]
+
+    r1, r4 = ratio(1), ratio(4)
+    if r1 is not None and r4 is not None:
+        assert r4 >= r1
+
+    # (2) PCA singles are less attack-heavy than the rest (the paper
+    # reports 6 % for PCA vs 22-56 % for the others).
+    pca_singles = data["single_by_detector"].get("pca", 0)
+    if pca_singles >= 3:
+        pca_rate = data["single_attack_by_detector"].get("pca", 0) / pca_singles
+        other_singles = sum(
+            v for k, v in data["single_by_detector"].items() if k != "pca"
+        )
+        other_attack = sum(
+            v for k, v in data["single_attack_by_detector"].items() if k != "pca"
+        )
+        if other_singles >= 3:
+            other_rate = other_attack / other_singles
+            assert pca_rate <= other_rate + 0.15

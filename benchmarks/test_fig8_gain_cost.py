@@ -1,0 +1,69 @@
+"""Table 2 + Fig. 8 — gain/cost of SCANN per detector.
+
+Quantities (Table 2): for SCANN-accepted communities, gain_acc counts
+"Attack"-labeled ones and cost_acc the rest; for rejected communities,
+gain_rej counts non-attacks and cost_rej the missed attacks.
+
+Paper shapes:
+* SCANN rejects far more communities than it accepts (Fig. 8b vs 8c);
+* the Gamma detector has a substantial cost_rej share (its true
+  positives are hard to corroborate);
+* the overall gain_rej is large — most rejected communities are indeed
+  not attacks.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.eval.gaincost import GainCost, gain_cost_by_detector
+from repro.eval.report import format_table
+
+DETECTORS = ("pca", "gamma", "hough", "kl")
+
+
+def test_fig8_gain_cost(corpus, benchmark):
+    def compute():
+        totals = {name: GainCost() for name in (*DETECTORS, "overall")}
+        for day in corpus:
+            per_detector = gain_cost_by_detector(
+                day.result.decisions,
+                day.heuristics,
+                day.result.community_set.communities,
+                detectors=DETECTORS,
+            )
+            for name, value in per_detector.items():
+                totals[name] = totals[name] + value
+        return totals
+
+    totals = run_once(benchmark, compute)
+
+    rows = [
+        [
+            name,
+            totals[name].gain_acc,
+            totals[name].cost_acc,
+            totals[name].gain_rej,
+            totals[name].cost_rej,
+        ]
+        for name in (*DETECTORS, "overall")
+    ]
+    print()
+    print(
+        format_table(
+            ["detector", "gain_acc", "cost_acc", "gain_rej", "cost_rej"],
+            rows,
+            title="Table 2 / Fig. 8 — SCANN gain & cost (2001-2009 sample)",
+        )
+    )
+
+    overall = totals["overall"]
+    # Fig. 8: rejected communities far outnumber accepted ones.
+    assert overall.rejected > overall.accepted
+    # Most rejections are correct (gain_rej dominates cost_rej).
+    assert overall.gain_rej > overall.cost_rej
+    # Accepting is worthwhile: gain_acc is a solid share of accepts.
+    assert overall.gain_acc >= overall.cost_acc * 0.5
+    # Per-detector totals each bounded by the overall counts.
+    for name in DETECTORS:
+        assert totals[name].accepted <= overall.accepted
+        assert totals[name].rejected <= overall.rejected

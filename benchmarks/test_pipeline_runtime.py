@@ -1,0 +1,37 @@
+"""Section 6 — runtime of the full pipeline on one trace.
+
+The paper reports that combining alarms for one 15-minute MAWI trace
+takes a few minutes, compatible with real-time analysis.  This
+benchmark times the whole 4-step pipeline (12 detector configurations,
+similarity estimator, SCANN, rule mining) on one synthetic archive day
+and asserts it stays well inside real time (trace duration).
+"""
+
+from __future__ import annotations
+
+from repro.labeling.mawilab import MAWILabPipeline
+
+
+def test_pipeline_runtime(archive, benchmark):
+    day = archive.day("2005-06-01")
+    pipeline = MAWILabPipeline()
+
+    result = benchmark(pipeline.run, day.trace)
+
+    assert result.labels
+    # Real-time capable: mean runtime below the trace duration.
+    assert benchmark.stats["mean"] < day.trace.duration
+
+
+def test_combiner_runtime_excluding_detectors(archive, benchmark):
+    """Steps 2-4 only (the paper's 'few minutes to combine alarms')."""
+    day = archive.day("2005-06-01")
+    pipeline = MAWILabPipeline()
+    alarms = []
+    for detector in pipeline.ensemble:
+        alarms.extend(detector.analyze(day.trace))
+
+    result = benchmark(pipeline.run_with_alarms, day.trace, alarms)
+
+    assert result.labels
+    assert benchmark.stats["mean"] < day.trace.duration

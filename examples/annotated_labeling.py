@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Extending MAWILab: classifier annotations and an emerging detector.
+
+Demonstrates the two Section-6 extension points of the paper:
+
+1. **Annotations** — a port-based traffic classifier annotates the
+   trace's heavy flows; the annotations join the similarity graph (so
+   communities aggregate them) but never vote in the combiner, and
+   the final labels report the tags.
+2. **Emerging detectors** — an entropy-based detector (a 2008-era
+   method, newer than the paper's four) is added to the ensemble as
+   three extra configurations; SCANN integrates its votes unchanged.
+
+Run:  python examples/annotated_labeling.py
+"""
+
+from repro.detectors.entropy import extended_ensemble
+from repro.labeling import MAWILabPipeline
+from repro.mawi import SyntheticArchive
+from repro.mawi.classifier import annotate_trace
+
+
+def main() -> None:
+    archive = SyntheticArchive(seed=2010, trace_duration=30.0)
+    day = archive.day("2008-03-01")
+    print(f"{day.date}: {len(day.trace)} packets\n")
+
+    # --- 1. annotations from a traffic classifier -------------------
+    annotations = annotate_trace(day.trace, min_packets=30)
+    tags = {}
+    for annotation in annotations:
+        tags[annotation.tag] = tags.get(annotation.tag, 0) + 1
+    print(f"classifier produced {len(annotations)} annotations: {tags}\n")
+
+    pipeline = MAWILabPipeline()
+    result = pipeline.run(day.trace, annotations=annotations)
+
+    print("labels carrying annotation tags:")
+    for record in result.labels:
+        if record.annotations:
+            print(
+                f"  [{record.taxonomy:10s}] {record.heuristic} "
+                f"tags={sorted(set(record.annotations))}"
+            )
+    print()
+
+    # --- 2. an emerging detector joins the ensemble -----------------
+    extended = MAWILabPipeline(ensemble=extended_ensemble())
+    extended_result = extended.run(day.trace)
+    base_accepted = len(result.anomalous())
+    extended_accepted = len(extended_result.anomalous())
+    print(
+        f"configurations: 12 -> {len(extended.config_names)}; "
+        f"accepted communities: {base_accepted} -> {extended_accepted}"
+    )
+    entropy_backed = [
+        record
+        for record in extended_result.anomalous()
+        if "entropy" in record.detectors
+    ]
+    print(
+        f"accepted communities corroborated by the entropy detector: "
+        f"{len(entropy_backed)}"
+    )
+    for record in entropy_backed[:5]:
+        print("  " + record.describe())
+    print(
+        "\nThe paper's Section 6 in action: new annotations enrich the\n"
+        "labels without influencing decisions, and new detectors extend\n"
+        "the vote table without any pipeline change."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare combination strategies on the same communities.
+
+Runs average / minimum / maximum / majority / SCANN over one archive
+day's communities and shows how each classifies them — plus the
+Condorcet curve explaining why combining helps at all.
+
+Run:  python examples/combiner_comparison.py
+"""
+
+from repro.core import (
+    AverageStrategy,
+    MaximumStrategy,
+    MinimumStrategy,
+    SCANNStrategy,
+    condorcet_probability,
+)
+from repro.core.majority import MajorityVoteStrategy
+from repro.eval.metrics import attack_ratio_by_class
+from repro.labeling import MAWILabPipeline
+from repro.labeling.heuristics import label_community
+from repro.mawi import SyntheticArchive
+
+
+def main() -> None:
+    archive = SyntheticArchive(seed=2010, trace_duration=30.0)
+    day = archive.day("2005-06-01")
+    pipeline = MAWILabPipeline()
+    result = pipeline.run(day.trace)
+    community_set = result.community_set
+    heuristics = [
+        label_community(c, community_set.extractor)
+        for c in community_set.communities
+    ]
+    print(
+        f"{day.date}: {len(community_set.communities)} communities "
+        f"({community_set.n_single} singles)\n"
+    )
+
+    strategies = [
+        AverageStrategy(),
+        MinimumStrategy(),
+        MaximumStrategy(),
+        MajorityVoteStrategy(),
+        SCANNStrategy(),
+    ]
+    print(
+        f"{'strategy':10s} {'accepted':>8s} {'rejected':>8s} "
+        f"{'acc.attack':>10s} {'rej.attack':>10s}"
+    )
+    print("-" * 52)
+    for strategy in strategies:
+        decisions = strategy.classify(community_set, pipeline.config_names)
+        accepted_flags = [d.accepted for d in decisions]
+        acc, rej = attack_ratio_by_class(heuristics, accepted_flags)
+        print(
+            f"{strategy.name:10s} {sum(accepted_flags):8d} "
+            f"{len(decisions) - sum(accepted_flags):8d} "
+            f"{acc:10.2f} {rej:10.2f}"
+        )
+
+    print(
+        "\nThe pessimistic 'minimum' accepts almost nothing (clean but\n"
+        "blind); the optimistic 'maximum' accepts almost everything\n"
+        "(complete but noisy); SCANN balances both by factoring the vote\n"
+        "table with correspondence analysis.\n"
+    )
+
+    print("Why combining helps — the Condorcet Jury Theorem, P_maj(L):")
+    print(f"{'L':>4s} " + " ".join(f"p={p:.1f}" for p in (0.4, 0.6, 0.8)))
+    for n in (1, 3, 5, 9, 15):
+        values = " ".join(
+            f"{condorcet_probability(n, p):5.3f}" for p in (0.4, 0.6, 0.8)
+        )
+        print(f"{n:>4d} {values}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Benchmark your own detector against MAWILab labels.
+
+This is the intended use of the MAWILab database (paper Section 5):
+run an emerging detector on the same trace, relate its alarms to the
+labels through the similarity estimator, and read off recall /
+precision without manual inspection.
+
+The example defines ``SynRateDetector`` — a deliberately simple
+detector flagging sources with a high SYN rate — and scores it against
+the pipeline's labels on several archive days.
+
+Run:  python examples/evaluate_my_detector.py
+"""
+
+from collections import Counter
+
+from repro.detectors.base import Detector
+from repro.eval.benchmark import benchmark_detector
+from repro.labeling import MAWILabPipeline
+from repro.mawi import SyntheticArchive
+from repro.net.filters import FeatureFilter
+from repro.net.packet import SYN
+
+
+class SynRateDetector(Detector):
+    """Flag sources sending many SYNs — a classic scan/flood detector.
+
+    Alarms are source-IP filters over the whole trace, the same
+    granularity as the paper's PCA detector.
+    """
+
+    name = "synrate"
+
+    @classmethod
+    def default_params(cls):
+        return {"min_syns": 60}
+
+    def analyze(self, trace):
+        syn_counts = Counter()
+        for packet in trace:
+            if packet.is_tcp and packet.tcp_flags & SYN:
+                syn_counts[packet.src] += 1
+        alarms = []
+        for src, count in syn_counts.items():
+            if count >= self.params["min_syns"]:
+                alarms.append(
+                    self._alarm(
+                        trace.start_time,
+                        trace.end_time,
+                        filters=(
+                            FeatureFilter(
+                                src=src,
+                                t0=trace.start_time,
+                                t1=trace.end_time,
+                            ),
+                        ),
+                        score=float(count),
+                    )
+                )
+        return alarms
+
+
+def main() -> None:
+    archive = SyntheticArchive(seed=2010, trace_duration=30.0)
+    pipeline = MAWILabPipeline()
+    detector = SynRateDetector()
+
+    dates = ["2003-09-01", "2004-06-01", "2008-03-01"]
+    print(f"benchmarking '{detector.name}' against MAWILab labels\n")
+    total_tp = total_fn = 0
+    for date in dates:
+        day = archive.day(date)
+        labels = pipeline.run(day.trace).labels
+        score = benchmark_detector(detector, day.trace, labels)
+        total_tp += score.true_positive
+        total_fn += score.false_negative
+        print(
+            f"{date}: alarms={score.n_alarms:3d} "
+            f"TP={score.true_positive:2d} FN={score.false_negative:2d} "
+            f"recall={score.recall:.2f} "
+            f"alarm-precision={score.alarm_precision:.2f} "
+            f"(also matched {score.matched_suspicious} suspicious, "
+            f"{score.matched_notice} notice)"
+        )
+    overall = total_tp / (total_tp + total_fn) if total_tp + total_fn else 0.0
+    print(f"\noverall recall on anomalous labels: {overall:.2f}")
+    print(
+        "\nA SYN-rate detector catches scans and floods but misses\n"
+        "ICMP floods, DNS bursts and elephant flows — the false-negative\n"
+        "count above is exactly what manual evaluations tend to omit\n"
+        "(paper Section 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

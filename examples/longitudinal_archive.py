@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Longitudinal study: labeling nine years of archive.
+
+Reproduces the flavour of the paper's Figs. 7-8 interactively: sweeps
+one day per quarter from 2001 to 2009, labels each day, and prints the
+attack-ratio time series along with the era (Blaster/Sasser outbreaks,
+link upgrades, post-2007 P2P growth).
+
+Run:  python examples/longitudinal_archive.py
+"""
+
+from repro.eval.metrics import attack_ratio_by_class
+from repro.labeling import MAWILabPipeline
+from repro.labeling.heuristics import label_community
+from repro.mawi import SyntheticArchive, era_for_date
+
+
+def main() -> None:
+    archive = SyntheticArchive(seed=2010, trace_duration=30.0)
+    pipeline = MAWILabPipeline()
+
+    dates = [
+        f"{year}-{month:02d}-01"
+        for year in range(2001, 2010)
+        for month in (2, 8)
+    ]
+
+    print(
+        f"{'date':12s} {'era':14s} {'comms':>5s} {'anom':>4s} "
+        f"{'susp':>4s} {'acc.ratio':>9s} {'rej.ratio':>9s}"
+    )
+    print("-" * 66)
+    for date in dates:
+        day = archive.day(date)
+        result = pipeline.run(day.trace)
+        community_set = result.community_set
+        heuristics = [
+            label_community(c, community_set.extractor)
+            for c in community_set.communities
+        ]
+        acc, rej = attack_ratio_by_class(
+            heuristics, [d.accepted for d in result.decisions]
+        )
+        era = era_for_date(date)
+        print(
+            f"{date:12s} {era.name:14s} "
+            f"{len(community_set.communities):5d} "
+            f"{len(result.anomalous()):4d} "
+            f"{len(result.suspicious()):4d} "
+            f"{acc:9.2f} {rej:9.2f}"
+        )
+
+    print(
+        "\nReading the series: the accepted attack ratio should sit well\n"
+        "above the rejected one (SCANN discriminates), dip during worm\n"
+        "outbreaks (2003-2005: detectors disagree on worm traffic, paper\n"
+        "Fig. 7b) and degrade after mid-2007 when random-port P2P\n"
+        "elephant flows — labeled 'Unknown' by the Table-1 heuristics —\n"
+        "start dominating anomalies."
+    )
+
+
+if __name__ == "__main__":
+    main()

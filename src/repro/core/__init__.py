@@ -1,0 +1,71 @@
+"""The paper's contribution: similarity estimator and combiner.
+
+Step 2 of the method (Section 2.1) — the **similarity estimator** —
+lives in :mod:`repro.core.extractor`, :mod:`repro.core.similarity`,
+:mod:`repro.core.graph` and :mod:`repro.core.louvain`, orchestrated by
+:class:`~repro.core.estimator.SimilarityEstimator`.
+
+Step 3 (Section 2.2) — the **combiner** — lives in
+:mod:`repro.core.confidence`, :mod:`repro.core.strategies`,
+:mod:`repro.core.majority`, :mod:`repro.core.correspondence` and
+:mod:`repro.core.scann`.
+"""
+
+from repro.core.extractor import TrafficExtractor
+from repro.core.similarity import (
+    SIMILARITY_MEASURES,
+    constant_measure,
+    jaccard,
+    simpson,
+)
+from repro.core.graph import SimilarityGraph, build_similarity_graph
+from repro.core.louvain import louvain, modularity
+from repro.core.community import Community, CommunitySet
+from repro.core.estimator import SimilarityEstimator
+from repro.core.confidence import confidence_scores, configs_by_detector
+from repro.core.strategies import (
+    AverageStrategy,
+    CombinationStrategy,
+    Decision,
+    MaximumStrategy,
+    MinimumStrategy,
+)
+from repro.core.majority import MajorityVoteStrategy, condorcet_probability
+from repro.core.correspondence import CorrespondenceAnalysis
+from repro.core.scann import SCANNStrategy
+from repro.core.annotations import (
+    ANNOTATION_DETECTOR,
+    Annotation,
+    community_tags,
+    merge_annotations,
+)
+
+__all__ = [
+    "TrafficExtractor",
+    "SIMILARITY_MEASURES",
+    "constant_measure",
+    "jaccard",
+    "simpson",
+    "SimilarityGraph",
+    "build_similarity_graph",
+    "louvain",
+    "modularity",
+    "Community",
+    "CommunitySet",
+    "SimilarityEstimator",
+    "confidence_scores",
+    "configs_by_detector",
+    "AverageStrategy",
+    "CombinationStrategy",
+    "Decision",
+    "MaximumStrategy",
+    "MinimumStrategy",
+    "MajorityVoteStrategy",
+    "condorcet_probability",
+    "CorrespondenceAnalysis",
+    "SCANNStrategy",
+    "ANNOTATION_DETECTOR",
+    "Annotation",
+    "community_tags",
+    "merge_annotations",
+]

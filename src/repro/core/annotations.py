@@ -1,0 +1,128 @@
+"""Traffic annotations (paper Section 6).
+
+The similarity estimator "is able to deal with any traffic annotations
+containing at least two timestamps and one traffic feature".  An
+annotation is metadata about traffic — e.g. the application class
+assigned by a traffic classifier, or a manual note — that is *not* an
+anomaly detector vote:
+
+* the estimator clusters annotations into communities exactly like
+  alarms (shared traffic -> same community);
+* the combiner **ignores** annotations when classifying communities
+  (they are not votes);
+* accepted communities are reported *with* the extra information the
+  annotations carry.
+
+Implementation: an :class:`Annotation` converts to a pseudo-alarm
+whose detector family is :data:`ANNOTATION_DETECTOR`.  The pipeline
+appends these pseudo-alarms before the estimator and strips the
+annotation family from the configuration list handed to the combiner,
+so confidence scores and SCANN votes never see them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.detectors.base import Alarm
+from repro.errors import CombinerError
+from repro.net.filters import FeatureFilter
+
+#: Reserved detector-family name for annotations.  Configuration lists
+#: containing this family are rejected by the pipeline.
+ANNOTATION_DETECTOR = "annotation"
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One piece of traffic metadata.
+
+    Attributes
+    ----------
+    tag:
+        Free-form label, e.g. ``"p2p"``, ``"streaming"``, ``"manual:
+        known-misbehaving-host"``.
+    t0, t1:
+        The two timestamps the paper requires.
+    filters:
+        At least one traffic feature (a
+        :class:`~repro.net.filters.FeatureFilter` carrying it).
+    source:
+        Who produced the annotation (classifier name, analyst, ...).
+    """
+
+    tag: str
+    t0: float
+    t1: float
+    filters: tuple[FeatureFilter, ...]
+    source: str = "classifier"
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise CombinerError("annotation with negative time window")
+        if not self.filters:
+            raise CombinerError("annotation carries no traffic feature")
+        if not any(f.degree > 0 or f.proto is not None for f in self.filters):
+            raise CombinerError(
+                "annotation filters must constrain at least one feature"
+            )
+
+    def to_alarm(self) -> Alarm:
+        """The pseudo-alarm form consumed by the similarity estimator."""
+        return Alarm(
+            detector=ANNOTATION_DETECTOR,
+            config=f"{ANNOTATION_DETECTOR}/{self.source}",
+            t0=self.t0,
+            t1=self.t1,
+            filters=self.filters,
+        )
+
+
+def merge_annotations(
+    alarms: Sequence[Alarm], annotations: Sequence[Annotation]
+) -> list[Alarm]:
+    """Alarms plus annotation pseudo-alarms, estimator-ready."""
+    merged = list(alarms)
+    merged.extend(a.to_alarm() for a in annotations)
+    return merged
+
+
+def community_tags(community) -> list[str]:
+    """Annotation tags present in a community.
+
+    The tag is recovered from the pseudo-alarm's config suffix plus
+    the annotation's traffic description; callers wanting the full
+    :class:`Annotation` should key communities by alarm id instead.
+    """
+    tags = []
+    for alarm in community.alarms:
+        if alarm.detector == ANNOTATION_DETECTOR:
+            tags.append(alarm.config.split("/", 1)[1])
+    return tags
+
+
+def strip_annotation_configs(config_names: Sequence[str]) -> list[str]:
+    """Configuration list without annotation pseudo-configs.
+
+    The combiner must classify communities from detector votes only
+    (paper: "the combiner classifies the communities by ignoring the
+    annotations").
+    """
+    return [
+        name
+        for name in config_names
+        if name.split("/", 1)[0] != ANNOTATION_DETECTOR
+    ]
+
+
+def split_annotation_alarms(alarms: Sequence[Alarm]) -> tuple[list[Alarm], list[Alarm]]:
+    """Partition into (detector alarms, annotation pseudo-alarms)."""
+    detector_alarms = []
+    annotation_alarms = []
+    for alarm in alarms:
+        if alarm.detector == ANNOTATION_DETECTOR:
+            annotation_alarms.append(alarm)
+        else:
+            detector_alarms.append(alarm)
+    return detector_alarms, annotation_alarms

@@ -1,0 +1,95 @@
+"""Community model.
+
+A community is a set of similar alarms found by Louvain in the
+similarity graph (paper Section 2.1.3).  Isolated alarms form *single
+communities* — the estimator's failure mode the evaluation counts
+(Fig. 3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.detectors.base import Alarm
+
+
+@dataclass
+class Community:
+    """One community of similar alarms.
+
+    Attributes
+    ----------
+    id:
+        Community label (contiguous ints within one estimator run).
+    alarm_ids:
+        Indices of member alarms into the run's alarm list.
+    alarms:
+        The member alarms themselves.
+    traffic:
+        Union of the members' extracted traffic sets (packet indices or
+        flow keys, per the estimator's granularity).
+    t0, t1:
+        Envelope of the member alarms' time windows.
+    """
+
+    id: int
+    alarm_ids: tuple[int, ...]
+    alarms: tuple[Alarm, ...]
+    traffic: FrozenSet = frozenset()
+    t0: float = 0.0
+    t1: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of member alarms (the paper's community size)."""
+        return len(self.alarm_ids)
+
+    @property
+    def is_single(self) -> bool:
+        """True for single communities (one alarm, no relations found)."""
+        return self.size == 1
+
+    def detectors(self) -> set[str]:
+        """Detector families with at least one alarm in the community."""
+        return {alarm.detector for alarm in self.alarms}
+
+    def configs(self) -> set[str]:
+        """Configurations with at least one alarm in the community."""
+        return {alarm.config for alarm in self.alarms}
+
+    def describe(self) -> str:
+        detectors = ",".join(sorted(self.detectors()))
+        return (
+            f"community#{self.id} size={self.size} detectors=[{detectors}] "
+            f"window={self.t0:.1f}-{self.t1:.1f}s traffic={len(self.traffic)}"
+        )
+
+
+@dataclass
+class CommunitySet:
+    """Output of one similarity-estimator run on one trace."""
+
+    communities: list[Community]
+    alarms: list[Alarm]
+    traffic_sets: list[FrozenSet]
+    granularity: object = None  # repro.net.flow.Granularity
+    graph: Optional[object] = None  # repro.core.graph.SimilarityGraph
+    extractor: Optional[object] = None  # repro.core.extractor.TrafficExtractor
+
+    @property
+    def n_single(self) -> int:
+        """Number of single communities (Fig. 3a metric)."""
+        return sum(1 for c in self.communities if c.is_single)
+
+    def non_single(self) -> list[Community]:
+        return [c for c in self.communities if not c.is_single]
+
+    def sizes(self) -> list[int]:
+        return [c.size for c in self.communities]
+
+    def by_id(self, community_id: int) -> Community:
+        for community in self.communities:
+            if community.id == community_id:
+                return community
+        raise KeyError(f"no community with id {community_id}")

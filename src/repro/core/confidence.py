@@ -1,0 +1,93 @@
+"""Confidence scores (paper Section 2.2.2).
+
+Running a detector with several parameter sets and measuring the
+variability of its output quantifies its parameter sensitivity.  The
+confidence score of detector ``d`` for community ``c`` is
+
+    phi_d(c) = (number of d's configurations reporting an alarm in c)
+               / (total number of d's configurations)
+
+a continuous value in [0, 1]: 0 means the detector ignores the
+community, 1 means every tuning of the detector flags it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.community import Community
+from repro.detectors.base import Alarm
+from repro.errors import CombinerError
+
+
+def configs_by_detector(config_names: Sequence[str]) -> dict[str, list[str]]:
+    """Group full configuration names by detector family.
+
+    Config names follow the ``"family/tuning"`` convention.
+    """
+    grouped: dict[str, list[str]] = {}
+    for name in config_names:
+        family = name.split("/", 1)[0]
+        grouped.setdefault(family, []).append(name)
+    return grouped
+
+
+def confidence_scores(
+    community: Community,
+    detector_configs: dict[str, list[str]],
+) -> dict[str, float]:
+    """Per-detector confidence scores for one community.
+
+    Parameters
+    ----------
+    community:
+        The community to score.
+    detector_configs:
+        Mapping detector family -> list of its configuration names
+        (every configuration that *ran*, not only those that alarmed —
+        the denominator T_d counts all of them).
+
+    Returns
+    -------
+    dict
+        detector family -> phi in [0, 1].
+
+    Examples
+    --------
+    The paper's Fig. 2: nine configurations (A, B, C with tunings
+    0, 1, 2); community with alarms from A0, A1, B0, B1, B2 gives
+    phi_A = 2/3, phi_B = 1, phi_C = 0.
+    """
+    present = community.configs()
+    scores: dict[str, float] = {}
+    for detector, configs in detector_configs.items():
+        if not configs:
+            raise CombinerError(f"detector {detector!r} has no configurations")
+        reporting = sum(1 for config in configs if config in present)
+        scores[detector] = reporting / len(configs)
+    return scores
+
+
+def vote_vector(
+    community: Community, config_names: Sequence[str]
+) -> list[int]:
+    """Binary votes of every configuration for one community.
+
+    Entry j is 1 iff configuration j has at least one alarm in the
+    community.  This is the SCANN input (Section 2.2.3: SCANN
+    "considers directly the binary outputs of different
+    configurations").
+    """
+    present = community.configs()
+    return [1 if name in present else 0 for name in config_names]
+
+
+def all_config_names(alarms: Sequence[Alarm]) -> list[str]:
+    """Sorted configuration names observed in an alarm list.
+
+    Note: a configuration that raised *no* alarm on a trace does not
+    appear here; callers that know the full ensemble should pass the
+    ensemble's config list instead so silent configurations still count
+    in the denominators.
+    """
+    return sorted({alarm.config for alarm in alarms})

@@ -1,0 +1,118 @@
+"""Correspondence analysis (Benzecri), from scratch.
+
+Correspondence analysis (CA) is a multivariate technique for
+categorical data: it decomposes a two-way contingency (indicator)
+table into a low-dimensional space where rows with similar profiles
+sit close together.  SCANN (Merz'99, paper Section 2.2.3) uses it to
+factor the detectors' vote table and discard non-discriminating votes
+— e.g. a detector that always votes the same way contributes a
+constant column, which CA assigns zero inertia.
+
+Implementation: the standard SVD route.
+
+1. ``P = N / n``                        (correspondence matrix)
+2. ``r = P 1``, ``c = P^T 1``            (row / column masses)
+3. ``S = D_r^{-1/2} (P - r c^T) D_c^{-1/2}``  (standardized residuals)
+4. ``S = U Sigma V^T``                   (SVD)
+5. row principal coordinates ``F = D_r^{-1/2} U Sigma``
+
+Supplementary rows (never used to fit the axes) are projected through
+the transition formula ``f_sup = profile @ D_c^{-1/2} V`` — this is how
+SCANN places its two reference points.
+
+All-zero columns are dropped (a vote option nobody ever chose carries
+no mass); all-zero rows are rejected as an error, since every
+community votes somewhere by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CombinerError
+
+_EPS = 1e-12
+
+
+class CorrespondenceAnalysis:
+    """CA of a non-negative table; rows are observations.
+
+    Parameters
+    ----------
+    table:
+        2-D non-negative array (n_rows, n_cols); typically an indicator
+        matrix.
+    n_components:
+        Number of principal axes retained; ``None`` keeps every axis
+        with non-negligible inertia.
+    """
+
+    def __init__(self, table: np.ndarray, n_components: int | None = None) -> None:
+        table = np.asarray(table, dtype=float)
+        if table.ndim != 2:
+            raise CombinerError("CA table must be 2-D")
+        if table.size == 0:
+            raise CombinerError("CA table is empty")
+        if (table < 0).any():
+            raise CombinerError("CA table must be non-negative")
+
+        # Drop all-zero columns (zero-mass categories).
+        col_sums = table.sum(axis=0)
+        self.kept_columns = np.nonzero(col_sums > 0)[0]
+        if self.kept_columns.size == 0:
+            raise CombinerError("CA table has no non-zero column")
+        table = table[:, self.kept_columns]
+
+        row_sums = table.sum(axis=1)
+        if (row_sums <= 0).any():
+            raise CombinerError("CA table has an all-zero row")
+
+        total = table.sum()
+        p = table / total
+        self.row_masses = p.sum(axis=1)
+        self.col_masses = p.sum(axis=0)
+        expected = np.outer(self.row_masses, self.col_masses)
+        residuals = (p - expected) / np.sqrt(
+            np.outer(self.row_masses, self.col_masses) + _EPS
+        )
+        u, sigma, vt = np.linalg.svd(residuals, full_matrices=False)
+
+        keep = sigma > 1e-9
+        if n_components is not None:
+            limit = np.zeros_like(keep)
+            limit[: min(n_components, keep.size)] = True
+            keep &= limit
+        self.singular_values = sigma[keep]
+        self._u = u[:, keep]
+        self._v = vt[keep].T  # (n_cols, k)
+
+        # Row principal coordinates.
+        d_r = np.sqrt(self.row_masses) + _EPS
+        self.row_coordinates = (self._u / d_r[:, None]) * self.singular_values
+
+    @property
+    def n_components(self) -> int:
+        return int(self.singular_values.size)
+
+    @property
+    def inertia(self) -> np.ndarray:
+        """Principal inertias (squared singular values)."""
+        return self.singular_values**2
+
+    def project_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Project supplementary rows into the principal space.
+
+        ``rows`` is (m, n_cols_original); columns dropped at fit time
+        are dropped here too.  Rows are normalized to profiles
+        internally; an all-zero supplementary row maps to the origin.
+        """
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        rows = rows[:, self.kept_columns]
+        sums = rows.sum(axis=1, keepdims=True)
+        profiles = np.divide(
+            rows, np.where(sums > 0, sums, 1.0)
+        )
+        d_c = np.sqrt(self.col_masses) + _EPS
+        return (profiles / d_c[None, :]) @ self._v

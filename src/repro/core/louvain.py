@@ -1,0 +1,196 @@
+"""Louvain community detection (Blondel et al., 2008), from scratch.
+
+The similarity estimator needs a community-mining algorithm that works
+well on sparse graphs with isolated nodes and is able to find *small*
+groups of a few alarms (paper Section 2.1.3).  Louvain fits: it greedily
+maximizes modularity by local node moves, then aggregates communities
+into super-nodes and repeats.
+
+The implementation is deterministic for a given ``seed`` (node visit
+order is shuffled once per pass with a seeded RNG, as in the reference
+implementation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.graph import SimilarityGraph
+from repro.errors import GraphError
+
+
+def modularity(
+    graph: SimilarityGraph,
+    partition: dict[int, int],
+    resolution: float = 1.0,
+) -> float:
+    """Newman modularity Q of a partition of ``graph``.
+
+    ``partition`` maps node -> community label.  Isolated nodes
+    contribute nothing.  For an empty graph Q is defined as 0.
+    """
+    two_m = sum(graph.degree(node) for node in range(graph.n_nodes))
+    if two_m == 0:
+        return 0.0
+    internal: dict[int, float] = {}
+    degree_sum: dict[int, float] = {}
+    for node in range(graph.n_nodes):
+        community = partition[node]
+        degree_sum[community] = degree_sum.get(community, 0.0) + graph.degree(node)
+        for neighbor, weight in graph.neighbors(node).items():
+            if partition[neighbor] == community:
+                internal[community] = internal.get(community, 0.0) + weight
+    q = 0.0
+    for community, k_sum in degree_sum.items():
+        inner = internal.get(community, 0.0)  # counted twice (both directions)
+        q += inner / two_m - resolution * (k_sum / two_m) ** 2
+    return q
+
+
+class _WorkGraph:
+    """Mutable weighted graph used during aggregation passes."""
+
+    def __init__(self, adjacency: dict[int, dict[int, float]], self_loops: dict[int, float]):
+        self.adjacency = adjacency
+        self.self_loops = self_loops  # node -> self-loop weight (counted once)
+        self.nodes = list(adjacency)
+
+    @classmethod
+    def from_similarity_graph(cls, graph: SimilarityGraph) -> "_WorkGraph":
+        adjacency = {
+            node: dict(graph.neighbors(node)) for node in range(graph.n_nodes)
+        }
+        return cls(adjacency, {node: 0.0 for node in range(graph.n_nodes)})
+
+    def degree(self, node: int) -> float:
+        return sum(self.adjacency[node].values()) + 2.0 * self.self_loops[node]
+
+    def total_weight(self) -> float:
+        """Sum of edge weights, each edge counted once."""
+        edge_sum = sum(
+            weight
+            for node, nbrs in self.adjacency.items()
+            for neighbor, weight in nbrs.items()
+        ) / 2.0
+        return edge_sum + sum(self.self_loops.values())
+
+
+def _one_pass(
+    work: _WorkGraph, resolution: float, rng: random.Random
+) -> tuple[dict[int, int], bool]:
+    """One local-move phase; returns (partition, improved)."""
+    m = work.total_weight()
+    if m <= 0:
+        return {node: node for node in work.nodes}, False
+    community: dict[int, int] = {node: node for node in work.nodes}
+    community_degree: dict[int, float] = {
+        node: work.degree(node) for node in work.nodes
+    }
+    improved = False
+    order = list(work.nodes)
+    rng.shuffle(order)
+    moved = True
+    while moved:
+        moved = False
+        for node in order:
+            node_degree = work.degree(node)
+            current = community[node]
+            # Weights from node to each neighbouring community.
+            links: dict[int, float] = {}
+            for neighbor, weight in work.adjacency[node].items():
+                links[community[neighbor]] = (
+                    links.get(community[neighbor], 0.0) + weight
+                )
+            # Detach node.
+            community_degree[current] -= node_degree
+            best_community = current
+            best_gain = links.get(current, 0.0) - (
+                resolution * community_degree[current] * node_degree / (2.0 * m)
+            )
+            for candidate, link_weight in links.items():
+                if candidate == current:
+                    continue
+                gain = link_weight - (
+                    resolution
+                    * community_degree[candidate]
+                    * node_degree
+                    / (2.0 * m)
+                )
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_community = candidate
+            community_degree[best_community] = (
+                community_degree.get(best_community, 0.0) + node_degree
+            )
+            if best_community != current:
+                community[node] = best_community
+                moved = True
+                improved = True
+    return community, improved
+
+
+def _aggregate(work: _WorkGraph, partition: dict[int, int]) -> tuple[_WorkGraph, dict[int, int]]:
+    """Build the aggregated graph; returns it plus node -> super-node map."""
+    labels = sorted(set(partition.values()))
+    relabel = {label: i for i, label in enumerate(labels)}
+    mapping = {node: relabel[partition[node]] for node in work.nodes}
+    adjacency: dict[int, dict[int, float]] = {i: {} for i in range(len(labels))}
+    self_loops: dict[int, float] = {i: 0.0 for i in range(len(labels))}
+    for node in work.nodes:
+        cu = mapping[node]
+        self_loops[cu] += work.self_loops[node]
+        for neighbor, weight in work.adjacency[node].items():
+            cv = mapping[neighbor]
+            if cu == cv:
+                # Each internal edge visited from both ends: half each.
+                self_loops[cu] += weight / 2.0
+            else:
+                adjacency[cu][cv] = adjacency[cu].get(cv, 0.0) + weight
+    # Internal self-loop contributions were double-counted per direction;
+    # the loop above already adds weight/2 from each endpoint visit.
+    return _WorkGraph(adjacency, self_loops), mapping
+
+
+def louvain(
+    graph: SimilarityGraph,
+    resolution: float = 1.0,
+    seed: int = 0,
+    max_passes: int = 20,
+) -> dict[int, int]:
+    """Louvain partition of a similarity graph.
+
+    Parameters
+    ----------
+    graph:
+        The similarity graph (isolated nodes allowed).
+    resolution:
+        Modularity resolution; 1.0 is standard modularity.
+    seed:
+        Seed for the node-visit shuffles; fixes the output.
+    max_passes:
+        Safety bound on aggregation rounds.
+
+    Returns
+    -------
+    dict
+        node -> community label (labels are arbitrary but contiguous).
+    """
+    if resolution <= 0:
+        raise GraphError("resolution must be positive")
+    rng = random.Random(seed)
+    work = _WorkGraph.from_similarity_graph(graph)
+    # node (original) -> current super-node.
+    assignment = {node: node for node in range(graph.n_nodes)}
+    for _ in range(max_passes):
+        partition, improved = _one_pass(work, resolution, rng)
+        if not improved:
+            break
+        work, mapping = _aggregate(work, partition)
+        assignment = {
+            node: mapping[partition[assignment[node]]] for node in assignment
+        }
+    # Relabel contiguously.
+    labels = sorted(set(assignment.values()))
+    relabel = {label: i for i, label in enumerate(labels)}
+    return {node: relabel[label] for node, label in assignment.items()}

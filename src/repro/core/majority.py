@@ -1,0 +1,67 @@
+"""Majority vote and the Condorcet Jury Theorem (Section 2.2.1).
+
+The majority vote is the oldest output-fusion strategy: accept a
+community when more than half of the detectors vote for it.  Its
+theoretical behaviour — the Condorcet Jury Theorem — is what motivates
+combining detectors at all:
+
+    P_maj(L) = sum_{m=floor(L/2)+1}^{L} C(L, m) p^m (1-p)^(L-m)
+
+is monotonically increasing in L and -> 1 when each detector's accuracy
+p > 0.5 (and -> 0 when p < 0.5).  The benchmark
+``benchmarks/test_condorcet.py`` regenerates this curve both
+analytically and by Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.core.strategies import CombinationStrategy
+from repro.errors import CombinerError
+
+
+def condorcet_probability(n_detectors: int, accuracy: float) -> float:
+    """P_maj(L): probability a majority of L detectors is correct.
+
+    Parameters
+    ----------
+    n_detectors:
+        L, the number of (independent) detectors.
+    accuracy:
+        p, each detector's probability of a correct output.
+
+    >>> condorcet_probability(1, 0.7)
+    0.7
+    >>> round(condorcet_probability(3, 0.7), 3)
+    0.784
+    """
+    if n_detectors <= 0:
+        raise CombinerError("need at least one detector")
+    if not 0.0 <= accuracy <= 1.0:
+        raise CombinerError("accuracy must be in [0, 1]")
+    start = n_detectors // 2 + 1
+    return sum(
+        comb(n_detectors, m)
+        * accuracy**m
+        * (1 - accuracy) ** (n_detectors - m)
+        for m in range(start, n_detectors + 1)
+    )
+
+
+class MajorityVoteStrategy(CombinationStrategy):
+    """Accept when more than half the detectors vote for the community.
+
+    A detector *votes* for a community when at least one of its alarms
+    is in it (Section 2.2.2) — i.e. its confidence score is > 0.
+    ``mu`` is the fraction of voting detectors, so the standard
+    ``mu > 0.5`` acceptance implements the simple majority.
+    """
+
+    name = "majority"
+
+    def _aggregate(self, scores: dict[str, float]) -> float:
+        if not scores:
+            return 0.0
+        voting = sum(1 for phi in scores.values() if phi > 0.0)
+        return voting / len(scores)

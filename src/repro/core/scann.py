@@ -1,0 +1,145 @@
+"""SCANN: combining detectors via correspondence analysis (Merz'99).
+
+Section 2.2.3: SCANN stores the binary votes of every configuration
+for every community in a table, reduces it with correspondence
+analysis so only the discriminating votes remain, projects two
+*reference points* — a hypothetical community unanimously accepted and
+one unanimously rejected — into the reduced space, and classifies each
+community by which reference is nearer.
+
+Vote encoding
+-------------
+Each configuration contributes an indicator *pair* of columns:
+``(votes-anomalous, votes-normal)``.  This is Merz's construction for
+categorical votes; with it, a configuration that never alarms
+contributes a constant column pair that CA weighs down naturally —
+exactly the mechanism that lets SCANN "disregard the unnecessary"
+detectors (the paper observes it discarding the PCA detector's noise).
+
+Relative distance
+-----------------
+For each community the *relative distance* is
+
+    (d_opposite / d_assigned) - 1   in [0, inf)
+
+where ``d_assigned`` is the distance to the reference point of the
+assigned class.  0 means the community sits on the decision boundary;
+the MAWILab taxonomy (Section 5) labels rejected communities with
+relative distance <= 0.5 "suspicious" and the rest "notice".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.community import CommunitySet
+from repro.core.confidence import configs_by_detector, confidence_scores, vote_vector
+from repro.core.correspondence import CorrespondenceAnalysis
+from repro.core.strategies import CombinationStrategy, Decision
+from repro.errors import CombinerError
+
+
+class SCANNStrategy(CombinationStrategy):
+    """SCANN combination strategy (dimensionality-reduction based)."""
+
+    name = "scann"
+
+    def __init__(self, n_components: int | None = 2) -> None:
+        """``n_components`` is the dimensionality of the reduced space.
+
+        Keeping only the top axes is the point of SCANN: the retained
+        axes capture the correlated (hence trustworthy) vote structure
+        while idiosyncratic detectors project near the origin.  Passing
+        ``None`` keeps every non-degenerate axis, which degrades SCANN
+        to plain chi-square profile distances (the ablation benchmark
+        ``test_ablation_scann.py`` quantifies the difference).
+        """
+        self.n_components = n_components
+
+    def _aggregate(self, scores: dict[str, float]) -> float:  # pragma: no cover
+        raise CombinerError("SCANN does not aggregate confidence scores")
+
+    def classify(
+        self,
+        community_set: CommunitySet,
+        config_names: Sequence[str],
+    ) -> list[Decision]:
+        """Classify communities by nearest reference in CA space."""
+        if not config_names:
+            raise CombinerError("no configurations supplied")
+        communities = community_set.communities
+        detector_configs = configs_by_detector(config_names)
+        if not communities:
+            return []
+
+        votes = np.array(
+            [vote_vector(c, config_names) for c in communities], dtype=float
+        )
+        decisions: list[Decision] = []
+        indicator = _indicator_matrix(votes)
+        accept_ref = _indicator_matrix(np.ones((1, votes.shape[1])))
+        reject_ref = _indicator_matrix(np.zeros((1, votes.shape[1])))
+
+        try:
+            ca = CorrespondenceAnalysis(indicator, n_components=self.n_components)
+            degenerate = ca.n_components == 0
+        except CombinerError:
+            degenerate = True
+
+        if degenerate:
+            # All communities share one vote profile: CA has no axis to
+            # discriminate on.  Fall back to the vote fraction itself.
+            for community, row in zip(communities, votes):
+                mu = float(row.mean())
+                decisions.append(
+                    Decision(
+                        community_id=community.id,
+                        accepted=mu > 0.5,
+                        mu=mu,
+                        relative_distance=0.0,
+                        scores=confidence_scores(community, detector_configs),
+                    )
+                )
+            return decisions
+
+        coords = ca.row_coordinates
+        ref_acc = ca.project_rows(accept_ref)[0]
+        ref_rej = ca.project_rows(reject_ref)[0]
+        for community, row, point in zip(communities, votes, coords):
+            d_acc = float(np.linalg.norm(point - ref_acc))
+            d_rej = float(np.linalg.norm(point - ref_rej))
+            accepted = d_acc < d_rej
+            d_assigned = d_acc if accepted else d_rej
+            d_opposite = d_rej if accepted else d_acc
+            if d_assigned <= 1e-12:
+                relative = float("inf") if d_opposite > 1e-12 else 0.0
+            else:
+                relative = d_opposite / d_assigned - 1.0
+            # mu reported for reference: distance-based score in [0, 1].
+            denominator = d_acc + d_rej
+            mu = d_rej / denominator if denominator > 0 else 0.5
+            decisions.append(
+                Decision(
+                    community_id=community.id,
+                    accepted=accepted,
+                    mu=mu,
+                    relative_distance=max(relative, 0.0),
+                    scores=confidence_scores(community, detector_configs),
+                )
+            )
+        return decisions
+
+
+def _indicator_matrix(votes: np.ndarray) -> np.ndarray:
+    """Expand binary votes into (anomalous, normal) indicator pairs.
+
+    Input (n, C) with entries in {0, 1}; output (n, 2C) where columns
+    2j / 2j+1 indicate configuration j voting anomalous / normal.
+    """
+    n, n_configs = votes.shape
+    indicator = np.zeros((n, 2 * n_configs))
+    indicator[:, 0::2] = votes
+    indicator[:, 1::2] = 1.0 - votes
+    return indicator

@@ -1,0 +1,48 @@
+"""Similarity measures between alarm traffic sets.
+
+Section 2.1.2 evaluates three measures to weight similarity-graph
+edges; all take the two traffic sets and their intersection size:
+
+* **Simpson index** — |E1 ∩ E2| / min(|E1|, |E2|); 1 when one set is
+  included in the other.  The paper's winner, used everywhere by
+  default.
+* **Jaccard index** — |E1 ∩ E2| / |E1 ∪ E2|.
+* **constant** — 1 whenever the sets intersect (unweighted graph).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+SimilarityMeasure = Callable[[int, int, int], float]
+
+
+def simpson(intersection: int, size_a: int, size_b: int) -> float:
+    """Simpson (overlap) coefficient.
+
+    >>> simpson(2, 2, 10)   # one alarm included in the other
+    1.0
+    """
+    if intersection <= 0 or size_a == 0 or size_b == 0:
+        return 0.0
+    return intersection / min(size_a, size_b)
+
+
+def jaccard(intersection: int, size_a: int, size_b: int) -> float:
+    """Jaccard index."""
+    union = size_a + size_b - intersection
+    if intersection <= 0 or union <= 0:
+        return 0.0
+    return intersection / union
+
+
+def constant_measure(intersection: int, size_a: int, size_b: int) -> float:
+    """1 if the sets intersect, else 0 (unweighted edges)."""
+    return 1.0 if intersection > 0 and size_a > 0 and size_b > 0 else 0.0
+
+
+SIMILARITY_MEASURES: dict[str, SimilarityMeasure] = {
+    "simpson": simpson,
+    "jaccard": jaccard,
+    "constant": constant_measure,
+}

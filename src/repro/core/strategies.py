@@ -1,0 +1,127 @@
+"""Combination strategies: average / minimum / maximum.
+
+Section 2.2.3: each strategy aggregates the per-detector confidence
+scores of a community into a value ``mu(c)`` and *accepts* the
+community (labels it anomalous) iff ``mu(c) > 0.5``.
+
+* **average** — relies equally on all detectors; a community reported
+  by a single detector (phi vector like [1, 0, 0, 0]) is inherently
+  rejected.
+* **minimum** — pessimistic: accept only if *all* detectors support it;
+  slashes false positives at the cost of many misses.
+* **maximum** — optimistic: accept if *any* detector fully supports it;
+  the converse trade-off.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.community import Community, CommunitySet
+from repro.core.confidence import confidence_scores, configs_by_detector
+from repro.errors import CombinerError
+
+
+@dataclass
+class Decision:
+    """Combiner verdict for one community."""
+
+    community_id: int
+    accepted: bool
+    mu: float
+    #: SCANN only: (d_opposite / d_assigned) - 1, in [0, inf).
+    relative_distance: Optional[float] = None
+    #: Per-detector confidence scores used for the decision.
+    scores: dict = field(default_factory=dict)
+
+
+class CombinationStrategy(abc.ABC):
+    """Base class for community classification strategies."""
+
+    #: Strategy name used in reports.
+    name: str = "base"
+
+    #: Acceptance threshold on mu (the paper fixes it at 0.5).
+    threshold: float = 0.5
+
+    @abc.abstractmethod
+    def _aggregate(self, scores: dict[str, float]) -> float:
+        """Aggregate per-detector confidence scores into mu."""
+
+    def classify(
+        self,
+        community_set: CommunitySet,
+        config_names: Sequence[str],
+    ) -> list[Decision]:
+        """Classify every community; returns index-aligned decisions.
+
+        Parameters
+        ----------
+        community_set:
+            Estimator output.
+        config_names:
+            *All* configuration names that ran (so never-alarming
+            configurations still count in the confidence denominators).
+        """
+        if not config_names:
+            raise CombinerError("no configurations supplied")
+        detector_configs = configs_by_detector(config_names)
+        decisions = []
+        for community in community_set.communities:
+            scores = confidence_scores(community, detector_configs)
+            mu = self._aggregate(scores)
+            decisions.append(
+                Decision(
+                    community_id=community.id,
+                    accepted=mu > self.threshold,
+                    mu=mu,
+                    scores=scores,
+                )
+            )
+        return decisions
+
+
+class AverageStrategy(CombinationStrategy):
+    """mu = mean of the confidence scores."""
+
+    name = "average"
+
+    def _aggregate(self, scores: dict[str, float]) -> float:
+        if not scores:
+            return 0.0
+        return sum(scores.values()) / len(scores)
+
+
+class MinimumStrategy(CombinationStrategy):
+    """mu = min confidence score (pessimistic)."""
+
+    name = "minimum"
+
+    def _aggregate(self, scores: dict[str, float]) -> float:
+        if not scores:
+            return 0.0
+        return min(scores.values())
+
+
+class MaximumStrategy(CombinationStrategy):
+    """mu = max confidence score (optimistic)."""
+
+    name = "maximum"
+
+    def _aggregate(self, scores: dict[str, float]) -> float:
+        if not scores:
+            return 0.0
+        return max(scores.values())
+
+
+def split_by_decision(
+    communities: list[Community], decisions: list[Decision]
+) -> tuple[list[Community], list[Community]]:
+    """Partition communities into (accepted, rejected) per decisions."""
+    if len(communities) != len(decisions):
+        raise CombinerError("communities/decisions length mismatch")
+    accepted = [c for c, d in zip(communities, decisions) if d.accepted]
+    rejected = [c for c, d in zip(communities, decisions) if not d.accepted]
+    return accepted, rejected

@@ -1,0 +1,54 @@
+"""The four anomaly detectors combined in the paper.
+
+Each detector is an unsupervised, from-scratch reimplementation of the
+corresponding published method (see DESIGN.md):
+
+* :class:`~repro.detectors.pca.PCADetector` — subspace method on
+  sketched traffic (Lakhina'04 via Kanda'10 sketches); reports
+  **source IPs**.
+* :class:`~repro.detectors.gamma.GammaDetector` — sketches +
+  multi-resolution Gamma modeling (Dewaele'07); reports **source or
+  destination IPs**.
+* :class:`~repro.detectors.hough.HoughDetector` — line detection in a
+  2-D traffic picture (Fontugne'11); reports **aggregated flow sets**.
+* :class:`~repro.detectors.kl.KLDetector` — Kullback-Leibler divergence
+  on feature histograms + association rules (Brauckhoff'09); reports
+  **partial 4-tuple rules**.
+
+The heterogeneous granularities are the whole point: they are what the
+similarity estimator must reconcile.
+
+:func:`~repro.detectors.registry.default_ensemble` builds the paper's
+experimental input — 4 detectors x 3 tunings = 12 configurations.
+"""
+
+from repro.detectors.base import Alarm, Configuration, Detector
+from repro.detectors.sketch import SketchHasher
+from repro.detectors.pca import PCADetector
+from repro.detectors.gamma import GammaDetector
+from repro.detectors.hough import HoughDetector
+from repro.detectors.kl import KLDetector
+from repro.detectors.entropy import EntropyDetector, extended_ensemble
+from repro.detectors.registry import (
+    DETECTOR_NAMES,
+    default_ensemble,
+    detector_for_config,
+    run_ensemble,
+)
+
+__all__ = [
+    "Alarm",
+    "Configuration",
+    "Detector",
+    "SketchHasher",
+    "PCADetector",
+    "GammaDetector",
+    "HoughDetector",
+    "KLDetector",
+    "EntropyDetector",
+    "extended_ensemble",
+    "DETECTOR_NAMES",
+    "default_ensemble",
+    "detector_for_config",
+    "run_ensemble",
+]

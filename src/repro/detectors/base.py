@@ -1,0 +1,145 @@
+"""Detector interface and the alarm model.
+
+An :class:`Alarm` is "a set of traffic features that designates a
+particular traffic identified by a detector" (paper Section 2.1.1).
+Two designation mechanisms cover all four detectors:
+
+* ``filters`` — a list of :class:`~repro.net.filters.FeatureFilter`
+  (partial header matches within a time window); used by the PCA,
+  Gamma and KL detectors.
+* ``flow_keys`` — an explicit set of unidirectional
+  :class:`~repro.net.flow.FlowKey`; used by the Hough detector, whose
+  native output is an aggregated set of flows.
+
+An alarm may carry both; the associated traffic is the union.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DetectorError
+from repro.net.filters import FeatureFilter
+from repro.net.flow import FlowKey
+from repro.net.trace import Trace
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One alarm emitted by one detector configuration.
+
+    Attributes
+    ----------
+    detector:
+        Detector family name ("pca", "gamma", "hough", "kl").
+    config:
+        Full configuration id, e.g. ``"pca/sensitive"``.
+    t0, t1:
+        Time window (half-open) the alarm covers.
+    filters:
+        Feature filters designating the traffic (may be empty).
+    flow_keys:
+        Explicit uniflow keys designating the traffic (may be empty).
+    score:
+        Detector-specific anomaly score (only used for reporting).
+    """
+
+    detector: str
+    config: str
+    t0: float
+    t1: float
+    filters: tuple[FeatureFilter, ...] = ()
+    flow_keys: frozenset = frozenset()
+    score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise DetectorError(f"alarm with negative window [{self.t0}, {self.t1})")
+        if not self.filters and not self.flow_keys:
+            raise DetectorError("alarm designates no traffic")
+
+    def describe(self) -> str:
+        """Short human-readable form."""
+        parts = [f.describe() for f in self.filters]
+        if self.flow_keys:
+            parts.append(f"{len(self.flow_keys)} flows")
+        body = ", ".join(parts) if parts else "(empty)"
+        return f"[{self.config}] {self.t0:.1f}-{self.t1:.1f}s {body}"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A detector with one fixed parameter set.
+
+    The paper calls "configuration" the pair (detector, parameter set);
+    confidence scores are computed per detector over its
+    configurations.  ``tuning`` is one of ``"optimal"``,
+    ``"sensitive"``, ``"conservative"``.
+    """
+
+    detector: str
+    tuning: str
+    params: tuple = ()  # (name, value) pairs; hashable for use as dict key
+
+    @property
+    def name(self) -> str:
+        return f"{self.detector}/{self.tuning}"
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+
+class Detector(abc.ABC):
+    """Base class: analyze one trace, return alarms.
+
+    Subclasses are stateless across traces — every :meth:`analyze`
+    call is independent, which is what lets the archive sweeps
+    parallelize trivially and keeps configurations comparable.
+    """
+
+    #: Family name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, tuning: str = "optimal", **params) -> None:
+        self.tuning = tuning
+        self.params = dict(self.default_params())
+        unknown = set(params) - set(self.params)
+        if unknown:
+            raise DetectorError(
+                f"{self.name}: unknown parameters {sorted(unknown)}"
+            )
+        self.params.update(params)
+
+    @classmethod
+    @abc.abstractmethod
+    def default_params(cls) -> dict:
+        """Default parameter set (the "optimal" tuning)."""
+
+    @property
+    def config_name(self) -> str:
+        return f"{self.name}/{self.tuning}"
+
+    @abc.abstractmethod
+    def analyze(self, trace: Trace) -> list[Alarm]:
+        """Analyze one trace and return the alarms."""
+
+    def _alarm(
+        self,
+        t0: float,
+        t1: float,
+        filters: tuple[FeatureFilter, ...] = (),
+        flow_keys: Optional[frozenset] = None,
+        score: float = 0.0,
+    ) -> Alarm:
+        """Convenience constructor stamping detector/config names."""
+        return Alarm(
+            detector=self.name,
+            config=self.config_name,
+            t0=t0,
+            t1=t1,
+            filters=filters,
+            flow_keys=flow_keys or frozenset(),
+            score=score,
+        )

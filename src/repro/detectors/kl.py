@@ -1,0 +1,231 @@
+"""Kullback-Leibler histogram-change detector with rule extraction.
+
+Reimplements the detector of Section 3.2(4) (Brauckhoff et al.,
+IMC'09): per-time-bin histograms of several traffic features are
+monitored; bins where the (symmetrized, smoothed) KL divergence from
+the previous bin spikes are anomalous, and association-rule mining
+extracts the feature combinations responsible.  Alarms are therefore
+**partial 4-tuple rules** — the finest granularity of the four
+detectors, and the reason the paper's experiments find it the most
+accurate single detector.
+
+Algorithm
+---------
+1. Split the trace into ``n_bins`` time bins.  For each feature in
+   {src, dst, sport, dport}, build the per-bin value histogram.
+2. Compute the Jensen-Shannon-style symmetrized KL divergence between
+   consecutive bins per feature.
+3. A (bin, feature) pair is anomalous when its divergence exceeds
+   ``median + threshold * MAD`` over the trace.
+4. For each anomalous bin, select the values whose probability grew
+   the most (the divergence contributors), keep packets carrying any
+   such value, and run the modified Apriori on them; emit one alarm
+   per mined maximal rule.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.detectors.base import Alarm, Detector
+from repro.net.trace import Trace
+from repro.rules.apriori import apriori
+from repro.rules.itemsets import rules_from_result, transactions_from_packets
+
+_FEATURES = ("src", "dst", "sport", "dport")
+
+
+class KLDetector(Detector):
+    """KL-divergence histogram detector reporting 4-tuple rules."""
+
+    name = "kl"
+
+    @classmethod
+    def default_params(cls) -> dict:
+        return {
+            "n_bins": 12,
+            "threshold": 3.0,
+            "top_values": 5,
+            "rule_support_pct": 15.0,
+            "max_rules_per_bin": 6,
+            "smoothing": 1e-4,
+            "min_lift": 2.0,
+        }
+
+    def analyze(self, trace: Trace) -> list[Alarm]:
+        if len(trace) < 4:
+            return []
+        p = self.params
+        t_start, t_end = trace.start_time, trace.end_time
+        span = max(t_end - t_start, 1e-9)
+        n_bins = p["n_bins"]
+        bin_of = lambda t: min(int((t - t_start) / span * n_bins), n_bins - 1)
+
+        # Per-bin packet index lists.
+        bins: list[list[int]] = [[] for _ in range(n_bins)]
+        for i, pkt in enumerate(trace):
+            bins[bin_of(pkt.time)].append(i)
+
+        # Per-feature divergence series.
+        divergences: dict[str, np.ndarray] = {}
+        histograms: dict[str, list[Counter]] = {}
+        for feature in _FEATURES:
+            hists = [
+                Counter(getattr(trace[i], feature) for i in bins[b])
+                for b in range(n_bins)
+            ]
+            histograms[feature] = hists
+            series = np.zeros(n_bins)
+            for b in range(1, n_bins):
+                series[b] = _symmetric_kl(
+                    hists[b - 1], hists[b], p["smoothing"]
+                )
+            divergences[feature] = series
+
+        alarms: list[Alarm] = []
+        bin_width = span / n_bins
+        for feature in _FEATURES:
+            series = divergences[feature]
+            cut = _robust_cut(series, p["threshold"])
+            for b in np.nonzero(series > cut)[0]:
+                b = int(b)
+                if not bins[b]:
+                    continue
+                values = _grown_values(
+                    histograms[feature][b - 1],
+                    histograms[feature][b],
+                    top=p["top_values"],
+                )
+                if not values:
+                    continue
+                selected = [
+                    trace[i]
+                    for i in bins[b]
+                    if getattr(trace[i], feature) in values
+                ]
+                if not selected:
+                    continue
+                previous = [trace[i] for i in bins[b - 1]]
+                t0 = t_start + b * bin_width
+                t1 = t0 + bin_width
+                alarms.extend(
+                    self._mine_alarms(
+                        selected, previous, t0, t1, float(series[b])
+                    )
+                )
+        return _dedupe(alarms)
+
+    def _mine_alarms(
+        self, packets, previous_packets, t0: float, t1: float, score: float
+    ) -> list[Alarm]:
+        """Run Apriori on the anomalous packets, one alarm per rule.
+
+        A mined rule is kept only if its prevalence *grew* relative to
+        the previous bin (lift filter): anomaly extraction reports what
+        changed, not what is permanently popular — this is the
+        histogram-clone filtering of the original method.  Rules whose
+        previous-bin coverage is already high (steady-state traffic
+        such as port 80) are discarded even when frequent now.
+        """
+        p = self.params
+        transactions = transactions_from_packets(packets)
+        result = apriori(transactions, min_support_pct=p["rule_support_pct"])
+        rules = rules_from_result(result, limit=p["max_rules_per_bin"])
+        prev_transactions = [
+            frozenset(t) for t in transactions_from_packets(previous_packets)
+        ]
+        n_prev = len(prev_transactions)
+        alarms = []
+        for rule in rules:
+            if rule.degree == 0:
+                continue
+            if n_prev > 0:
+                items = _rule_items(rule)
+                prev_cov = sum(
+                    1 for t in prev_transactions if items <= t
+                ) / n_prev
+                if prev_cov * p["min_lift"] >= rule.support:
+                    continue
+            alarms.append(
+                self._alarm(
+                    t0,
+                    t1,
+                    filters=(rule.to_filter(t0=t0, t1=t1),),
+                    score=score,
+                )
+            )
+        return alarms
+
+
+def _symmetric_kl(prev: Counter, curr: Counter, smoothing: float) -> float:
+    """Symmetrized, smoothed KL divergence between two histograms."""
+    if not prev or not curr:
+        return 0.0
+    keys = set(prev) | set(curr)
+    n_prev = sum(prev.values())
+    n_curr = sum(curr.values())
+    k = len(keys)
+    d_pq = 0.0
+    d_qp = 0.0
+    for key in keys:
+        p = (prev.get(key, 0) + smoothing) / (n_prev + smoothing * k)
+        q = (curr.get(key, 0) + smoothing) / (n_curr + smoothing * k)
+        d_pq += p * np.log(p / q)
+        d_qp += q * np.log(q / p)
+    return float(d_pq + d_qp) / 2.0
+
+
+def _robust_cut(series: np.ndarray, threshold: float) -> float:
+    """median + threshold * (1.4826 * MAD), with std fallback."""
+    median = float(np.median(series))
+    mad = float(np.median(np.abs(series - median)))
+    scale = 1.4826 * mad if mad > 0 else float(series.std()) or 1.0
+    return median + threshold * scale
+
+
+def _grown_values(prev: Counter, curr: Counter, top: int) -> set:
+    """Values whose probability grew the most between two bins."""
+    n_prev = max(sum(prev.values()), 1)
+    n_curr = max(sum(curr.values()), 1)
+    growth = {
+        key: curr[key] / n_curr - prev.get(key, 0) / n_prev for key in curr
+    }
+    ranked = sorted(growth.items(), key=lambda kv: kv[1], reverse=True)
+    return {key for key, delta in ranked[:top] if delta > 0}
+
+
+def _rule_items(rule) -> frozenset:
+    """Itemset form of a Rule, for coverage tests."""
+    items = []
+    if rule.src is not None:
+        items.append(("src", rule.src))
+    if rule.sport is not None:
+        items.append(("sport", rule.sport))
+    if rule.dst is not None:
+        items.append(("dst", rule.dst))
+    if rule.dport is not None:
+        items.append(("dport", rule.dport))
+    return frozenset(items)
+
+
+def _dedupe(alarms: list[Alarm]) -> list[Alarm]:
+    """Drop alarms with identical filters and windows."""
+    seen = set()
+    unique = []
+    for alarm in alarms:
+        key = (alarm.filters, alarm.t0, alarm.t1)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(alarm)
+    return unique
+
+
+#: Tunings for the experiments.
+KL_TUNINGS = {
+    "optimal": {},
+    "sensitive": {"threshold": 1.8, "top_values": 8, "rule_support_pct": 10.0},
+    "conservative": {"threshold": 4.5, "top_values": 3, "rule_support_pct": 25.0},
+}

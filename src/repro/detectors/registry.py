@@ -1,0 +1,97 @@
+"""Configuration registry: the paper's 12-configuration ensemble.
+
+Section 3.2: "The confidence score for each detector is obtained by
+tuning them with three different parameter sets corresponding to
+optimal, sensitive or conservative setting.  Hence, for experiment, the
+input for the proposed method consists in the 12 outputs of all the
+configurations (4 detectors using 3 parameter tunings)."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.detectors.base import Alarm, Detector
+from repro.detectors.gamma import GAMMA_TUNINGS, GammaDetector
+from repro.detectors.hough import HOUGH_TUNINGS, HoughDetector
+from repro.detectors.kl import KL_TUNINGS, KLDetector
+from repro.detectors.pca import PCA_TUNINGS, PCADetector
+from repro.errors import DetectorError
+from repro.net.trace import Trace
+
+DETECTOR_NAMES = ("pca", "gamma", "hough", "kl")
+
+_CLASSES = {
+    "pca": (PCADetector, PCA_TUNINGS),
+    "gamma": (GammaDetector, GAMMA_TUNINGS),
+    "hough": (HoughDetector, HOUGH_TUNINGS),
+    "kl": (KLDetector, KL_TUNINGS),
+}
+
+TUNINGS = ("optimal", "sensitive", "conservative")
+
+
+def default_ensemble(
+    detectors: Optional[Iterable[str]] = None,
+    tunings: Optional[Iterable[str]] = None,
+) -> list[Detector]:
+    """Instantiate the detector ensemble.
+
+    Parameters
+    ----------
+    detectors:
+        Detector family names to include; defaults to all four.
+    tunings:
+        Tunings per family; defaults to the paper's three.
+
+    Returns
+    -------
+    list of instantiated detectors, one per configuration, ordered
+    (detector, tuning).
+    """
+    selected = list(detectors) if detectors is not None else list(DETECTOR_NAMES)
+    selected_tunings = list(tunings) if tunings is not None else list(TUNINGS)
+    ensemble: list[Detector] = []
+    for name in selected:
+        if name not in _CLASSES:
+            raise DetectorError(f"unknown detector {name!r}")
+        cls, tuning_table = _CLASSES[name]
+        for tuning in selected_tunings:
+            if tuning not in tuning_table:
+                raise DetectorError(
+                    f"detector {name!r} has no tuning {tuning!r}"
+                )
+            ensemble.append(cls(tuning=tuning, **tuning_table[tuning]))
+    return ensemble
+
+
+def detector_for_config(config_name: str) -> Detector:
+    """Instantiate the detector for a ``"family/tuning"`` config name."""
+    try:
+        family, tuning = config_name.split("/", 1)
+    except ValueError as exc:
+        raise DetectorError(
+            f"config name must be 'family/tuning', got {config_name!r}"
+        ) from exc
+    if family not in _CLASSES:
+        raise DetectorError(f"unknown detector {family!r}")
+    cls, tuning_table = _CLASSES[family]
+    if tuning not in tuning_table:
+        raise DetectorError(f"detector {family!r} has no tuning {tuning!r}")
+    return cls(tuning=tuning, **tuning_table[tuning])
+
+
+def run_ensemble(
+    trace: Trace,
+    ensemble: Optional[list[Detector]] = None,
+) -> list[Alarm]:
+    """Run every configuration on one trace; return all alarms.
+
+    This is Step 1 of the paper's method.
+    """
+    if ensemble is None:
+        ensemble = default_ensemble()
+    alarms: list[Alarm] = []
+    for detector in ensemble:
+        alarms.extend(detector.analyze(trace))
+    return alarms

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch package-level failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or used inconsistently."""
+
+
+class PcapError(ReproError):
+    """A pcap file could not be parsed or written."""
+
+
+class DetectorError(ReproError):
+    """An anomaly detector was misconfigured or failed to run."""
+
+
+class GraphError(ReproError):
+    """The similarity graph or community structure is invalid."""
+
+
+class CombinerError(ReproError):
+    """A combination strategy received inconsistent inputs."""
+
+
+class RuleMiningError(ReproError):
+    """Association-rule mining received invalid parameters or data."""
+
+
+class LabelingError(ReproError):
+    """Labeling heuristics or taxonomy assignment failed."""

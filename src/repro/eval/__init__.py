@@ -1,0 +1,50 @@
+"""Evaluation harness: attack ratio, gain/cost, detector benchmarking.
+
+These utilities implement the paper's evaluation machinery:
+
+* :mod:`repro.eval.metrics` — the *attack ratio* (Section 4.2.1) and
+  distribution helpers used by Figs. 6, 7 and 10;
+* :mod:`repro.eval.gaincost` — the Table-2 gain/cost quantities used by
+  Fig. 8;
+* :mod:`repro.eval.benchmark` — benchmarking an *external* detector
+  against MAWILab labels via a similarity estimator (the intended use
+  of the published database);
+* :mod:`repro.eval.report` — plain-text tables and series printers for
+  the benchmark harness.
+"""
+
+from repro.eval.metrics import (
+    attack_ratio,
+    attack_ratio_by_class,
+    cdf_points,
+    histogram_pdf,
+)
+from repro.eval.gaincost import GainCost, gain_cost, gain_cost_by_detector
+from repro.eval.benchmark import DetectorScore, benchmark_detector
+from repro.eval.groundtruth import (
+    EventMatch,
+    GroundTruthScore,
+    score_detector,
+    score_pipeline_result,
+    score_traffic_sets,
+)
+from repro.eval.report import format_series, format_table
+
+__all__ = [
+    "attack_ratio",
+    "attack_ratio_by_class",
+    "cdf_points",
+    "histogram_pdf",
+    "GainCost",
+    "gain_cost",
+    "gain_cost_by_detector",
+    "DetectorScore",
+    "benchmark_detector",
+    "EventMatch",
+    "GroundTruthScore",
+    "score_detector",
+    "score_pipeline_result",
+    "score_traffic_sets",
+    "format_series",
+    "format_table",
+]

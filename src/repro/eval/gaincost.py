@@ -1,0 +1,128 @@
+"""Gain/cost accounting (paper Table 2 and Fig. 8).
+
+For a strategy's decisions and the heuristics' labels:
+
+* ``gain_acc``  — accepted communities labeled "Attack" (true accepts);
+* ``cost_acc``  — accepted communities labeled "Special"/"Unknown";
+* ``gain_rej``  — rejected communities labeled "Special"/"Unknown"
+  (true rejections);
+* ``cost_rej``  — rejected communities labeled "Attack" (missed
+  attacks).
+
+The per-detector variant restricts the counting to communities a given
+detector participates in, which is how Fig. 8 highlights the Gamma,
+Hough and KL detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.community import Community
+from repro.core.strategies import Decision
+from repro.labeling.heuristics import CATEGORY_ATTACK, HeuristicLabel
+
+
+@dataclass
+class GainCost:
+    """The four Table-2 quantities."""
+
+    gain_acc: int = 0
+    cost_acc: int = 0
+    gain_rej: int = 0
+    cost_rej: int = 0
+
+    @property
+    def accepted(self) -> int:
+        return self.gain_acc + self.cost_acc
+
+    @property
+    def rejected(self) -> int:
+        return self.gain_rej + self.cost_rej
+
+    def __add__(self, other: "GainCost") -> "GainCost":
+        return GainCost(
+            gain_acc=self.gain_acc + other.gain_acc,
+            cost_acc=self.cost_acc + other.cost_acc,
+            gain_rej=self.gain_rej + other.gain_rej,
+            cost_rej=self.cost_rej + other.cost_rej,
+        )
+
+
+def gain_cost(
+    decisions: Sequence[Decision],
+    heuristic_labels: Sequence[HeuristicLabel],
+    communities: Optional[Sequence[Community]] = None,
+    detector: Optional[str] = None,
+) -> GainCost:
+    """Compute gain/cost counts, optionally restricted to one detector.
+
+    Parameters
+    ----------
+    decisions, heuristic_labels:
+        Index-aligned combiner decisions and heuristic labels.
+    communities:
+        Needed only when ``detector`` is given.
+    detector:
+        If set, count only communities containing at least one alarm
+        of this detector family.
+    """
+    if len(decisions) != len(heuristic_labels):
+        raise ValueError("decisions/labels length mismatch")
+    if detector is not None and communities is None:
+        raise ValueError("per-detector gain/cost needs the communities")
+    result = GainCost()
+    for i, (decision, label) in enumerate(zip(decisions, heuristic_labels)):
+        if detector is not None:
+            if detector not in communities[i].detectors():
+                continue
+        is_attack = label.category == CATEGORY_ATTACK
+        if decision.accepted:
+            if is_attack:
+                result.gain_acc += 1
+            else:
+                result.cost_acc += 1
+        else:
+            if is_attack:
+                result.cost_rej += 1
+            else:
+                result.gain_rej += 1
+    return result
+
+
+def gain_cost_by_detector(
+    decisions: Sequence[Decision],
+    heuristic_labels: Sequence[HeuristicLabel],
+    communities: Sequence[Community],
+    detectors: Sequence[str] = ("pca", "gamma", "hough", "kl"),
+) -> dict[str, GainCost]:
+    """Per-detector gain/cost plus the overall tally under key "overall"."""
+    result = {
+        name: gain_cost(decisions, heuristic_labels, communities, detector=name)
+        for name in detectors
+    }
+    result["overall"] = gain_cost(decisions, heuristic_labels)
+    return result
+
+
+def exclusive_acceptance(
+    decisions: Sequence[Decision],
+    communities: Sequence[Community],
+) -> dict[str, dict[str, int]]:
+    """Communities reported by exactly one detector: accepted/total.
+
+    Reproduces the Section 4.2.3 analysis (8 accepted PCA-exclusive
+    communities vs 2467 Hough-exclusive ones, etc.).
+    """
+    stats: dict[str, dict[str, int]] = {}
+    for decision, community in zip(decisions, communities):
+        detectors = community.detectors()
+        if len(detectors) != 1:
+            continue
+        name = next(iter(detectors))
+        entry = stats.setdefault(name, {"accepted": 0, "total": 0})
+        entry["total"] += 1
+        if decision.accepted:
+            entry["accepted"] += 1
+    return stats

@@ -1,0 +1,86 @@
+"""Attack ratio and distribution helpers (paper Section 4.2.1).
+
+The *attack ratio* of a set of communities is the fraction labeled
+"Attack" by the Table-1 heuristics.  A good combination strategy
+*accepts* communities with a high attack ratio and *rejects*
+communities with a low one; the contrast between the two is the
+paper's model-free quality signal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.labeling.heuristics import CATEGORY_ATTACK, HeuristicLabel
+
+
+def attack_ratio(heuristic_labels: Sequence[HeuristicLabel]) -> float:
+    """Fraction of communities labeled "Attack".
+
+    Returns 0.0 for an empty set (no communities, nothing attacked).
+    """
+    if not heuristic_labels:
+        return 0.0
+    attacks = sum(
+        1 for label in heuristic_labels if label.category == CATEGORY_ATTACK
+    )
+    return attacks / len(heuristic_labels)
+
+
+def attack_ratio_by_class(
+    heuristic_labels: Sequence[HeuristicLabel],
+    accepted_flags: Sequence[bool],
+) -> tuple[float, float]:
+    """Attack ratios of the (accepted, rejected) community classes."""
+    if len(heuristic_labels) != len(accepted_flags):
+        raise ValueError("labels/flags length mismatch")
+    accepted = [l for l, a in zip(heuristic_labels, accepted_flags) if a]
+    rejected = [l for l, a in zip(heuristic_labels, accepted_flags) if not a]
+    return attack_ratio(accepted), attack_ratio(rejected)
+
+
+def histogram_pdf(
+    values: Sequence[float],
+    bins: int = 10,
+    value_range: tuple[float, float] = (0.0, 1.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probability density over fixed bins (as in Figs. 6 and 10).
+
+    Returns (bin_centers, density); density integrates to 1 over the
+    range when values exist, and is all-zero otherwise.
+    """
+    values = np.asarray(list(values), dtype=float)
+    edges = np.linspace(value_range[0], value_range[1], bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    if values.size == 0:
+        return centers, np.zeros(bins)
+    density, _ = np.histogram(values, bins=edges, density=True)
+    return centers, density
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF points (as in Fig. 3).
+
+    Returns (sorted values, cumulative probability at each).
+    """
+    values = np.asarray(sorted(values), dtype=float)
+    if values.size == 0:
+        return values, values
+    probs = np.arange(1, values.size + 1) / values.size
+    return values, probs
+
+
+def quantile_summary(values: Sequence[float]) -> dict[str, float]:
+    """min/median/mean/p90/max summary used in text reports."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return {"min": 0.0, "median": 0.0, "mean": 0.0, "p90": 0.0, "max": 0.0}
+    return {
+        "min": float(values.min()),
+        "median": float(np.median(values)),
+        "mean": float(values.mean()),
+        "p90": float(np.percentile(values, 90)),
+        "max": float(values.max()),
+    }

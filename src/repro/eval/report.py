@@ -1,0 +1,59 @@
+"""Plain-text report rendering for the benchmark harness.
+
+The benchmark targets print the rows/series the paper's tables and
+figures report; these helpers keep the formatting consistent and
+readable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows))
+        if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence,
+    y: Sequence,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    max_points: int = 40,
+) -> str:
+    """Render an (x, y) series as aligned text, subsampled if long."""
+    n = len(x)
+    if n != len(y):
+        raise ValueError("series length mismatch")
+    step = max(1, n // max_points)
+    rows = [(x[i], y[i]) for i in range(0, n, step)]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

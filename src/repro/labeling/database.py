@@ -1,0 +1,215 @@
+"""The MAWILab label database on disk.
+
+The paper's deliverable is a *database*: one label file per archive
+day, updated daily, that researchers download and compare against
+(Section 5).  This module implements that layout:
+
+    <root>/
+      index.csv                     # one row per stored day
+      2004/05/01_anomalous_suspicious.csv
+      2004/05/02_anomalous_suspicious.csv
+      ...
+
+Each day file is the CSV produced by
+:func:`~repro.labeling.mawilab.labels_to_csv`; the index records the
+day's summary counts so sweeps can be inspected without parsing every
+file.  :meth:`LabelDatabase.load_day` parses a stored day back into
+lightweight :class:`StoredLabel` records usable with
+:func:`~repro.eval.benchmark.benchmark_detector` via
+:meth:`StoredLabel.to_record`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import LabelingError
+from repro.labeling.mawilab import LabelRecord, PipelineResult, labels_to_csv
+from repro.net.addresses import ip_to_int
+
+_INDEX_FIELDS = [
+    "date",
+    "n_communities",
+    "n_anomalous",
+    "n_suspicious",
+    "n_notice",
+    "n_alarms",
+]
+
+
+@dataclass
+class StoredLabel:
+    """One (community, rule) row parsed back from a stored day file."""
+
+    community_id: int
+    taxonomy: str
+    heuristic_category: str
+    heuristic_detail: str
+    t0: float
+    t1: float
+    n_alarms: int
+    detectors: tuple[str, ...]
+    src: Optional[int] = None
+    sport: Optional[int] = None
+    dst: Optional[int] = None
+    dport: Optional[int] = None
+    rule_support: float = 0.0
+
+
+def _day_relpath(date: str) -> str:
+    try:
+        year, month, day = date.split("-")
+    except ValueError as exc:
+        raise LabelingError(f"bad ISO date {date!r}") from exc
+    return os.path.join(year, month, f"{day}_anomalous_suspicious.csv")
+
+
+class LabelDatabase:
+    """File-based MAWILab-style label repository."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+
+    def store_day(self, date: str, result: PipelineResult) -> str:
+        """Store one day's pipeline result; returns the file path."""
+        path = os.path.join(self.root, _day_relpath(date))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(labels_to_csv(result.labels))
+        self._update_index(date, result)
+        return path
+
+    def _update_index(self, date: str, result: PipelineResult) -> None:
+        entries = self._read_index()
+        entries[date] = {
+            "date": date,
+            "n_communities": len(result.labels),
+            "n_anomalous": len(result.anomalous()),
+            "n_suspicious": len(result.suspicious()),
+            "n_notice": len(result.notice()),
+            "n_alarms": len(result.alarms),
+        }
+        index_path = os.path.join(self.root, "index.csv")
+        with open(index_path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_INDEX_FIELDS)
+            writer.writeheader()
+            for key in sorted(entries):
+                writer.writerow(entries[key])
+
+    def _read_index(self) -> dict[str, dict]:
+        index_path = os.path.join(self.root, "index.csv")
+        if not os.path.exists(index_path):
+            return {}
+        with open(index_path, newline="") as handle:
+            return {row["date"]: row for row in csv.DictReader(handle)}
+
+    # -- reading -------------------------------------------------------
+
+    def dates(self) -> list[str]:
+        """Stored dates, sorted."""
+        return sorted(self._read_index())
+
+    def summary(self, date: str) -> dict:
+        """Index row of one stored day."""
+        entries = self._read_index()
+        if date not in entries:
+            raise LabelingError(f"no stored labels for {date}")
+        row = entries[date]
+        return {
+            "date": row["date"],
+            **{k: int(row[k]) for k in _INDEX_FIELDS[1:]},
+        }
+
+    def load_day(self, date: str) -> list[StoredLabel]:
+        """Parse one stored day file back into rows."""
+        path = os.path.join(self.root, _day_relpath(date))
+        if not os.path.exists(path):
+            raise LabelingError(f"no stored labels for {date}")
+        rows: list[StoredLabel] = []
+        with open(path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                rows.append(
+                    StoredLabel(
+                        community_id=int(row["community"]),
+                        taxonomy=row["taxonomy"],
+                        heuristic_category=row["heuristic_category"],
+                        heuristic_detail=row["heuristic_detail"],
+                        t0=float(row["t0"]),
+                        t1=float(row["t1"]),
+                        n_alarms=int(row["n_alarms"]),
+                        detectors=tuple(
+                            d for d in row["detectors"].split("|") if d
+                        ),
+                        src=ip_to_int(row["src"]) if row["src"] else None,
+                        sport=int(row["sport"]) if row["sport"] else None,
+                        dst=ip_to_int(row["dst"]) if row["dst"] else None,
+                        dport=int(row["dport"]) if row["dport"] else None,
+                        rule_support=float(row["rule_support"])
+                        if row["rule_support"]
+                        else 0.0,
+                    )
+                )
+        return rows
+
+    def load_day_records(self, date: str) -> list[LabelRecord]:
+        """Reassemble :class:`LabelRecord` objects from a stored day.
+
+        Rules of the same community collapse back into one record, so
+        the result is directly usable with
+        :func:`~repro.eval.benchmark.benchmark_detector`.
+        """
+        from repro.labeling.heuristics import HeuristicLabel
+        from repro.rules.itemsets import Rule
+        from repro.rules.summarize import CommunitySummary
+
+        grouped: dict[int, list[StoredLabel]] = {}
+        for row in self.load_day(date):
+            grouped.setdefault(row.community_id, []).append(row)
+        records: list[LabelRecord] = []
+        for community_id in sorted(grouped):
+            rows = grouped[community_id]
+            first = rows[0]
+            rules = [
+                Rule(
+                    src=row.src,
+                    sport=row.sport,
+                    dst=row.dst,
+                    dport=row.dport,
+                    support=row.rule_support,
+                )
+                for row in rows
+                if any(
+                    v is not None
+                    for v in (row.src, row.sport, row.dst, row.dport)
+                )
+            ]
+            degree = (
+                sum(rule.degree for rule in rules) / len(rules) if rules else 0.0
+            )
+            records.append(
+                LabelRecord(
+                    community_id=community_id,
+                    taxonomy=first.taxonomy,
+                    heuristic=HeuristicLabel(
+                        first.heuristic_category, first.heuristic_detail
+                    ),
+                    summary=CommunitySummary(
+                        rules=rules,
+                        rule_degree=degree,
+                        rule_support=0.0,
+                        n_transactions=0,
+                    ),
+                    t0=first.t0,
+                    t1=first.t1,
+                    n_alarms=first.n_alarms,
+                    detectors=first.detectors,
+                )
+            )
+        return records

@@ -1,0 +1,167 @@
+"""Table-1 heuristics: labeling community traffic for evaluation.
+
+The paper evaluates combination strategies without ground truth by
+applying simple heuristics to each community's traffic.  They inspect
+only TCP flags, ICMP and port numbers — properties independent of the
+mechanisms of the four detectors — and assign one of three categories:
+
+=========  =========== ==========================================
+Label      Category    Rule
+=========  =========== ==========================================
+Attack     Sasser      traffic on ports 1023/tcp, 5554/tcp, 9898/tcp
+Attack     RPC         traffic on port 135/tcp
+Attack     SMB         traffic on port 445/tcp
+Attack     Ping        high ICMP traffic
+Attack     Other       > 7 packets and SYN|RST|FIN >= 50 %; or
+                       http/ftp/ssh/dns traffic with SYN >= 30 %
+Attack     NetBIOS     traffic on ports 137/udp or 139/tcp
+Special    Http        ports 80/tcp, 8080/tcp with SYN < 30 %
+Special    dns,ftp,ssh ports 20/21/22/tcp or 53/tcp&udp, SYN < 30 %
+Unknown    Unknown     anything else
+=========  =========== ==========================================
+
+"Traffic on port X" is interpreted as: at least ``port_fraction``
+(default 50 %) of the community's packets use X as source or
+destination port with the right protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.net.packet import FIN, PROTO_ICMP, PROTO_TCP, PROTO_UDP, RST, SYN, Packet
+
+CATEGORY_ATTACK = "attack"
+CATEGORY_SPECIAL = "special"
+CATEGORY_UNKNOWN = "unknown"
+
+_SASSER_PORTS = {1023, 5554, 9898}
+_WELL_KNOWN_SERVICE_PORTS = {80, 8080, 20, 21, 22, 53}
+_SPECIAL_TCP_PORTS = {20, 21, 22, 53}
+_HTTP_PORTS = {80, 8080}
+
+
+@dataclass(frozen=True)
+class HeuristicLabel:
+    """Category + detailed label assigned by the Table-1 heuristics."""
+
+    category: str  # attack / special / unknown
+    detail: str  # Sasser, RPC, SMB, Ping, Other, NetBIOS, Http, Service, Unknown
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.category}:{self.detail}"
+
+
+def _port_fraction(
+    packets: Sequence[Packet], ports: Iterable[int], proto: int
+) -> float:
+    """Fraction of packets on any of ``ports`` with protocol ``proto``."""
+    if not packets:
+        return 0.0
+    port_set = set(ports)
+    hits = sum(
+        1
+        for p in packets
+        if p.proto == proto and (p.sport in port_set or p.dport in port_set)
+    )
+    return hits / len(packets)
+
+
+def _syn_fraction(packets: Sequence[Packet]) -> float:
+    tcp = [p for p in packets if p.proto == PROTO_TCP]
+    if not tcp:
+        return 0.0
+    return sum(1 for p in tcp if p.tcp_flags & SYN) / len(tcp)
+
+
+def _control_fraction(packets: Sequence[Packet]) -> float:
+    tcp = [p for p in packets if p.proto == PROTO_TCP]
+    if not tcp:
+        return 0.0
+    return sum(
+        1 for p in tcp if p.tcp_flags & (SYN | RST | FIN)
+    ) / len(tcp)
+
+
+def _icmp_fraction(packets: Sequence[Packet]) -> float:
+    if not packets:
+        return 0.0
+    return sum(1 for p in packets if p.proto == PROTO_ICMP) / len(packets)
+
+
+def label_packets(
+    packets: Sequence[Packet],
+    port_fraction: float = 0.5,
+    icmp_threshold: float = 0.5,
+    min_icmp_packets: int = 10,
+) -> HeuristicLabel:
+    """Apply the Table-1 heuristics to a set of packets.
+
+    Rules are evaluated top-to-bottom in the table's order; the first
+    match wins.
+    """
+    if not packets:
+        return HeuristicLabel(CATEGORY_UNKNOWN, "Unknown")
+
+    # Attack: Sasser.
+    if _port_fraction(packets, _SASSER_PORTS, PROTO_TCP) >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "Sasser")
+    # Attack: RPC.
+    if _port_fraction(packets, {135}, PROTO_TCP) >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "RPC")
+    # Attack: SMB.
+    if _port_fraction(packets, {445}, PROTO_TCP) >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "SMB")
+    # Attack: Ping (high ICMP traffic).
+    if (
+        len(packets) >= min_icmp_packets
+        and _icmp_fraction(packets) >= icmp_threshold
+    ):
+        return HeuristicLabel(CATEGORY_ATTACK, "Ping")
+
+    syn = _syn_fraction(packets)
+    service_fraction = _port_fraction(
+        packets, _WELL_KNOWN_SERVICE_PORTS, PROTO_TCP
+    ) + _port_fraction(packets, {53}, PROTO_UDP)
+
+    # Attack: other attacks.
+    if len(packets) > 7 and _control_fraction(packets) >= 0.5:
+        return HeuristicLabel(CATEGORY_ATTACK, "Other")
+    if service_fraction >= port_fraction and syn >= 0.3:
+        return HeuristicLabel(CATEGORY_ATTACK, "Other")
+
+    # Attack: NetBIOS.
+    netbios = _port_fraction(packets, {137}, PROTO_UDP) + _port_fraction(
+        packets, {139}, PROTO_TCP
+    )
+    if netbios >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "NetBIOS")
+
+    # Special: Http.
+    if _port_fraction(packets, _HTTP_PORTS, PROTO_TCP) >= port_fraction and syn < 0.3:
+        return HeuristicLabel(CATEGORY_SPECIAL, "Http")
+    # Special: dns, ftp, ssh.
+    special = _port_fraction(packets, _SPECIAL_TCP_PORTS, PROTO_TCP) + _port_fraction(
+        packets, {53}, PROTO_UDP
+    )
+    if special >= port_fraction and syn < 0.3:
+        return HeuristicLabel(CATEGORY_SPECIAL, "Service")
+
+    return HeuristicLabel(CATEGORY_UNKNOWN, "Unknown")
+
+
+def label_community(community, extractor) -> HeuristicLabel:
+    """Label one community via its extracted traffic.
+
+    Parameters
+    ----------
+    community:
+        :class:`~repro.core.community.Community`.
+    extractor:
+        The :class:`~repro.core.extractor.TrafficExtractor` of the
+        estimator run (needed to expand flow keys back to packets).
+    """
+    indices = extractor.packets_of(community.traffic)
+    packets = [extractor.trace[i] for i in indices]
+    return label_packets(packets)

@@ -1,0 +1,58 @@
+"""The MAWILab taxonomy (paper Section 5).
+
+Four labels describe the traffic of the archive:
+
+* **anomalous** — accepted by SCANN: abnormal traffic that any
+  efficient detector should identify;
+* **suspicious** — rejected by SCANN but within relative distance 0.5
+  of the decision boundary: probably anomalous, not clearly identified;
+* **notice** — rejected with relative distance > 0.5: not anomalous,
+  but recorded so every alarm of the combined detectors stays
+  traceable;
+* **benign** — traffic no detector ever reported.
+
+Only the first three apply to communities; *benign* describes the rest
+of the trace and appears in results as the complement.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import Decision
+from repro.errors import LabelingError
+
+TAXONOMY_ANOMALOUS = "anomalous"
+TAXONOMY_SUSPICIOUS = "suspicious"
+TAXONOMY_NOTICE = "notice"
+TAXONOMY_BENIGN = "benign"
+
+#: The relative-distance threshold between suspicious and notice.
+SUSPICIOUS_DISTANCE = 0.5
+
+
+def assign_taxonomy(
+    decision: Decision, suspicious_distance: float = SUSPICIOUS_DISTANCE
+) -> str:
+    """Taxonomy label for one combiner decision.
+
+    For strategies without a relative distance (average/min/max), the
+    distance of rejected communities is approximated from ``mu``:
+    a ``mu`` close to the 0.5 threshold behaves like a small relative
+    distance.  SCANN decisions carry the real metric.
+    """
+    if decision.accepted:
+        return TAXONOMY_ANOMALOUS
+    if decision.relative_distance is not None:
+        distance = decision.relative_distance
+    else:
+        threshold = 0.5
+        if decision.mu > threshold:
+            raise LabelingError(
+                "rejected decision with mu above threshold"
+            )
+        if decision.mu <= 0:
+            distance = float("inf")
+        else:
+            distance = threshold / decision.mu - 1.0
+    if distance <= suspicious_distance:
+        return TAXONOMY_SUSPICIOUS
+    return TAXONOMY_NOTICE

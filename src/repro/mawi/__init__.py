@@ -1,0 +1,50 @@
+"""Synthetic MAWI-like archive.
+
+The paper labels the real MAWI archive: nine years of daily 15-minute
+header-only traces from a trans-Pacific backbone link.  That archive is
+public but cannot be bundled here, so this subpackage generates a
+statistically faithful substitute (see DESIGN.md, "Substitutions"):
+
+* heavy-tailed background traffic over the services the Table-1
+  heuristics know about (HTTP, DNS, FTP, SSH, NetBIOS, ICMP, P2P);
+* a library of anomaly injectors mirroring the anomalies the paper
+  reports (Sasser/Blaster worm scans, SYN floods, ping floods, port
+  scans, DDoS, NetBIOS probes, flash crowds, elephant flows);
+* an event timeline reproducing the archive's history — the Blaster
+  (2003-08) and Sasser (2004-05) outbreaks, the 2006/2007 link
+  upgrades, and the post-2007 growth of random-port peer-to-peer
+  traffic that degrades the heuristics' attack ratio in Fig. 7.
+
+Every generator is seeded; a given (archive seed, date) pair always
+produces the same trace, which makes the benchmarks reproducible.
+"""
+
+from repro.mawi.generator import BackgroundProfile, TrafficGenerator, WorkloadSpec, generate_trace
+from repro.mawi.anomalies import (
+    ANOMALY_INJECTORS,
+    AnomalySpec,
+    GroundTruthEvent,
+    inject_anomaly,
+)
+from repro.mawi.events import EraProfile, archive_timeline, era_for_date
+from repro.mawi.archive import ArchiveDay, SyntheticArchive, first_week_of_months
+from repro.mawi.classifier import annotate_trace, classify_port
+
+__all__ = [
+    "BackgroundProfile",
+    "TrafficGenerator",
+    "WorkloadSpec",
+    "generate_trace",
+    "ANOMALY_INJECTORS",
+    "AnomalySpec",
+    "GroundTruthEvent",
+    "inject_anomaly",
+    "EraProfile",
+    "archive_timeline",
+    "era_for_date",
+    "ArchiveDay",
+    "SyntheticArchive",
+    "first_week_of_months",
+    "annotate_trace",
+    "classify_port",
+]

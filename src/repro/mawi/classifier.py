@@ -1,0 +1,99 @@
+"""A simple port-based traffic classifier producing annotations.
+
+Paper Section 6: "by adding in the method input the annotations from a
+traffic classifier, the similarity estimator aggregates similar alarms
+and corresponding annotations in the same community".  This module
+provides the classifier half of that workflow: it classifies the
+trace's busiest flows by well-known ports and emits
+:class:`~repro.core.annotations.Annotation` records for them.
+
+The classifier is deliberately simple (the paper's point is the
+*plumbing*, not the classifier itself): five application classes by
+destination port, annotated per heavy unidirectional flow.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.annotations import Annotation
+from repro.net.filters import FeatureFilter
+from repro.net.flow import Granularity
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from repro.net.trace import Trace
+
+#: Application classes by (proto, port).
+PORT_CLASSES = {
+    (PROTO_TCP, 80): "web",
+    (PROTO_TCP, 8080): "web",
+    (PROTO_TCP, 443): "web",
+    (PROTO_UDP, 53): "dns",
+    (PROTO_TCP, 53): "dns",
+    (PROTO_TCP, 25): "mail",
+    (PROTO_TCP, 22): "interactive",
+    (PROTO_TCP, 20): "bulk",
+    (PROTO_TCP, 21): "bulk",
+}
+
+
+def classify_port(proto: int, sport: int, dport: int) -> str:
+    """Application class of a flow by its ports."""
+    if proto == PROTO_ICMP:
+        return "icmp"
+    for port in (dport, sport):
+        label = PORT_CLASSES.get((proto, port))
+        if label is not None:
+            return label
+    if sport >= 1024 and dport >= 1024:
+        return "p2p"
+    return "other"
+
+
+def annotate_trace(
+    trace: Trace,
+    min_packets: int = 20,
+    classes: Sequence[str] = ("web", "dns", "p2p", "icmp"),
+    source: str = "portclassifier",
+) -> list[Annotation]:
+    """Annotations for the trace's heavy flows.
+
+    Parameters
+    ----------
+    trace:
+        The trace to classify.
+    min_packets:
+        Only flows with at least this many packets are annotated
+        (annotating every mouse flow would flood the graph).
+    classes:
+        Application classes to report.
+    source:
+        Annotation source name (becomes the pseudo-config suffix).
+    """
+    annotations: list[Annotation] = []
+    wanted = set(classes)
+    for key, flow in trace.flows(Granularity.UNIFLOW).items():
+        if flow.packets < min_packets:
+            continue
+        label = classify_port(key.proto, key.sport, key.dport)
+        if label not in wanted:
+            continue
+        annotations.append(
+            Annotation(
+                tag=label,
+                t0=flow.first_time,
+                t1=flow.last_time + 1e-6,
+                filters=(
+                    FeatureFilter(
+                        src=key.src,
+                        sport=key.sport,
+                        dst=key.dst,
+                        dport=key.dport,
+                        proto=key.proto,
+                        t0=flow.first_time,
+                        t1=flow.last_time + 1e-6,
+                    ),
+                ),
+                source=f"{source}:{label}",
+            )
+        )
+    return annotations

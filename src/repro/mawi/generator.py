@@ -1,0 +1,306 @@
+"""Background traffic generation.
+
+The background model is deliberately simple but covers what the four
+detectors and the Table-1 heuristics actually measure:
+
+* flow inter-arrivals are Poisson;
+* flow sizes (packets per flow) are Pareto-distributed (heavy tail),
+  matching the well-documented heavy-tailed nature of Internet flows;
+* services are drawn from a configurable mixture (HTTP dominates, with
+  DNS, SSH, FTP, SMTP, NetBIOS background noise, ICMP echo, and — in
+  later archive eras — random-port P2P);
+* TCP flows carry realistic flag sequences: a SYN handshake, ACK/PSH
+  data packets and a FIN, in both directions (so biflow aggregation has
+  something to merge);
+* packet sizes are drawn per-service (small for DNS/ACKs, MTU-sized for
+  bulk transfer).
+
+Hosts live in a handful of /16 networks per side of the link; detectors
+that hash on addresses therefore see realistic collision structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.net.addresses import random_host_in
+from repro.net.packet import (
+    ACK,
+    FIN,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    PSH,
+    SYN,
+    Packet,
+)
+from repro.net.trace import Trace, TraceMetadata
+
+# Networks on the two sides of the simulated trans-Pacific link.
+JP_NETWORKS = [(0xCB000000, 16), (0xCB010000, 16), (0x85000000, 16)]  # 203.x, 133.x
+US_NETWORKS = [(0x40000000, 16), (0x40010000, 16), (0xD0000000, 16)]  # 64.x, 208.x
+
+
+@dataclass(frozen=True)
+class Service:
+    """One background service in the traffic mixture."""
+
+    name: str
+    proto: int
+    port: int
+    weight: float
+    mean_pkt_size: int = 600
+    # Pareto shape for packets-per-flow; smaller = heavier tail.
+    pareto_shape: float = 1.5
+    min_packets: int = 2
+
+
+DEFAULT_SERVICES = [
+    # TCP services get min_packets >= 5 so a normal flow's handshake
+    # and teardown never dominate its flag statistics — real web flows
+    # are not SYN-heavy, and the Table-1 heuristics rely on that.
+    Service("http", PROTO_TCP, 80, 0.42, mean_pkt_size=900, pareto_shape=1.3, min_packets=6),
+    Service("http-alt", PROTO_TCP, 8080, 0.04, mean_pkt_size=900, pareto_shape=1.3, min_packets=6),
+    Service("dns-udp", PROTO_UDP, 53, 0.16, mean_pkt_size=120, pareto_shape=2.5, min_packets=1),
+    Service("dns-tcp", PROTO_TCP, 53, 0.02, mean_pkt_size=200, pareto_shape=2.5, min_packets=5),
+    Service("ssh", PROTO_TCP, 22, 0.06, mean_pkt_size=400, pareto_shape=1.6, min_packets=6),
+    Service("ftp", PROTO_TCP, 21, 0.03, mean_pkt_size=500, pareto_shape=1.4, min_packets=5),
+    Service("ftp-data", PROTO_TCP, 20, 0.02, mean_pkt_size=1200, pareto_shape=1.2, min_packets=6),
+    Service("smtp", PROTO_TCP, 25, 0.05, mean_pkt_size=700, pareto_shape=1.6, min_packets=5),
+    Service("ntp", PROTO_UDP, 123, 0.03, mean_pkt_size=90, pareto_shape=3.0, min_packets=1),
+    Service("icmp-echo", PROTO_ICMP, 0, 0.03, mean_pkt_size=84, pareto_shape=2.5, min_packets=2),
+    Service("p2p", PROTO_TCP, -1, 0.14, mean_pkt_size=1000, pareto_shape=1.2, min_packets=6),
+]
+
+
+@dataclass(frozen=True)
+class BackgroundProfile:
+    """Tunable knobs of the background mixture.
+
+    ``p2p_weight`` overrides the weight of the random-port P2P service;
+    the archive timeline raises it after 2007 to reproduce the
+    elephant-flow mislabeling the paper discusses for Fig. 7.
+    """
+
+    flow_rate: float = 40.0  # new flows per second
+    p2p_weight: Optional[float] = None
+    n_hosts_per_network: int = 200
+    n_servers_per_service: int = 8
+
+    def services(self) -> list[Service]:
+        """The service mixture with profile overrides applied."""
+        services = list(DEFAULT_SERVICES)
+        if self.p2p_weight is not None:
+            services = [
+                replace(s, weight=self.p2p_weight) if s.name == "p2p" else s
+                for s in services
+            ]
+        return services
+
+
+@dataclass
+class WorkloadSpec:
+    """Complete specification of one generated trace.
+
+    Attributes
+    ----------
+    seed:
+        RNG seed; identical specs produce identical traces.
+    duration:
+        Trace duration in seconds.  The real archive uses 900 s; tests
+        and benchmarks default to a shorter window for speed — the
+        pipeline is duration-agnostic.
+    background:
+        Background mixture profile.
+    anomalies:
+        Anomaly specs to inject (see ``repro.mawi.anomalies``).  Each
+        entry is an :class:`~repro.mawi.anomalies.AnomalySpec`.
+    name / date / link_mbps:
+        Trace metadata.
+    """
+
+    seed: int = 0
+    duration: float = 60.0
+    background: BackgroundProfile = field(default_factory=BackgroundProfile)
+    anomalies: list = field(default_factory=list)
+    name: str = "synthetic"
+    date: str = "2009-01-01"
+    link_mbps: float = 150.0
+
+
+class TrafficGenerator:
+    """Generates background traffic for a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+        profile = spec.background
+        self._services = profile.services()
+        weights = np.array([s.weight for s in self._services], dtype=float)
+        self._service_probs = weights / weights.sum()
+        self._jp_hosts = self._draw_hosts(JP_NETWORKS, profile.n_hosts_per_network)
+        self._us_hosts = self._draw_hosts(US_NETWORKS, profile.n_hosts_per_network)
+        self._servers = {
+            s.name: [
+                self._pick_host(self.rng.random() < 0.5)
+                for _ in range(profile.n_servers_per_service)
+            ]
+            for s in self._services
+        }
+
+    def _draw_hosts(self, networks, count: int) -> list[int]:
+        hosts: set[int] = set()
+        while len(hosts) < count * len(networks):
+            prefix, plen = networks[int(self.rng.integers(0, len(networks)))]
+            hosts.add(random_host_in(prefix, plen, self.rng))
+        return sorted(hosts)
+
+    def _pick_host(self, japanese: bool) -> int:
+        pool = self._jp_hosts if japanese else self._us_hosts
+        return pool[int(self.rng.integers(0, len(pool)))]
+
+    def _flow_size(self, service: Service) -> int:
+        size = int(self.rng.pareto(service.pareto_shape)) + service.min_packets
+        return min(size, 400)  # cap so no single background flow dwarfs the trace
+
+    def _packet_size(self, service: Service) -> int:
+        jitter = self.rng.normal(0, service.mean_pkt_size * 0.2)
+        return int(np.clip(service.mean_pkt_size + jitter, 40, 1500))
+
+    def generate_packets(self) -> list[Packet]:
+        """Generate the background packets (unsorted)."""
+        spec = self.spec
+        rng = self.rng
+        n_flows = rng.poisson(spec.background.flow_rate * spec.duration)
+        packets: list[Packet] = []
+        service_idx = rng.choice(len(self._services), size=n_flows, p=self._service_probs)
+        starts = rng.uniform(0.0, spec.duration, size=n_flows)
+        for k in range(n_flows):
+            service = self._services[int(service_idx[k])]
+            packets.extend(self._one_flow(service, float(starts[k])))
+        return packets
+
+    def _one_flow(self, service: Service, start: float) -> list[Packet]:
+        rng = self.rng
+        client_jp = bool(rng.random() < 0.5)
+        client = self._pick_host(client_jp)
+        if service.port == -1:  # random-port P2P between two peers
+            server = self._pick_host(not client_jp)
+            dport = int(rng.integers(1024, 65536))
+        else:
+            servers = self._servers[service.name]
+            server = servers[int(rng.integers(0, len(servers)))]
+            dport = service.port
+        sport = int(rng.integers(1024, 65536))
+        n_packets = self._flow_size(service)
+        mean_gap = max(0.005, min(2.0, self.spec.duration / (4 * n_packets)))
+        gaps = rng.exponential(mean_gap, size=max(n_packets - 1, 0))
+        times = start + np.concatenate(([0.0], np.cumsum(gaps)))
+        times = np.clip(times, 0.0, self.spec.duration)
+        if service.proto == PROTO_TCP:
+            return self._tcp_flow(client, sport, server, dport, times, service)
+        if service.proto == PROTO_UDP:
+            return self._udp_flow(client, sport, server, dport, times, service)
+        return self._icmp_flow(client, server, times, service)
+
+    def _tcp_flow(self, client, sport, server, dport, times, service) -> list[Packet]:
+        rng = self.rng
+        packets: list[Packet] = []
+        for i, t in enumerate(times):
+            if i == 0:
+                flags, src, dst, sp, dp = SYN, client, server, sport, dport
+                size = 48
+            elif i == 1 and len(times) > 2:
+                flags, src, dst, sp, dp = SYN | ACK, server, client, dport, sport
+                size = 48
+            elif i == len(times) - 1 and len(times) > 3:
+                flags = FIN | ACK
+                forward = rng.random() < 0.5
+                src, dst = (client, server) if forward else (server, client)
+                sp, dp = (sport, dport) if forward else (dport, sport)
+                size = 52
+            else:
+                flags = ACK | (PSH if rng.random() < 0.6 else 0)
+                forward = rng.random() < 0.55
+                src, dst = (client, server) if forward else (server, client)
+                sp, dp = (sport, dport) if forward else (dport, sport)
+                size = self._packet_size(service)
+            packets.append(
+                Packet(
+                    time=float(t), src=src, dst=dst, sport=sp, dport=dp,
+                    proto=PROTO_TCP, size=size, tcp_flags=flags,
+                )
+            )
+        return packets
+
+    def _udp_flow(self, client, sport, server, dport, times, service) -> list[Packet]:
+        rng = self.rng
+        packets: list[Packet] = []
+        for t in times:
+            forward = rng.random() < 0.5
+            src, dst = (client, server) if forward else (server, client)
+            sp, dp = (sport, dport) if forward else (dport, sport)
+            packets.append(
+                Packet(
+                    time=float(t), src=src, dst=dst, sport=sp, dport=dp,
+                    proto=PROTO_UDP, size=self._packet_size(service),
+                )
+            )
+        return packets
+
+    def _icmp_flow(self, client, server, times, service) -> list[Packet]:
+        packets: list[Packet] = []
+        for i, t in enumerate(times):
+            request = i % 2 == 0
+            packets.append(
+                Packet(
+                    time=float(t),
+                    src=client if request else server,
+                    dst=server if request else client,
+                    proto=PROTO_ICMP,
+                    size=self._packet_size(service),
+                    icmp_type=ICMP_ECHO_REQUEST if request else ICMP_ECHO_REPLY,
+                )
+            )
+        return packets
+
+    # Helpers exposed for the anomaly injectors -----------------------
+
+    def pick_victim(self) -> int:
+        """A host to target with injected anomalies."""
+        return self._pick_host(self.rng.random() < 0.5)
+
+    def pick_attacker(self) -> int:
+        return self._pick_host(self.rng.random() < 0.5)
+
+
+def generate_trace(spec: WorkloadSpec):
+    """Generate a full trace: background plus the spec's anomalies.
+
+    Returns
+    -------
+    (trace, events):
+        ``trace`` is a time-sorted :class:`~repro.net.trace.Trace`;
+        ``events`` is the list of
+        :class:`~repro.mawi.anomalies.GroundTruthEvent` describing the
+        injected anomalies (kept outside the trace — the pipeline never
+        sees them).
+    """
+    from repro.mawi.anomalies import inject_anomaly
+
+    generator = TrafficGenerator(spec)
+    packets = generator.generate_packets()
+    events = []
+    for anomaly in spec.anomalies:
+        extra, event = inject_anomaly(anomaly, generator)
+        packets.extend(extra)
+        events.append(event)
+    metadata = TraceMetadata(
+        name=spec.name, date=spec.date, link_mbps=spec.link_mbps
+    )
+    return Trace(packets, metadata), events

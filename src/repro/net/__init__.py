@@ -1,0 +1,81 @@
+"""Network substrate: packets, flows, traces and pcap I/O.
+
+This subpackage provides the minimal — but complete — network data model
+the MAWILab pipeline operates on.  MAWI traces are header-only (payload
+stripped, addresses anonymized), so a packet here is a 5-tuple plus
+timestamp, size, TCP flags and ICMP type.
+
+The flow abstractions mirror the three traffic granularities evaluated in
+the paper (Section 2.1.1): individual packets, unidirectional flows and
+bidirectional flows.
+"""
+
+from repro.net.addresses import (
+    PrefixPreservingAnonymizer,
+    ip_to_int,
+    ip_to_str,
+    is_private,
+    random_host_in,
+)
+from repro.net.packet import (
+    FIN,
+    SYN,
+    RST,
+    PSH,
+    ACK,
+    URG,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    flag_names,
+)
+from repro.net.flow import (
+    Flow,
+    FlowKey,
+    Granularity,
+    aggregate_flows,
+    biflow_key,
+    uniflow_key,
+)
+from repro.net.trace import Trace, TraceMetadata, merge_traces
+from repro.net.pcap import read_pcap, write_pcap
+from repro.net.stats import TraceStats, compute_stats
+from repro.net.filters import (
+    FeatureFilter,
+    match_packet,
+)
+
+__all__ = [
+    "PrefixPreservingAnonymizer",
+    "ip_to_int",
+    "ip_to_str",
+    "is_private",
+    "random_host_in",
+    "FIN",
+    "SYN",
+    "RST",
+    "PSH",
+    "ACK",
+    "URG",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "flag_names",
+    "Flow",
+    "FlowKey",
+    "Granularity",
+    "aggregate_flows",
+    "biflow_key",
+    "uniflow_key",
+    "Trace",
+    "TraceMetadata",
+    "merge_traces",
+    "read_pcap",
+    "write_pcap",
+    "TraceStats",
+    "compute_stats",
+    "FeatureFilter",
+    "match_packet",
+]

@@ -1,0 +1,87 @@
+"""Feature filters: the predicate language alarms are expressed in.
+
+An alarm (paper Section 2.1) is "a set of traffic features that
+designates a particular traffic".  :class:`FeatureFilter` is that set:
+any combination of source/destination address, ports, protocol and a
+time interval, each optional.  A filter with every field ``None``
+matches everything — detectors never emit such alarms, and the
+similarity estimator treats the time interval as mandatory.
+
+Filters compose the heterogeneous granularities of the four detectors:
+
+* PCA reports ``FeatureFilter(src=...)``;
+* Gamma reports ``FeatureFilter(src=...)`` or ``FeatureFilter(dst=...)``;
+* Hough reports explicit flow-key sets (see ``repro.detectors.base``);
+* KL reports partial 4-tuples, i.e. any subset of the fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class FeatureFilter:
+    """A partial match over packet header fields and time.
+
+    ``None`` fields are wildcards.  ``t0``/``t1`` bound the half-open
+    interval ``[t0, t1)``; both default to unbounded.
+    """
+
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    sport: Optional[int] = None
+    dport: Optional[int] = None
+    proto: Optional[int] = None
+    t0: Optional[float] = None
+    t1: Optional[float] = None
+
+    def matches(self, packet: Packet) -> bool:
+        """True if the packet satisfies every non-wildcard field."""
+        if self.t0 is not None and packet.time < self.t0:
+            return False
+        if self.t1 is not None and packet.time >= self.t1:
+            return False
+        if self.src is not None and packet.src != self.src:
+            return False
+        if self.dst is not None and packet.dst != self.dst:
+            return False
+        if self.sport is not None and packet.sport != self.sport:
+            return False
+        if self.dport is not None and packet.dport != self.dport:
+            return False
+        if self.proto is not None and packet.proto != self.proto:
+            return False
+        return True
+
+    @property
+    def degree(self) -> int:
+        """Number of non-wildcard *feature* fields (time excluded).
+
+        Mirrors the paper's "rule degree": a fully specified 4-tuple has
+        degree 4.  The protocol field does not count toward the degree,
+        matching the 4-tuple rules of Section 4.1.1.
+        """
+        return sum(
+            1
+            for value in (self.src, self.sport, self.dst, self.dport)
+            if value is not None
+        )
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``<1.2.3.4, 80, *, *>``."""
+        from repro.net.addresses import ip_to_str
+
+        src = ip_to_str(self.src) if self.src is not None else "*"
+        dst = ip_to_str(self.dst) if self.dst is not None else "*"
+        sport = str(self.sport) if self.sport is not None else "*"
+        dport = str(self.dport) if self.dport is not None else "*"
+        return f"<{src}, {sport}, {dst}, {dport}>"
+
+
+def match_packet(filters: list[FeatureFilter], packet: Packet) -> bool:
+    """True if any filter in the list matches the packet."""
+    return any(f.matches(packet) for f in filters)

@@ -1,0 +1,140 @@
+"""The packet model.
+
+A :class:`Packet` is the atom of every MAWI trace: a timestamped IP
+header summary.  Payloads are never represented — the MAWI archive
+strips them, and every algorithm in the paper (detectors, similarity
+estimator, heuristics) operates on header fields only.
+
+TCP flag constants use the standard bit layout of the TCP header's
+13th octet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# IP protocol numbers (IANA).
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# TCP flags, standard bit positions.
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+
+_FLAG_NAMES = [
+    (FIN, "FIN"),
+    (SYN, "SYN"),
+    (RST, "RST"),
+    (PSH, "PSH"),
+    (ACK, "ACK"),
+    (URG, "URG"),
+]
+
+# ICMP types used by the generator and the heuristics.
+ICMP_ECHO_REPLY = 0
+ICMP_UNREACHABLE = 3
+ICMP_ECHO_REQUEST = 8
+ICMP_TIME_EXCEEDED = 11
+
+
+def flag_names(flags: int) -> str:
+    """Render a TCP flag byte as e.g. ``"SYN|ACK"`` (``"-"`` if empty).
+
+    >>> flag_names(SYN | ACK)
+    'SYN|ACK'
+    >>> flag_names(0)
+    '-'
+    """
+    names = [name for bit, name in _FLAG_NAMES if flags & bit]
+    return "|".join(names) if names else "-"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One captured packet header.
+
+    Attributes
+    ----------
+    time:
+        Capture timestamp in seconds (float, trace-relative or epoch).
+    src, dst:
+        Source / destination IPv4 addresses as 32-bit integers.
+    sport, dport:
+        Transport ports; by convention 0 for ICMP (the ICMP type is
+        carried in :attr:`icmp_type`).
+    proto:
+        IP protocol number (1=ICMP, 6=TCP, 17=UDP).
+    size:
+        IP datagram length in bytes.
+    tcp_flags:
+        TCP flag byte; 0 for non-TCP packets.
+    icmp_type:
+        ICMP type; 0 for non-ICMP packets (echo reply never appears
+        alone in the synthetic workloads, so the ambiguity is benign).
+    """
+
+    time: float
+    src: int
+    dst: int
+    sport: int = 0
+    dport: int = 0
+    proto: int = PROTO_TCP
+    size: int = 64
+    tcp_flags: int = 0
+    icmp_type: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.proto not in (PROTO_ICMP, PROTO_TCP, PROTO_UDP):
+            raise ValueError(f"unsupported protocol {self.proto}")
+        if not (0 <= self.sport <= 0xFFFF and 0 <= self.dport <= 0xFFFF):
+            raise ValueError("port out of range")
+        if self.size <= 0:
+            raise ValueError("packet size must be positive")
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.proto == PROTO_TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.proto == PROTO_UDP
+
+    @property
+    def is_icmp(self) -> bool:
+        return self.proto == PROTO_ICMP
+
+    def has_flags(self, flags: int) -> bool:
+        """True if *all* bits in ``flags`` are set on this packet."""
+        return self.is_tcp and (self.tcp_flags & flags) == flags
+
+    def reversed(self) -> "Packet":
+        """The same packet with endpoints swapped (for biflow tests)."""
+        return Packet(
+            time=self.time,
+            src=self.dst,
+            dst=self.src,
+            sport=self.dport,
+            dport=self.sport,
+            proto=self.proto,
+            size=self.size,
+            tcp_flags=self.tcp_flags,
+            icmp_type=self.icmp_type,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        from repro.net.addresses import ip_to_str
+
+        proto = {PROTO_ICMP: "icmp", PROTO_TCP: "tcp", PROTO_UDP: "udp"}[
+            self.proto
+        ]
+        return (
+            f"{self.time:.6f} {proto} "
+            f"{ip_to_str(self.src)}:{self.sport} > "
+            f"{ip_to_str(self.dst)}:{self.dport} "
+            f"len={self.size} flags={flag_names(self.tcp_flags)}"
+        )

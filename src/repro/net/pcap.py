@@ -1,0 +1,213 @@
+"""Minimal pcap reader / writer.
+
+The MAWI archive distributes classic libpcap files.  This module
+implements the subset needed offline: the classic (non-ng) pcap
+container with Ethernet (DLT_EN10MB) or raw-IP (DLT_RAW) link types,
+IPv4, and TCP/UDP/ICMP transport headers.  Packets the parser cannot
+interpret (non-IPv4, truncated captures) are skipped and counted, which
+matches how header-only MAWI traces are typically consumed.
+
+Only header fields used by the pipeline are decoded; payload bytes are
+never retained.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Union
+
+from repro.errors import PcapError
+from repro.net.packet import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+)
+from repro.net.trace import Trace, TraceMetadata
+
+_MAGIC_LE = 0xA1B2C3D4
+_MAGIC_BE = 0xD4C3B2A1
+_DLT_EN10MB = 1
+_DLT_RAW = 101
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass
+class PcapStats:
+    """Counters describing a parse run."""
+
+    packets: int = 0
+    skipped: int = 0
+
+
+def _parse_ipv4(data: bytes, time: float) -> Union[Packet, None]:
+    """Decode one IPv4 datagram into a :class:`Packet`, or None."""
+    if len(data) < 20:
+        return None
+    version_ihl = data[0]
+    if version_ihl >> 4 != 4:
+        return None
+    ihl = (version_ihl & 0x0F) * 4
+    if ihl < 20 or len(data) < ihl:
+        return None
+    total_len = struct.unpack_from(">H", data, 2)[0]
+    proto = data[9]
+    src, dst = struct.unpack_from(">II", data, 12)
+    sport = dport = 0
+    tcp_flags = 0
+    icmp_type = 0
+    transport = data[ihl:]
+    if proto == PROTO_TCP:
+        if len(transport) < 14:
+            return None
+        sport, dport = struct.unpack_from(">HH", transport, 0)
+        tcp_flags = transport[13] & 0x3F
+    elif proto == PROTO_UDP:
+        if len(transport) < 4:
+            return None
+        sport, dport = struct.unpack_from(">HH", transport, 0)
+    elif proto == PROTO_ICMP:
+        if len(transport) < 1:
+            return None
+        icmp_type = transport[0]
+    else:
+        return None
+    return Packet(
+        time=time,
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        proto=proto,
+        size=max(total_len, 20),
+        tcp_flags=tcp_flags,
+        icmp_type=icmp_type,
+    )
+
+
+def read_pcap(path_or_file: Union[str, BinaryIO], name: str = "") -> Trace:
+    """Read a classic pcap file into a :class:`Trace`.
+
+    Parameters
+    ----------
+    path_or_file:
+        Filesystem path or an open binary file object.
+    name:
+        Optional trace name for the metadata; defaults to the path.
+
+    Raises
+    ------
+    PcapError
+        If the global header is malformed or the link type unsupported.
+    """
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "rb") as handle:
+            return read_pcap(handle, name=name or path_or_file)
+    fh = path_or_file
+    header = fh.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic = struct.unpack("<I", header[:4])[0]
+    if magic == _MAGIC_LE:
+        endian = "<"
+    elif magic == _MAGIC_BE:
+        endian = ">"
+    else:
+        raise PcapError(f"bad pcap magic {magic:#x}")
+    fields = struct.unpack(endian + "IHHiIII", header)
+    linktype = fields[6]
+    if linktype not in (_DLT_EN10MB, _DLT_RAW):
+        raise PcapError(f"unsupported link type {linktype}")
+    record = struct.Struct(endian + "IIII")
+    packets: list[Packet] = []
+    while True:
+        rec = fh.read(record.size)
+        if not rec:
+            break
+        if len(rec) < record.size:
+            raise PcapError("truncated pcap record header")
+        ts_sec, ts_usec, caplen, _wirelen = record.unpack(rec)
+        data = fh.read(caplen)
+        if len(data) < caplen:
+            raise PcapError("truncated pcap record body")
+        if linktype == _DLT_EN10MB:
+            if len(data) < 14:
+                continue
+            ethertype = struct.unpack_from(">H", data, 12)[0]
+            if ethertype != 0x0800:
+                continue
+            data = data[14:]
+        packet = _parse_ipv4(data, ts_sec + ts_usec / 1e6)
+        if packet is not None:
+            packets.append(packet)
+    return Trace(packets, TraceMetadata(name=name or "pcap"))
+
+
+def _ipv4_bytes(packet: Packet) -> bytes:
+    """Serialize a packet as a header-only IPv4 datagram."""
+    transport: bytes
+    if packet.proto == PROTO_TCP:
+        transport = struct.pack(
+            ">HHIIBBHHH",
+            packet.sport,
+            packet.dport,
+            0,  # seq
+            0,  # ack
+            5 << 4,  # data offset
+            packet.tcp_flags,
+            8192,  # window
+            0,  # checksum (unset; readers in this package ignore it)
+            0,  # urgent
+        )
+    elif packet.proto == PROTO_UDP:
+        transport = struct.pack(">HHHH", packet.sport, packet.dport, 8, 0)
+    else:
+        transport = struct.pack(">BBHI", packet.icmp_type, 0, 0, 0)
+    total_len = 20 + len(transport)
+    header = struct.pack(
+        ">BBHHHBBHII",
+        0x45,
+        0,
+        max(packet.size, total_len),
+        0,
+        0,
+        64,
+        packet.proto,
+        0,  # checksum left zero — readers here ignore it
+        packet.src,
+        packet.dst,
+    )
+    return header + transport
+
+
+def write_pcap(trace: Trace, path_or_file: Union[str, BinaryIO]) -> PcapStats:
+    """Write a trace as a classic little-endian raw-IP pcap file.
+
+    Captured lengths equal the serialized header length; wire lengths
+    reflect the packet's declared :attr:`Packet.size`, so byte-volume
+    statistics survive a round trip.
+    """
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "wb") as handle:
+            return write_pcap(trace, handle)
+    fh = path_or_file
+    fh.write(
+        _GLOBAL_HEADER.pack(_MAGIC_LE, 2, 4, 0, 0, 65535, _DLT_RAW)
+    )
+    stats = PcapStats()
+    for packet in trace:
+        data = _ipv4_bytes(packet)
+        ts_sec = int(packet.time)
+        ts_usec = int(round((packet.time - ts_sec) * 1e6))
+        if ts_usec >= 1_000_000:
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        fh.write(
+            _RECORD_HEADER.pack(ts_sec, ts_usec, len(data), max(packet.size, len(data)))
+        )
+        fh.write(data)
+        stats.packets += 1
+    return stats

@@ -1,0 +1,137 @@
+"""Trace statistics: rates, entropies, heavy hitters, flag profiles.
+
+Descriptive statistics shared by the examples, the CLI's ``inspect``
+command and the documentation.  Everything here is read-only over a
+:class:`~repro.net.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.flow import Granularity
+from repro.net.packet import (
+    FIN,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    RST,
+    SYN,
+)
+from repro.net.trace import Trace
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of one trace."""
+
+    n_packets: int = 0
+    n_bytes: int = 0
+    duration: float = 0.0
+    packet_rate: float = 0.0
+    bit_rate: float = 0.0
+    n_uniflows: int = 0
+    n_biflows: int = 0
+    n_src_hosts: int = 0
+    n_dst_hosts: int = 0
+    proto_fractions: dict = field(default_factory=dict)
+    syn_fraction: float = 0.0
+    control_fraction: float = 0.0
+    entropy: dict = field(default_factory=dict)
+    top_dports: list = field(default_factory=list)
+    top_talkers: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering."""
+        from repro.net.addresses import ip_to_str
+
+        lines = [
+            f"packets      {self.n_packets}  ({self.packet_rate:.0f}/s)",
+            f"bytes        {self.n_bytes}  ({self.bit_rate / 1e6:.2f} Mbps)",
+            f"duration     {self.duration:.1f}s",
+            f"flows        {self.n_uniflows} uni / {self.n_biflows} bi",
+            f"hosts        {self.n_src_hosts} src / {self.n_dst_hosts} dst",
+            "protocols    "
+            + "  ".join(
+                f"{name}={fraction:.0%}"
+                for name, fraction in self.proto_fractions.items()
+            ),
+            f"tcp flags    syn={self.syn_fraction:.0%} "
+            f"ctl={self.control_fraction:.0%}",
+            "entropy      "
+            + "  ".join(
+                f"{name}={value:.2f}" for name, value in self.entropy.items()
+            ),
+            "top dports   "
+            + "  ".join(f"{port}({count})" for port, count in self.top_dports),
+            "top talkers  "
+            + "  ".join(
+                f"{ip_to_str(host)}({count})"
+                for host, count in self.top_talkers
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def _entropy(counts: Counter) -> float:
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    p = np.array(list(counts.values()), dtype=float) / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def compute_stats(trace: Trace, top: int = 5) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace."""
+    stats = TraceStats()
+    stats.n_packets = len(trace)
+    if not len(trace):
+        return stats
+    stats.n_bytes = trace.total_bytes
+    stats.duration = trace.duration
+    if stats.duration > 0:
+        stats.packet_rate = stats.n_packets / stats.duration
+        stats.bit_rate = stats.n_bytes * 8 / stats.duration
+    stats.n_uniflows = len(trace.flows(Granularity.UNIFLOW))
+    stats.n_biflows = len(trace.flows(Granularity.BIFLOW))
+
+    protos: Counter = Counter()
+    srcs: Counter = Counter()
+    dsts: Counter = Counter()
+    sports: Counter = Counter()
+    dports: Counter = Counter()
+    tcp = syn = control = 0
+    for packet in trace:
+        protos[packet.proto] += 1
+        srcs[packet.src] += 1
+        dsts[packet.dst] += 1
+        sports[packet.sport] += 1
+        dports[packet.dport] += 1
+        if packet.is_tcp:
+            tcp += 1
+            if packet.tcp_flags & SYN:
+                syn += 1
+            if packet.tcp_flags & (SYN | RST | FIN):
+                control += 1
+    stats.n_src_hosts = len(srcs)
+    stats.n_dst_hosts = len(dsts)
+    names = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+    stats.proto_fractions = {
+        names[proto]: count / stats.n_packets
+        for proto, count in sorted(protos.items())
+    }
+    if tcp:
+        stats.syn_fraction = syn / tcp
+        stats.control_fraction = control / tcp
+    stats.entropy = {
+        "src": _entropy(srcs),
+        "dst": _entropy(dsts),
+        "sport": _entropy(sports),
+        "dport": _entropy(dports),
+    }
+    stats.top_dports = dports.most_common(top)
+    stats.top_talkers = srcs.most_common(top)
+    return stats

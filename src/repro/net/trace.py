@@ -1,0 +1,166 @@
+"""Trace container.
+
+A :class:`Trace` is an ordered, timestamp-sorted collection of packets
+with metadata describing its origin — in the MAWI archive, the capture
+date and samplepoint.  Traces are immutable after construction, which
+lets the pipeline cache flow aggregations per (trace, granularity).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.net.flow import Flow, FlowKey, Granularity, aggregate_flows
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceMetadata:
+    """Provenance of a trace.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"2004-05-03"``.
+    samplepoint:
+        MAWI samplepoint ("B" or "F" in the paper).
+    link_mbps:
+        Nominal capacity of the measured link; the archive timeline
+        upgrades it (18 -> 100 -> 150 Mbps).
+    date:
+        ISO date string, used by the archive for ordering.
+    """
+
+    name: str = "trace"
+    samplepoint: str = "F"
+    link_mbps: float = 100.0
+    date: str = ""
+
+
+class Trace:
+    """An immutable, time-sorted packet trace.
+
+    Parameters
+    ----------
+    packets:
+        Packets in any order; they are sorted by timestamp on
+        construction (stably, so simultaneous packets keep their
+        generation order).
+    metadata:
+        Optional :class:`TraceMetadata`.
+    """
+
+    def __init__(
+        self,
+        packets: Sequence[Packet],
+        metadata: Optional[TraceMetadata] = None,
+    ) -> None:
+        self._packets: tuple[Packet, ...] = tuple(
+            sorted(packets, key=lambda p: p.time)
+        )
+        self.metadata = metadata or TraceMetadata()
+        self._times: list[float] = [p.time for p in self._packets]
+        self._flow_cache: dict[Granularity, dict[FlowKey, Flow]] = {}
+
+    # -- basic container protocol ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __getitem__(self, index: int) -> Packet:
+        return self._packets[index]
+
+    @property
+    def packets(self) -> tuple[Packet, ...]:
+        """The packets, sorted by time."""
+        return self._packets
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds (0 for empty traces)."""
+        if not self._packets:
+            return 0.0
+        return self._times[-1] - self._times[0]
+
+    @property
+    def start_time(self) -> float:
+        if not self._packets:
+            raise TraceError("empty trace has no start time")
+        return self._times[0]
+
+    @property
+    def end_time(self) -> float:
+        if not self._packets:
+            raise TraceError("empty trace has no end time")
+        return self._times[-1]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(p.size for p in self._packets)
+
+    # -- slicing and filtering ----------------------------------------
+
+    def time_slice(self, t0: float, t1: float) -> range:
+        """Indices of packets with ``t0 <= time < t1``.
+
+        Returned as a ``range`` so callers can use it either to index
+        packets or as a set of packet ids without materializing a list.
+        """
+        if t1 < t0:
+            raise TraceError(f"empty interval [{t0}, {t1})")
+        lo = bisect.bisect_left(self._times, t0)
+        hi = bisect.bisect_left(self._times, t1)
+        return range(lo, hi)
+
+    def select(self, predicate: Callable[[Packet], bool]) -> list[int]:
+        """Indices of packets satisfying ``predicate``."""
+        return [i for i, p in enumerate(self._packets) if predicate(p)]
+
+    # -- flow aggregation ---------------------------------------------
+
+    def flows(self, granularity: Granularity = Granularity.UNIFLOW) -> dict[FlowKey, Flow]:
+        """Flow table at ``granularity`` (cached per trace)."""
+        cached = self._flow_cache.get(granularity)
+        if cached is None:
+            cached = aggregate_flows(self._packets, granularity)
+            self._flow_cache[granularity] = cached
+        return cached
+
+    def flow_of(self, index: int, granularity: Granularity) -> FlowKey:
+        """Flow key of packet ``index`` at ``granularity``."""
+        from repro.net.flow import key_for
+
+        return key_for(self._packets[index], granularity)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(name={self.metadata.name!r}, packets={len(self)}, "
+            f"duration={self.duration:.1f}s)"
+        )
+
+
+def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Merge several traces into one time-sorted trace.
+
+    Metadata other than the name is taken from the first trace; callers
+    merging across link upgrades should set metadata themselves.
+    """
+    if not traces:
+        raise TraceError("cannot merge zero traces")
+    packets: list[Packet] = []
+    for trace in traces:
+        packets.extend(trace.packets)
+    base = traces[0].metadata
+    metadata = TraceMetadata(
+        name=name,
+        samplepoint=base.samplepoint,
+        link_mbps=base.link_mbps,
+        date=base.date,
+    )
+    return Trace(packets, metadata)

@@ -1,0 +1,38 @@
+"""Association-rule mining (modified Apriori).
+
+The paper uses association rules in two places:
+
+* the KL-based detector extracts the feature sets responsible for a
+  histogram change (Brauckhoff et al., IMC'09);
+* the similarity-estimator evaluation and the final labeling summarize
+  each community's traffic into concise 4-tuple rules (Section 4.1.1),
+  scored by *rule degree* and *rule support*.
+
+Both use the same engine: :func:`~repro.rules.apriori.apriori`, a
+breadth-first Apriori with the paper's modification that minimum
+support ``s`` is a *percentage* of the transactions rather than an
+absolute count.
+"""
+
+from repro.rules.apriori import AprioriResult, FrequentItemset, apriori
+from repro.rules.itemsets import (
+    FIELDS,
+    Rule,
+    itemset_to_rule,
+    transactions_from_flows,
+    transactions_from_packets,
+)
+from repro.rules.summarize import CommunitySummary, summarize_transactions
+
+__all__ = [
+    "AprioriResult",
+    "FrequentItemset",
+    "apriori",
+    "FIELDS",
+    "Rule",
+    "itemset_to_rule",
+    "transactions_from_flows",
+    "transactions_from_packets",
+    "CommunitySummary",
+    "summarize_transactions",
+]

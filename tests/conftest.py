@@ -1,0 +1,105 @@
+"""Shared fixtures.
+
+Expensive artifacts (archive day, ensemble alarms, a full pipeline run)
+are session-scoped: many test modules inspect the same run from
+different angles, which keeps the suite fast without sacrificing
+integration coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detectors.registry import default_ensemble, run_ensemble
+from repro.labeling.mawilab import MAWILabPipeline
+from repro.mawi.archive import SyntheticArchive
+from repro.net.packet import (
+    ACK,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    PSH,
+    SYN,
+    Packet,
+)
+from repro.net.trace import Trace
+
+
+def make_packet(
+    time=0.0,
+    src=0x0A000001,
+    dst=0x0A000002,
+    sport=1234,
+    dport=80,
+    proto=PROTO_TCP,
+    size=100,
+    tcp_flags=ACK,
+    icmp_type=0,
+) -> Packet:
+    """Packet with sensible defaults for unit tests."""
+    return Packet(
+        time=time,
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        proto=proto,
+        size=size,
+        tcp_flags=tcp_flags if proto == PROTO_TCP else 0,
+        icmp_type=icmp_type,
+    )
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """Ten packets over two flows plus one ICMP packet."""
+    packets = []
+    for i in range(5):
+        packets.append(
+            make_packet(time=float(i), sport=1111, dport=80)
+        )
+    for i in range(4):
+        packets.append(
+            make_packet(
+                time=float(i) + 0.5,
+                src=0x0A000003,
+                dst=0x0A000004,
+                sport=2222,
+                dport=53,
+                proto=PROTO_UDP,
+            )
+        )
+    packets.append(
+        make_packet(
+            time=2.25, src=0x0A000005, dst=0x0A000006, sport=0, dport=0,
+            proto=PROTO_ICMP, icmp_type=8,
+        )
+    )
+    return Trace(packets)
+
+
+@pytest.fixture(scope="session")
+def archive():
+    return SyntheticArchive(seed=42, trace_duration=30.0)
+
+
+@pytest.fixture(scope="session")
+def archive_day(archive):
+    """One deterministic archive day with injected anomalies."""
+    return archive.day("2004-06-01")
+
+
+@pytest.fixture(scope="session")
+def ensemble():
+    return default_ensemble()
+
+
+@pytest.fixture(scope="session")
+def day_alarms(archive_day, ensemble):
+    return run_ensemble(archive_day.trace, ensemble)
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(archive_day):
+    pipeline = MAWILabPipeline()
+    return pipeline.run(archive_day.trace)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.net.addresses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.net.addresses import (
+    PrefixPreservingAnonymizer,
+    ip_to_int,
+    ip_to_str,
+    is_private,
+    random_host_in,
+)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        for addr in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "203.178.148.19"):
+            assert ip_to_str(ip_to_int(addr)) == addr
+
+    def test_known_value(self):
+        assert ip_to_int("1.2.3.4") == 0x01020304
+
+    def test_rejects_short_form(self):
+        with pytest.raises(TraceError):
+            ip_to_int("1.2.3")
+
+    def test_rejects_out_of_range_octet(self):
+        with pytest.raises(TraceError):
+            ip_to_int("1.2.3.256")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TraceError):
+            ip_to_int("a.b.c.d")
+
+    def test_ip_to_str_rejects_negative(self):
+        with pytest.raises(TraceError):
+            ip_to_str(-1)
+
+    def test_ip_to_str_rejects_too_large(self):
+        with pytest.raises(TraceError):
+            ip_to_str(1 << 32)
+
+
+class TestIsPrivate:
+    def test_rfc1918_blocks(self):
+        assert is_private(ip_to_int("10.1.2.3"))
+        assert is_private(ip_to_int("172.16.0.1"))
+        assert is_private(ip_to_int("172.31.255.255"))
+        assert is_private(ip_to_int("192.168.1.1"))
+
+    def test_public_addresses(self):
+        assert not is_private(ip_to_int("8.8.8.8"))
+        assert not is_private(ip_to_int("172.32.0.1"))
+        assert not is_private(ip_to_int("192.169.0.1"))
+        assert not is_private(ip_to_int("203.178.148.19"))
+
+
+class TestRandomHostIn:
+    def test_host_in_prefix(self):
+        rng = np.random.default_rng(0)
+        prefix = ip_to_int("203.178.0.0")
+        for _ in range(50):
+            host = random_host_in(prefix, 16, rng)
+            assert host >> 16 == prefix >> 16
+
+    def test_full_prefix_is_identity(self):
+        rng = np.random.default_rng(0)
+        addr = ip_to_int("1.2.3.4")
+        assert random_host_in(addr, 32, rng) == addr
+
+    def test_bad_prefix_length(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            random_host_in(0, 33, rng)
+
+
+class TestAnonymizer:
+    def test_deterministic(self):
+        a = PrefixPreservingAnonymizer(key=b"k1")
+        b = PrefixPreservingAnonymizer(key=b"k1")
+        addr = ip_to_int("203.178.148.19")
+        assert a.anonymize(addr) == b.anonymize(addr)
+
+    def test_key_changes_output(self):
+        addr = ip_to_int("203.178.148.19")
+        a = PrefixPreservingAnonymizer(key=b"k1").anonymize(addr)
+        b = PrefixPreservingAnonymizer(key=b"k2").anonymize(addr)
+        assert a != b
+
+    def test_prefix_preserving(self):
+        anon = PrefixPreservingAnonymizer(key=b"test")
+        x = anon.anonymize(ip_to_int("192.0.2.1"))
+        y = anon.anonymize(ip_to_int("192.0.2.200"))
+        z = anon.anonymize(ip_to_int("192.0.3.1"))
+        # /24 shared -> /24 preserved.
+        assert x >> 8 == y >> 8
+        # /23 shared between .2.1 and .3.1 -> first 23 bits equal,
+        # 24th differs.
+        assert x >> 9 == z >> 9
+        assert (x >> 8) != (z >> 8)
+
+    def test_injective_on_sample(self):
+        anon = PrefixPreservingAnonymizer(key=b"inj")
+        rng = np.random.default_rng(7)
+        addresses = set(int(v) for v in rng.integers(0, 1 << 32, size=500))
+        images = anon.anonymize_many(sorted(addresses))
+        assert len(set(images)) == len(addresses)
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(TraceError):
+            PrefixPreservingAnonymizer(key=b"")
+
+    def test_rejects_bad_address(self):
+        anon = PrefixPreservingAnonymizer()
+        with pytest.raises(TraceError):
+            anon.anonymize(1 << 32)

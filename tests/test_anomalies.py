@@ -1,0 +1,118 @@
+"""Unit tests for repro.mawi.anomalies: every injector."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.mawi.anomalies import (
+    ANOMALY_INJECTORS,
+    AnomalySpec,
+    CATEGORY_ATTACK,
+    CATEGORY_SPECIAL,
+    CATEGORY_UNKNOWN,
+    inject_anomaly,
+)
+from repro.mawi.generator import TrafficGenerator, WorkloadSpec
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, SYN
+
+
+@pytest.fixture
+def generator():
+    return TrafficGenerator(WorkloadSpec(seed=9, duration=30.0))
+
+
+@pytest.mark.parametrize("kind", sorted(ANOMALY_INJECTORS))
+def test_injector_basics(kind, generator):
+    packets, event = inject_anomaly(AnomalySpec(kind), generator)
+    assert packets, f"{kind} produced no packets"
+    assert event.kind == kind
+    assert event.t1 > event.t0
+    assert event.filters
+    assert event.n_packets == len(packets)
+    # All packets inside the event window (within numerical slack).
+    assert all(event.t0 - 1e-6 <= p.time <= event.t1 + 1e-6 for p in packets)
+    # Ground-truth filters describe (at least some of) the packets.
+    matched = sum(
+        1 for p in packets if any(f.matches(p) for f in event.filters)
+    )
+    assert matched >= 0.5 * len(packets)
+
+
+def test_unknown_kind_rejected(generator):
+    with pytest.raises(TraceError):
+        inject_anomaly(AnomalySpec("not-a-thing"), generator)
+
+
+def test_intensity_scales_packets(generator):
+    small, _ = inject_anomaly(AnomalySpec("syn_flood", intensity=0.5), generator)
+    big, _ = inject_anomaly(AnomalySpec("syn_flood", intensity=2.0), generator)
+    assert len(big) > 2 * len(small)
+
+
+def test_explicit_window_respected(generator):
+    spec = AnomalySpec("ping_flood", start=5.0, duration=3.0)
+    packets, event = inject_anomaly(spec, generator)
+    assert event.t0 == pytest.approx(5.0)
+    assert event.t1 == pytest.approx(8.0)
+
+
+class TestPerKindProperties:
+    def test_sasser_ports(self, generator):
+        packets, event = inject_anomaly(AnomalySpec("sasser"), generator)
+        assert event.category == CATEGORY_ATTACK
+        assert all(p.dport in (1023, 5554, 9898) for p in packets)
+        assert all(p.tcp_flags == SYN for p in packets)
+
+    def test_blaster_port(self, generator):
+        packets, _ = inject_anomaly(AnomalySpec("blaster"), generator)
+        assert all(p.dport == 135 and p.proto == PROTO_TCP for p in packets)
+
+    def test_smb_port(self, generator):
+        packets, _ = inject_anomaly(AnomalySpec("smb_scan"), generator)
+        assert all(p.dport == 445 for p in packets)
+
+    def test_netbios_mixes_udp_and_tcp(self, generator):
+        packets, _ = inject_anomaly(AnomalySpec("netbios"), generator)
+        protos = {p.proto for p in packets}
+        assert protos == {PROTO_TCP, PROTO_UDP}
+        assert {p.dport for p in packets} <= {137, 139}
+
+    def test_ping_flood_is_icmp(self, generator):
+        packets, event = inject_anomaly(AnomalySpec("ping_flood"), generator)
+        assert all(p.proto == PROTO_ICMP for p in packets)
+        assert len({p.dst for p in packets}) == 1
+        assert event.category == CATEGORY_ATTACK
+
+    def test_syn_flood_spoofed_sources(self, generator):
+        packets, _ = inject_anomaly(AnomalySpec("syn_flood"), generator)
+        assert all(p.tcp_flags == SYN for p in packets)
+        assert len({p.src for p in packets}) > 10
+        assert len({p.dst for p in packets}) == 1
+
+    def test_port_scan_sweeps_ports(self, generator):
+        packets, _ = inject_anomaly(AnomalySpec("port_scan"), generator)
+        assert len({p.dport for p in packets}) > 20
+        assert len({(p.src, p.dst) for p in packets}) == 1
+
+    def test_ddos_many_sources_one_victim(self, generator):
+        packets, _ = inject_anomaly(AnomalySpec("ddos"), generator)
+        assert len({p.src for p in packets}) >= 4
+        assert len({p.dst for p in packets}) == 1
+
+    def test_flash_crowd_is_special(self, generator):
+        packets, event = inject_anomaly(AnomalySpec("flash_crowd"), generator)
+        assert event.category == CATEGORY_SPECIAL
+        tcp = [p for p in packets if p.is_tcp]
+        syn = sum(1 for p in tcp if p.tcp_flags == SYN)
+        assert syn / len(tcp) < 0.3  # normal handshake ratio
+
+    def test_elephant_flow_is_unknown(self, generator):
+        packets, event = inject_anomaly(AnomalySpec("elephant_flow"), generator)
+        assert event.category == CATEGORY_UNKNOWN
+        ports = {p.dport for p in packets} | {p.sport for p in packets}
+        assert all(port >= 10000 for port in ports)
+
+    def test_dns_burst_targets_resolver(self, generator):
+        packets, event = inject_anomaly(AnomalySpec("dns_burst"), generator)
+        assert event.category == CATEGORY_SPECIAL
+        assert all(p.dport == 53 and p.proto == PROTO_UDP for p in packets)
+        assert len({p.dst for p in packets}) == 1

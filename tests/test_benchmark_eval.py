@@ -1,0 +1,116 @@
+"""Tests for benchmarking an external detector against MAWILab labels."""
+
+import pytest
+
+from repro.detectors.base import Alarm, Detector
+from repro.detectors.kl import KLDetector
+from repro.eval.benchmark import DetectorScore, benchmark_detector, label_to_alarm
+from repro.net.filters import FeatureFilter
+
+
+class NullDetector(Detector):
+    """Never raises an alarm."""
+
+    name = "null"
+
+    @classmethod
+    def default_params(cls):
+        return {}
+
+    def analyze(self, trace):
+        return []
+
+
+class OracleDetector(Detector):
+    """Replays the pseudo-alarms of given label records (perfect recall)."""
+
+    name = "oracle"
+
+    def __init__(self, labels, **kw):
+        super().__init__(**kw)
+        self._labels = labels
+
+    @classmethod
+    def default_params(cls):
+        return {}
+
+    def analyze(self, trace):
+        alarms = []
+        for record in self._labels:
+            pseudo = label_to_alarm(record)
+            alarms.append(
+                Alarm(
+                    detector=self.name,
+                    config=f"{self.name}/optimal",
+                    t0=pseudo.t0,
+                    t1=pseudo.t1,
+                    filters=pseudo.filters,
+                )
+            )
+        return alarms
+
+
+class TestLabelToAlarm:
+    def test_rules_become_filters(self, pipeline_result):
+        record = pipeline_result.labels[0]
+        alarm = label_to_alarm(record)
+        assert alarm.detector == "mawilab"
+        assert alarm.t0 == record.t0
+        if record.summary.rules:
+            assert len(alarm.filters) == len(record.summary.rules)
+
+    def test_ruleless_label_still_covers_window(self, pipeline_result):
+        record = pipeline_result.labels[0]
+        stripped = type(record)(
+            community_id=record.community_id,
+            taxonomy=record.taxonomy,
+            heuristic=record.heuristic,
+            summary=type(record.summary)(),
+            t0=record.t0,
+            t1=record.t1,
+            n_alarms=record.n_alarms,
+            detectors=record.detectors,
+        )
+        alarm = label_to_alarm(stripped)
+        assert len(alarm.filters) == 1
+        assert alarm.filters[0].t0 == record.t0
+
+
+class TestBenchmarkDetector:
+    def test_null_detector_misses_everything(self, archive_day, pipeline_result):
+        score = benchmark_detector(
+            NullDetector(), archive_day.trace, pipeline_result.labels
+        )
+        anomalous = len(pipeline_result.anomalous())
+        assert score.true_positive == 0
+        assert score.false_negative == anomalous
+        assert score.recall == 0.0
+        assert score.n_alarms == 0
+
+    def test_oracle_has_high_recall(self, archive_day, pipeline_result):
+        anomalous = pipeline_result.anomalous()
+        if not anomalous:
+            pytest.skip("no anomalous labels on this day")
+        oracle = OracleDetector(anomalous)
+        score = benchmark_detector(
+            oracle, archive_day.trace, pipeline_result.labels
+        )
+        assert score.recall >= 0.5
+        assert score.alarm_precision > 0.5
+
+    def test_real_detector_scores_in_range(self, archive_day, pipeline_result):
+        score = benchmark_detector(
+            KLDetector(tuning="sensitive", threshold=1.8),
+            archive_day.trace,
+            pipeline_result.labels,
+        )
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.alarm_precision <= 1.0
+        assert score.true_positive + score.false_negative == len(
+            pipeline_result.anomalous()
+        )
+
+    def test_score_properties_empty(self):
+        score = DetectorScore()
+        assert score.recall == 0.0
+        assert score.alarm_precision == 0.0

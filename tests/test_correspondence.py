@@ -1,0 +1,100 @@
+"""Unit tests for the correspondence-analysis implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.correspondence import CorrespondenceAnalysis
+from repro.errors import CombinerError
+
+
+def block_table(n_per_block=5):
+    """Two clearly separated row blocks."""
+    a = np.tile([5.0, 5.0, 0.0, 0.0], (n_per_block, 1))
+    b = np.tile([0.0, 0.0, 5.0, 5.0], (n_per_block, 1))
+    return np.vstack([a, b])
+
+
+class TestValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(CombinerError):
+            CorrespondenceAnalysis(np.array([[1.0, -1.0]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(CombinerError):
+            CorrespondenceAnalysis(np.zeros((0, 3)))
+
+    def test_rejects_all_zero_row(self):
+        with pytest.raises(CombinerError):
+            CorrespondenceAnalysis(np.array([[1.0, 1.0], [0.0, 0.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(CombinerError):
+            CorrespondenceAnalysis(np.array([1.0, 2.0]))
+
+    def test_drops_zero_columns(self):
+        table = np.array([[1.0, 0.0, 2.0], [2.0, 0.0, 1.0]])
+        ca = CorrespondenceAnalysis(table)
+        assert list(ca.kept_columns) == [0, 2]
+
+
+class TestGeometry:
+    def test_identical_rows_coincide(self):
+        table = np.array([[3.0, 1.0], [3.0, 1.0], [6.0, 2.0], [1.0, 5.0]])
+        ca = CorrespondenceAnalysis(table)
+        coords = ca.row_coordinates
+        # Rows 0, 1, 2 share the same profile -> same CA point.
+        assert np.allclose(coords[0], coords[1])
+        assert np.allclose(coords[0], coords[2])
+        assert not np.allclose(coords[0], coords[3])
+
+    def test_blocks_separate_on_first_axis(self):
+        ca = CorrespondenceAnalysis(block_table())
+        first_axis = ca.row_coordinates[:, 0]
+        assert np.sign(first_axis[:5]).std() == 0  # one block same sign
+        assert np.sign(first_axis[0]) != np.sign(first_axis[5])
+
+    def test_transition_formula(self):
+        """Projecting the fit table's own rows reproduces row coords."""
+        rng = np.random.default_rng(3)
+        table = rng.integers(0, 6, size=(8, 5)).astype(float) + 0.5
+        ca = CorrespondenceAnalysis(table)
+        projected = ca.project_rows(table)
+        assert np.allclose(projected, ca.row_coordinates, atol=1e-8)
+
+    def test_n_components_limits(self):
+        ca = CorrespondenceAnalysis(block_table(), n_components=1)
+        assert ca.n_components == 1
+        assert ca.row_coordinates.shape[1] == 1
+
+    def test_constant_columns_carry_no_inertia(self):
+        """A detector always voting identically does not discriminate.
+
+        With equal row sums (as vote-indicator tables have), a constant
+        column contributes zero chi-square residual; the total inertia
+        merely rescales by the mass fraction of the original columns.
+        """
+        rng = np.random.default_rng(0)
+        votes = rng.integers(0, 2, size=(20, 3)).astype(float)
+        indicator = np.zeros((20, 6))
+        indicator[:, 0::2] = votes
+        indicator[:, 1::2] = 1 - votes
+        constant = np.ones((20, 1))
+        with_constant = CorrespondenceAnalysis(
+            np.hstack([indicator, constant])
+        )
+        without = CorrespondenceAnalysis(indicator)
+        mass_fraction = indicator.sum() / (indicator.sum() + constant.sum())
+        assert with_constant.inertia.sum() == pytest.approx(
+            without.inertia.sum() * mass_fraction, rel=1e-6
+        )
+
+    def test_zero_supplementary_row_maps_to_origin(self):
+        ca = CorrespondenceAnalysis(block_table())
+        point = ca.project_rows(np.zeros(4))
+        assert np.allclose(point, 0.0)
+
+    def test_inertia_nonnegative_and_sorted(self):
+        ca = CorrespondenceAnalysis(block_table())
+        inertia = ca.inertia
+        assert (inertia >= 0).all()
+        assert all(a >= b for a, b in zip(inertia, inertia[1:]))

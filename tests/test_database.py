@@ -1,0 +1,91 @@
+"""Tests for the on-disk label database."""
+
+import os
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.eval.benchmark import benchmark_detector
+from repro.labeling.database import LabelDatabase
+
+
+@pytest.fixture
+def database(tmp_path, pipeline_result):
+    db = LabelDatabase(str(tmp_path / "mawilab"))
+    db.store_day("2004-06-01", pipeline_result)
+    return db
+
+
+class TestStore:
+    def test_layout(self, database):
+        path = os.path.join(database.root, "2004", "06")
+        assert os.path.isdir(path)
+        assert os.path.exists(
+            os.path.join(path, "01_anomalous_suspicious.csv")
+        )
+        assert os.path.exists(os.path.join(database.root, "index.csv"))
+
+    def test_index_counts(self, database, pipeline_result):
+        summary = database.summary("2004-06-01")
+        assert summary["n_communities"] == len(pipeline_result.labels)
+        assert summary["n_anomalous"] == len(pipeline_result.anomalous())
+        assert summary["n_alarms"] == len(pipeline_result.alarms)
+
+    def test_dates(self, database, pipeline_result):
+        assert database.dates() == ["2004-06-01"]
+        database.store_day("2004-06-02", pipeline_result)
+        assert database.dates() == ["2004-06-01", "2004-06-02"]
+
+    def test_restore_overwrites(self, database, pipeline_result):
+        database.store_day("2004-06-01", pipeline_result)
+        assert database.dates() == ["2004-06-01"]
+
+    def test_bad_date_rejected(self, database, pipeline_result):
+        with pytest.raises(LabelingError):
+            database.store_day("June 1st", pipeline_result)
+
+
+class TestLoad:
+    def test_missing_day(self, database):
+        with pytest.raises(LabelingError):
+            database.load_day("1999-01-01")
+        with pytest.raises(LabelingError):
+            database.summary("1999-01-01")
+
+    def test_rows_round_trip(self, database, pipeline_result):
+        rows = database.load_day("2004-06-01")
+        assert rows
+        stored_ids = {row.community_id for row in rows}
+        original_ids = {r.community_id for r in pipeline_result.labels}
+        assert stored_ids == original_ids
+        taxonomies = {row.taxonomy for row in rows}
+        assert taxonomies <= {"anomalous", "suspicious", "notice"}
+
+    def test_records_round_trip(self, database, pipeline_result):
+        records = database.load_day_records("2004-06-01")
+        assert len(records) == len(pipeline_result.labels)
+        by_id = {r.community_id: r for r in records}
+        for original in pipeline_result.labels:
+            restored = by_id[original.community_id]
+            assert restored.taxonomy == original.taxonomy
+            assert restored.heuristic == original.heuristic
+            assert restored.n_alarms == original.n_alarms
+            assert restored.detectors == original.detectors
+            assert restored.t0 == pytest.approx(original.t0, abs=1e-3)
+            assert len(restored.summary.rules) == len(original.summary.rules)
+
+    def test_restored_records_usable_for_benchmarking(
+        self, database, archive_day
+    ):
+        from repro.detectors.kl import KLDetector
+
+        records = database.load_day_records("2004-06-01")
+        score = benchmark_detector(
+            KLDetector(tuning="sensitive", threshold=1.8),
+            archive_day.trace,
+            records,
+        )
+        assert 0.0 <= score.recall <= 1.0
+        assert score.true_positive + score.false_negative == sum(
+            1 for r in records if r.taxonomy == "anomalous"
+        )

@@ -1,0 +1,117 @@
+"""Unit tests for repro.detectors.base and registry."""
+
+import pytest
+
+from repro.detectors.base import Alarm, Configuration, Detector
+from repro.detectors.registry import (
+    DETECTOR_NAMES,
+    default_ensemble,
+    detector_for_config,
+    run_ensemble,
+)
+from repro.errors import DetectorError
+from repro.net.filters import FeatureFilter
+
+
+class TestAlarm:
+    def test_requires_traffic_designation(self):
+        with pytest.raises(DetectorError):
+            Alarm(detector="x", config="x/y", t0=0.0, t1=1.0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(DetectorError):
+            Alarm(
+                detector="x",
+                config="x/y",
+                t0=2.0,
+                t1=1.0,
+                filters=(FeatureFilter(src=1),),
+            )
+
+    def test_describe(self):
+        alarm = Alarm(
+            detector="pca",
+            config="pca/optimal",
+            t0=0.0,
+            t1=1.0,
+            filters=(FeatureFilter(src=0x01020304),),
+        )
+        text = alarm.describe()
+        assert "pca/optimal" in text
+        assert "1.2.3.4" in text
+
+    def test_hashable(self):
+        a = Alarm(
+            detector="x", config="x/y", t0=0.0, t1=1.0,
+            filters=(FeatureFilter(src=1),),
+        )
+        assert a in {a}
+
+
+class TestConfiguration:
+    def test_name(self):
+        config = Configuration(detector="kl", tuning="sensitive")
+        assert config.name == "kl/sensitive"
+
+    def test_params_dict(self):
+        config = Configuration(
+            detector="kl", tuning="optimal", params=(("threshold", 3.0),)
+        )
+        assert config.params_dict() == {"threshold": 3.0}
+
+
+class TestDetectorBase:
+    def test_unknown_parameter_rejected(self):
+        from repro.detectors.pca import PCADetector
+
+        with pytest.raises(DetectorError):
+            PCADetector(not_a_param=1)
+
+    def test_param_override(self):
+        from repro.detectors.pca import PCADetector
+
+        detector = PCADetector(threshold=9.0)
+        assert detector.params["threshold"] == 9.0
+
+    def test_config_name(self):
+        from repro.detectors.kl import KLDetector
+
+        assert KLDetector(tuning="sensitive").config_name == "kl/sensitive"
+
+
+class TestRegistry:
+    def test_default_ensemble_is_twelve(self):
+        ensemble = default_ensemble()
+        assert len(ensemble) == 12
+        names = [d.config_name for d in ensemble]
+        assert len(set(names)) == 12
+        families = {n.split("/")[0] for n in names}
+        assert families == set(DETECTOR_NAMES)
+
+    def test_subset_selection(self):
+        ensemble = default_ensemble(detectors=["kl"], tunings=["optimal"])
+        assert [d.config_name for d in ensemble] == ["kl/optimal"]
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(DetectorError):
+            default_ensemble(detectors=["nope"])
+
+    def test_unknown_tuning_rejected(self):
+        with pytest.raises(DetectorError):
+            default_ensemble(tunings=["wild"])
+
+    def test_detector_for_config(self):
+        detector = detector_for_config("gamma/sensitive")
+        assert detector.config_name == "gamma/sensitive"
+
+    def test_detector_for_config_bad_name(self):
+        with pytest.raises(DetectorError):
+            detector_for_config("gamma")
+        with pytest.raises(DetectorError):
+            detector_for_config("nope/optimal")
+
+    def test_run_ensemble_stamps_configs(self, archive_day):
+        alarms = run_ensemble(
+            archive_day.trace, default_ensemble(detectors=["kl"])
+        )
+        assert all(a.detector == "kl" for a in alarms)

@@ -1,0 +1,154 @@
+"""Unit tests for the evaluation harness (metrics, gain/cost, report)."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import Decision
+from repro.eval.gaincost import GainCost, exclusive_acceptance, gain_cost, gain_cost_by_detector
+from repro.eval.metrics import (
+    attack_ratio,
+    attack_ratio_by_class,
+    cdf_points,
+    histogram_pdf,
+    quantile_summary,
+)
+from repro.eval.report import format_series, format_table
+from repro.labeling.heuristics import HeuristicLabel
+from tests.test_confidence_strategies import make_community
+
+ATTACK = HeuristicLabel("attack", "Other")
+SPECIAL = HeuristicLabel("special", "Http")
+UNKNOWN = HeuristicLabel("unknown", "Unknown")
+
+
+def decision(cid, accepted):
+    return Decision(community_id=cid, accepted=accepted, mu=1.0 if accepted else 0.0)
+
+
+class TestAttackRatio:
+    def test_basic(self):
+        assert attack_ratio([ATTACK, ATTACK, SPECIAL, UNKNOWN]) == 0.5
+
+    def test_empty(self):
+        assert attack_ratio([]) == 0.0
+
+    def test_by_class(self):
+        labels = [ATTACK, SPECIAL, ATTACK, UNKNOWN]
+        accepted = [True, True, False, False]
+        acc, rej = attack_ratio_by_class(labels, accepted)
+        assert acc == 0.5
+        assert rej == 0.5
+
+    def test_by_class_mismatch(self):
+        with pytest.raises(ValueError):
+            attack_ratio_by_class([ATTACK], [])
+
+
+class TestDistributions:
+    def test_histogram_pdf_integrates_to_one(self):
+        values = np.random.default_rng(0).random(500)
+        centers, density = histogram_pdf(values, bins=10)
+        assert len(centers) == 10
+        assert density.sum() * 0.1 == pytest.approx(1.0)
+
+    def test_histogram_pdf_empty(self):
+        centers, density = histogram_pdf([], bins=5)
+        assert (density == 0).all()
+
+    def test_cdf_points(self):
+        xs, ps = cdf_points([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == 1.0
+        assert (np.diff(ps) > 0).all()
+
+    def test_cdf_empty(self):
+        xs, ps = cdf_points([])
+        assert len(xs) == 0
+
+    def test_quantile_summary(self):
+        summary = quantile_summary([1.0, 2.0, 3.0])
+        assert summary["median"] == 2.0
+        assert summary["max"] == 3.0
+
+    def test_quantile_summary_empty(self):
+        assert quantile_summary([])["mean"] == 0.0
+
+
+class TestGainCost:
+    def test_table2_quadrants(self):
+        labels = [ATTACK, SPECIAL, ATTACK, UNKNOWN]
+        decisions = [
+            decision(0, True),   # attack accepted -> gain_acc
+            decision(1, True),   # special accepted -> cost_acc
+            decision(2, False),  # attack rejected -> cost_rej
+            decision(3, False),  # unknown rejected -> gain_rej
+        ]
+        result = gain_cost(decisions, labels)
+        assert (result.gain_acc, result.cost_acc) == (1, 1)
+        assert (result.gain_rej, result.cost_rej) == (1, 1)
+        assert result.accepted == 2
+        assert result.rejected == 2
+
+    def test_addition(self):
+        a = GainCost(1, 2, 3, 4)
+        b = GainCost(10, 20, 30, 40)
+        total = a + b
+        assert (total.gain_acc, total.cost_acc) == (11, 22)
+        assert (total.gain_rej, total.cost_rej) == (33, 44)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gain_cost([decision(0, True)], [])
+
+    def test_per_detector_restriction(self):
+        communities = [
+            make_community(["pca/0"], community_id=0),
+            make_community(["kl/0"], community_id=1),
+        ]
+        labels = [ATTACK, ATTACK]
+        decisions = [decision(0, True), decision(1, False)]
+        pca_only = gain_cost(decisions, labels, communities, detector="pca")
+        assert pca_only.gain_acc == 1
+        assert pca_only.cost_rej == 0
+
+    def test_per_detector_requires_communities(self):
+        with pytest.raises(ValueError):
+            gain_cost([decision(0, True)], [ATTACK], detector="pca")
+
+    def test_by_detector_includes_overall(self):
+        communities = [make_community(["pca/0"], community_id=0)]
+        result = gain_cost_by_detector(
+            [decision(0, True)], [ATTACK], communities
+        )
+        assert set(result) == {"pca", "gamma", "hough", "kl", "overall"}
+        assert result["overall"].gain_acc == 1
+
+    def test_exclusive_acceptance(self):
+        communities = [
+            make_community(["pca/0"], community_id=0),
+            make_community(["kl/0", "kl/1"], community_id=1),
+            make_community(["kl/0", "pca/0"], community_id=2),  # 2 detectors
+        ]
+        decisions = [decision(0, False), decision(1, True), decision(2, True)]
+        stats = exclusive_acceptance(decisions, communities)
+        assert stats["pca"] == {"accepted": 0, "total": 1}
+        assert stats["kl"] == {"accepted": 1, "total": 1}
+        assert len(stats) == 2  # the 2-detector community is excluded
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        assert text.startswith("T\n")
+        assert "2.5" in text
+        assert "-" * 4 in text
+
+    def test_format_series_subsamples(self):
+        x = list(range(1000))
+        y = [v * 2 for v in x]
+        text = format_series(x, y, max_points=10)
+        assert len(text.split("\n")) < 30
+
+    def test_format_series_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1, 2])

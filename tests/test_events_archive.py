@@ -1,0 +1,97 @@
+"""Unit tests for repro.mawi.events and repro.mawi.archive."""
+
+import pytest
+
+from repro.mawi.archive import SyntheticArchive, first_week_of_months
+from repro.mawi.events import archive_timeline, era_for_date
+
+
+class TestTimeline:
+    def test_eras_contiguous(self):
+        eras = archive_timeline()
+        for previous, current in zip(eras, eras[1:]):
+            assert previous.end == current.start
+
+    def test_known_era_boundaries(self):
+        assert era_for_date("2003-07-31").name == "early"
+        assert era_for_date("2003-08-01").name == "blaster"
+        assert era_for_date("2004-05-01").name == "sasser"
+        assert era_for_date("2006-07-01").name == "100mbps"
+        assert era_for_date("2007-06-01").name == "150mbps-p2p"
+
+    def test_clamping(self):
+        assert era_for_date("1999-01-01").name == "early"
+        assert era_for_date("2015-06-01").name == "150mbps-p2p"
+
+    def test_link_upgrades(self):
+        assert era_for_date("2005-01-01").link_mbps == 18.0
+        assert era_for_date("2006-08-01").link_mbps == 100.0
+        assert era_for_date("2008-01-01").link_mbps == 150.0
+
+    def test_worm_eras_boost_worm_weights(self):
+        base = era_for_date("2002-01-01").anomaly_weights
+        blaster = era_for_date("2003-09-01").anomaly_weights
+        sasser = era_for_date("2004-06-01").anomaly_weights
+        assert blaster["blaster"] > base["blaster"]
+        assert sasser["sasser"] > base["sasser"]
+
+    def test_p2p_growth_after_2007(self):
+        early = era_for_date("2002-01-01")
+        late = era_for_date("2009-01-01")
+        assert late.p2p_weight > early.p2p_weight
+        assert late.anomaly_weights["elephant_flow"] > early.anomaly_weights[
+            "elephant_flow"
+        ]
+
+
+class TestArchive:
+    def test_deterministic_per_date(self):
+        a = SyntheticArchive(seed=1, trace_duration=10.0)
+        b = SyntheticArchive(seed=1, trace_duration=10.0)
+        day_a = a.day("2004-06-01")
+        day_b = b.day("2004-06-01")
+        assert len(day_a.trace) == len(day_b.trace)
+        assert [e.kind for e in day_a.events] == [e.kind for e in day_b.events]
+
+    def test_different_dates_differ(self):
+        archive = SyntheticArchive(seed=1, trace_duration=10.0)
+        d1 = archive.day("2004-06-01")
+        d2 = archive.day("2004-06-02")
+        assert len(d1.trace) != len(d2.trace) or [
+            e.kind for e in d1.events
+        ] != [e.kind for e in d2.events]
+
+    def test_day_metadata(self):
+        archive = SyntheticArchive(seed=1, trace_duration=10.0)
+        day = archive.day("2008-05-05")
+        assert day.trace.metadata.date == "2008-05-05"
+        assert day.trace.metadata.link_mbps == 150.0
+        assert day.era.name == "150mbps-p2p"
+
+    def test_anomaly_count_in_era_range(self):
+        archive = SyntheticArchive(seed=1, trace_duration=10.0)
+        day = archive.day("2003-09-15")
+        lo, hi = day.era.anomalies_per_trace
+        assert lo <= len(day.events) <= hi
+
+    def test_days_iterator(self):
+        archive = SyntheticArchive(seed=1, trace_duration=10.0)
+        days = list(archive.days(["2002-01-01", "2002-01-02"]))
+        assert [d.date for d in days] == ["2002-01-01", "2002-01-02"]
+
+
+class TestFirstWeek:
+    def test_default_span(self):
+        dates = first_week_of_months(2001, 2009)
+        assert dates[0] == "2001-01-01"
+        assert dates[-1] == "2009-12-01"
+        assert len(dates) == 9 * 12
+
+    def test_days_per_month(self):
+        dates = first_week_of_months(2005, 2005, days_per_month=3)
+        assert len(dates) == 36
+        assert "2005-01-03" in dates
+
+    def test_month_step(self):
+        dates = first_week_of_months(2005, 2005, month_step=3)
+        assert len(dates) == 4

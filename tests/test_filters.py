@@ -1,0 +1,60 @@
+"""Unit tests for repro.net.filters."""
+
+from repro.net.filters import FeatureFilter, match_packet
+from repro.net.packet import PROTO_UDP
+from tests.conftest import make_packet
+
+
+class TestMatches:
+    def test_wildcard_matches_everything(self):
+        assert FeatureFilter().matches(make_packet())
+
+    def test_src_constraint(self):
+        f = FeatureFilter(src=1)
+        assert f.matches(make_packet(src=1))
+        assert not f.matches(make_packet(src=2))
+
+    def test_all_fields(self):
+        p = make_packet(src=1, dst=2, sport=10, dport=20)
+        exact = FeatureFilter(src=1, dst=2, sport=10, dport=20, proto=p.proto)
+        assert exact.matches(p)
+        assert not exact.matches(p.reversed())
+
+    def test_time_window_half_open(self):
+        f = FeatureFilter(t0=1.0, t1=2.0)
+        assert not f.matches(make_packet(time=0.5))
+        assert f.matches(make_packet(time=1.0))
+        assert f.matches(make_packet(time=1.999))
+        assert not f.matches(make_packet(time=2.0))
+
+    def test_proto_constraint(self):
+        f = FeatureFilter(proto=PROTO_UDP)
+        assert f.matches(make_packet(proto=PROTO_UDP))
+        assert not f.matches(make_packet())
+
+
+class TestDegree:
+    def test_degree_counts_feature_fields(self):
+        assert FeatureFilter().degree == 0
+        assert FeatureFilter(src=1).degree == 1
+        assert FeatureFilter(src=1, dport=80).degree == 2
+        assert FeatureFilter(src=1, sport=2, dst=3, dport=4).degree == 4
+
+    def test_proto_and_time_do_not_count(self):
+        assert FeatureFilter(proto=6, t0=0.0, t1=1.0).degree == 0
+
+
+class TestDescribe:
+    def test_wildcards_rendered(self):
+        f = FeatureFilter(src=0x01020304, dport=80)
+        assert f.describe() == "<1.2.3.4, *, *, 80>"
+
+
+class TestMatchPacket:
+    def test_any_filter_suffices(self):
+        filters = [FeatureFilter(src=1), FeatureFilter(src=2)]
+        assert match_packet(filters, make_packet(src=2))
+        assert not match_packet(filters, make_packet(src=3))
+
+    def test_empty_filter_list(self):
+        assert not match_packet([], make_packet())

@@ -1,0 +1,109 @@
+"""Unit tests for repro.net.flow."""
+
+import pytest
+
+from repro.net.flow import (
+    Flow,
+    FlowKey,
+    Granularity,
+    aggregate_flows,
+    biflow_key,
+    key_for,
+    uniflow_key,
+)
+from repro.net.packet import ACK, FIN, PROTO_ICMP, PROTO_UDP, RST, SYN
+from tests.conftest import make_packet
+
+
+class TestKeys:
+    def test_uniflow_key_is_literal(self):
+        p = make_packet(src=1, dst=2, sport=10, dport=20)
+        assert uniflow_key(p) == FlowKey(1, 10, 2, 20, p.proto)
+
+    def test_uniflow_directions_differ(self):
+        p = make_packet(src=1, dst=2, sport=10, dport=20)
+        assert uniflow_key(p) != uniflow_key(p.reversed())
+
+    def test_biflow_directions_match(self):
+        p = make_packet(src=1, dst=2, sport=10, dport=20)
+        assert biflow_key(p) == biflow_key(p.reversed())
+
+    def test_biflow_canonical_order(self):
+        p = make_packet(src=9, dst=2, sport=10, dport=20)
+        key = biflow_key(p)
+        assert (key.src, key.sport) <= (key.dst, key.dport)
+
+    def test_key_for_rejects_packet_granularity(self):
+        with pytest.raises(ValueError):
+            key_for(make_packet(), Granularity.PACKET)
+
+
+class TestFlowStatistics:
+    def test_add_accumulates(self):
+        p1 = make_packet(time=1.0, tcp_flags=SYN, size=48)
+        p2 = make_packet(time=2.0, tcp_flags=ACK, size=100)
+        p3 = make_packet(time=4.0, tcp_flags=FIN | ACK, size=52)
+        flow = Flow(key=uniflow_key(p1))
+        for i, p in enumerate((p1, p2, p3)):
+            flow.add(i, p)
+        assert flow.packets == 3
+        assert flow.bytes == 200
+        assert flow.syn_count == 1
+        assert flow.fin_count == 1
+        assert flow.rst_count == 0
+        assert flow.duration == pytest.approx(3.0)
+        assert flow.packet_indices == [0, 1, 2]
+
+    def test_icmp_counted(self):
+        p = make_packet(proto=PROTO_ICMP, sport=0, dport=0)
+        flow = Flow(key=biflow_key(p))
+        flow.add(0, p)
+        assert flow.icmp_count == 1
+
+    def test_ratios(self):
+        flow = Flow(key=FlowKey(1, 1, 2, 2, 6))
+        flow.add(0, make_packet(tcp_flags=SYN))
+        flow.add(1, make_packet(tcp_flags=RST))
+        flow.add(2, make_packet(tcp_flags=ACK))
+        flow.add(3, make_packet(tcp_flags=ACK))
+        assert flow.syn_ratio == pytest.approx(0.25)
+        assert flow.control_flag_ratio == pytest.approx(0.5)
+
+    def test_empty_flow_ratios_are_zero(self):
+        flow = Flow(key=FlowKey(1, 1, 2, 2, 6))
+        assert flow.syn_ratio == 0.0
+        assert flow.control_flag_ratio == 0.0
+        assert flow.duration == 0.0
+
+
+class TestAggregateFlows:
+    def test_rejects_packet_granularity(self):
+        with pytest.raises(ValueError):
+            aggregate_flows([make_packet()], Granularity.PACKET)
+
+    def test_uniflow_splits_directions(self):
+        p = make_packet(src=1, dst=2, sport=10, dport=20)
+        flows = aggregate_flows([p, p.reversed()], Granularity.UNIFLOW)
+        assert len(flows) == 2
+
+    def test_biflow_merges_directions(self):
+        p = make_packet(src=1, dst=2, sport=10, dport=20)
+        flows = aggregate_flows([p, p.reversed()], Granularity.BIFLOW)
+        assert len(flows) == 1
+        only = next(iter(flows.values()))
+        assert only.packets == 2
+
+    def test_indices_partition_packets(self):
+        packets = [
+            make_packet(src=i % 3, sport=1000 + (i % 3)) for i in range(12)
+        ]
+        flows = aggregate_flows(packets, Granularity.UNIFLOW)
+        all_indices = sorted(
+            i for flow in flows.values() for i in flow.packet_indices
+        )
+        assert all_indices == list(range(12))
+
+    def test_udp_flows(self):
+        p = make_packet(proto=PROTO_UDP, dport=53)
+        flows = aggregate_flows([p, p], Granularity.UNIFLOW)
+        assert next(iter(flows.values())).packets == 2

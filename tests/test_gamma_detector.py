@@ -1,0 +1,85 @@
+"""Unit tests for the Gamma multi-resolution sketch detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.gamma import GammaDetector
+from repro.mawi.anomalies import AnomalySpec
+from repro.mawi.generator import WorkloadSpec, generate_trace
+from repro.net.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def ping_trace():
+    spec = WorkloadSpec(
+        seed=33,
+        duration=30.0,
+        anomalies=[AnomalySpec("ping_flood", intensity=2.0, start=8.0, duration=8.0)],
+    )
+    return generate_trace(spec)
+
+
+class TestDetection:
+    def test_empty_trace(self):
+        assert GammaDetector().analyze(Trace([])) == []
+
+    def test_detects_flood_source_or_destination(self, ping_trace):
+        trace, events = ping_trace
+        event = events[0]
+        flood_src = event.filters[0].src
+        flood_dst = event.filters[0].dst
+        alarms = GammaDetector(tuning="sensitive", threshold=1.8).analyze(trace)
+        assert alarms
+        reported = {f.src for a in alarms for f in a.filters if f.src is not None}
+        reported |= {f.dst for a in alarms for f in a.filters if f.dst is not None}
+        assert flood_src in reported or flood_dst in reported
+
+    def test_reports_src_or_dst_only(self, ping_trace):
+        trace, _ = ping_trace
+        for alarm in GammaDetector(threshold=1.8).analyze(trace):
+            (feature_filter,) = alarm.filters
+            has_src = feature_filter.src is not None
+            has_dst = feature_filter.dst is not None
+            assert has_src != has_dst  # exactly one direction
+
+    def test_whole_trace_window(self, ping_trace):
+        trace, _ = ping_trace
+        for alarm in GammaDetector(threshold=1.8).analyze(trace):
+            assert alarm.t0 == pytest.approx(trace.start_time)
+            assert alarm.t1 == pytest.approx(trace.end_time)
+
+    def test_threshold_monotone(self, ping_trace):
+        trace, _ = ping_trace
+        low = len(GammaDetector(threshold=1.5).analyze(trace))
+        high = len(GammaDetector(threshold=4.0).analyze(trace))
+        assert high <= low
+
+
+class TestGammaFeatures:
+    def test_shape(self):
+        counts = np.ones((32, 4))
+        features = GammaDetector._gamma_features(counts, n_scales=3)
+        assert features.shape == (4, 6)
+
+    def test_constant_counts_zero_variance(self):
+        counts = np.full((32, 2), 5.0)
+        features = GammaDetector._gamma_features(counts, n_scales=2)
+        # var = 0 -> shape feature 0, scale feature 0.
+        assert features[:, 0] == pytest.approx([0.0, 0.0])
+
+    def test_poisson_counts_reasonable_fit(self):
+        rng = np.random.default_rng(5)
+        counts = rng.poisson(10.0, size=(256, 1)).astype(float)
+        features = GammaDetector._gamma_features(counts, n_scales=1)
+        shape = np.expm1(features[0, 0])
+        scale = np.expm1(features[0, 1])
+        # Poisson(10): mean 10, var 10 -> shape ~10, scale ~1.
+        assert shape == pytest.approx(10.0, rel=0.35)
+        assert scale == pytest.approx(1.0, abs=0.35)
+
+    def test_deviations_flag_outlier_sketch(self):
+        features = np.ones((8, 4))
+        features[3] = 10.0
+        deviations = GammaDetector._deviations(features)
+        assert np.argmax(deviations) == 3
+        assert deviations[3] > 3 * np.median(deviations)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.mawi.generator."""
+
+import numpy as np
+import pytest
+
+from repro.mawi.anomalies import AnomalySpec
+from repro.mawi.generator import (
+    BackgroundProfile,
+    TrafficGenerator,
+    WorkloadSpec,
+    generate_trace,
+)
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, SYN
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        spec = WorkloadSpec(seed=5, duration=10.0)
+        t1, _ = generate_trace(spec)
+        t2, _ = generate_trace(WorkloadSpec(seed=5, duration=10.0))
+        assert len(t1) == len(t2)
+        assert all(a == b for a, b in zip(t1, t2))
+
+    def test_different_seed_different_trace(self):
+        t1, _ = generate_trace(WorkloadSpec(seed=1, duration=10.0))
+        t2, _ = generate_trace(WorkloadSpec(seed=2, duration=10.0))
+        assert [p.src for p in t1][:50] != [p.src for p in t2][:50]
+
+
+class TestBackgroundShape:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        trace, _ = generate_trace(WorkloadSpec(seed=11, duration=20.0))
+        return trace
+
+    def test_times_within_duration(self, trace):
+        assert trace.start_time >= 0.0
+        assert trace.end_time <= 20.0 + 1e-9
+
+    def test_protocol_mixture(self, trace):
+        protos = {p.proto for p in trace}
+        assert {PROTO_TCP, PROTO_UDP, PROTO_ICMP} <= protos
+
+    def test_http_dominates(self, trace):
+        tcp_ports = [p.dport for p in trace if p.is_tcp] + [
+            p.sport for p in trace if p.is_tcp
+        ]
+        http = sum(1 for port in tcp_ports if port in (80, 8080))
+        assert http > 0.2 * len(tcp_ports)
+
+    def test_tcp_flows_not_syn_heavy(self, trace):
+        tcp = [p for p in trace if p.is_tcp]
+        syn = sum(1 for p in tcp if p.tcp_flags & SYN)
+        assert syn / len(tcp) < 0.35
+
+    def test_flow_sizes_heavy_tailed(self, trace):
+        from repro.net.flow import Granularity
+
+        sizes = [f.packets for f in trace.flows(Granularity.BIFLOW).values()]
+        sizes = np.array(sizes)
+        # Heavy tail: the max flow dwarfs the median flow.
+        assert sizes.max() > 8 * np.median(sizes)
+
+    def test_packet_sizes_bounded(self, trace):
+        assert all(40 <= p.size <= 1500 for p in trace)
+
+
+class TestProfiles:
+    def test_p2p_weight_override(self):
+        low = BackgroundProfile(p2p_weight=0.0)
+        high = BackgroundProfile(p2p_weight=0.6)
+        t_low, _ = generate_trace(
+            WorkloadSpec(seed=3, duration=15.0, background=low)
+        )
+        t_high, _ = generate_trace(
+            WorkloadSpec(seed=3, duration=15.0, background=high)
+        )
+
+        def high_port_fraction(trace):
+            tcp = [p for p in trace if p.is_tcp]
+            return sum(
+                1 for p in tcp if p.dport >= 1024 and p.sport >= 1024
+            ) / len(tcp)
+
+        assert high_port_fraction(t_high) > high_port_fraction(t_low)
+
+    def test_flow_rate_scales_volume(self):
+        slow, _ = generate_trace(
+            WorkloadSpec(
+                seed=4, duration=15.0, background=BackgroundProfile(flow_rate=10)
+            )
+        )
+        fast, _ = generate_trace(
+            WorkloadSpec(
+                seed=4, duration=15.0, background=BackgroundProfile(flow_rate=60)
+            )
+        )
+        assert len(fast) > 2 * len(slow)
+
+
+class TestAnomalyIntegration:
+    def test_events_returned(self):
+        spec = WorkloadSpec(
+            seed=1,
+            duration=15.0,
+            anomalies=[AnomalySpec("sasser"), AnomalySpec("ping_flood")],
+        )
+        trace, events = generate_trace(spec)
+        assert [e.kind for e in events] == ["sasser", "ping_flood"]
+        assert all(e.n_packets > 0 for e in events)
+
+    def test_injected_packets_present(self):
+        spec = WorkloadSpec(
+            seed=1, duration=15.0, anomalies=[AnomalySpec("ping_flood")]
+        )
+        trace, events = generate_trace(spec)
+        event = events[0]
+        matching = [
+            p
+            for p in trace
+            if any(f.matches(p) for f in event.filters)
+        ]
+        assert len(matching) >= event.n_packets
+
+
+class TestGeneratorHelpers:
+    def test_pick_hosts_from_pools(self):
+        generator = TrafficGenerator(WorkloadSpec(seed=0, duration=1.0))
+        assert isinstance(generator.pick_victim(), int)
+        assert isinstance(generator.pick_attacker(), int)

@@ -1,0 +1,90 @@
+"""Tests for ground-truth evaluation (repro.eval.groundtruth)."""
+
+import pytest
+
+from repro.detectors.gamma import GammaDetector
+from repro.eval.groundtruth import (
+    GroundTruthScore,
+    score_detector,
+    score_pipeline_result,
+    score_traffic_sets,
+)
+from repro.labeling.mawilab import MAWILabPipeline
+from repro.mawi.anomalies import AnomalySpec
+from repro.mawi.generator import WorkloadSpec, generate_trace
+
+
+@pytest.fixture(scope="module")
+def flood_run():
+    spec = WorkloadSpec(
+        seed=88,
+        duration=30.0,
+        anomalies=[
+            AnomalySpec("ping_flood", intensity=2.0),
+            AnomalySpec("syn_flood", intensity=2.0),
+        ],
+    )
+    trace, events = generate_trace(spec)
+    result = MAWILabPipeline().run(trace)
+    return trace, events, result
+
+
+class TestScoreProperties:
+    def test_empty(self):
+        score = GroundTruthScore()
+        assert score.recall == 0.0
+        assert score.precision == 0.0
+        assert score.recall_by_kind() == {}
+
+    def test_score_traffic_sets_empty_objects(self, flood_run):
+        trace, events, _ = flood_run
+        score = score_traffic_sets(trace, events, [], [])
+        assert score.recall == 0.0
+        assert all(not m.detected for m in score.matches)
+        assert len(score.matches) == len(events)
+
+
+class TestPipelineScoring:
+    def test_accepted_communities_cover_floods(self, flood_run):
+        trace, events, result = flood_run
+        score = score_pipeline_result(result, events)
+        assert 0.0 <= score.recall <= 1.0
+        # All communities (accepted or not) must cover at least as
+        # much as the accepted subset.
+        all_score = score_pipeline_result(result, events, accepted_only=False)
+        assert all_score.recall >= score.recall
+        # The intense floods should be somewhere in the communities.
+        assert all_score.recall >= 0.5
+
+    def test_matches_carry_community_names(self, flood_run):
+        trace, events, result = flood_run
+        score = score_pipeline_result(result, events, accepted_only=False)
+        for match in score.matches:
+            if match.detected:
+                assert all(
+                    name.startswith("community#") for name in match.matched_by
+                )
+                assert match.best_overlap >= 0.2
+
+    def test_recall_by_kind_keys(self, flood_run):
+        trace, events, result = flood_run
+        score = score_pipeline_result(result, events, accepted_only=False)
+        assert set(score.recall_by_kind()) == {e.kind for e in events}
+
+
+class TestDetectorScoring:
+    def test_gamma_scores_floods(self, flood_run):
+        trace, events, _ = flood_run
+        score = score_detector(
+            GammaDetector(tuning="sensitive", threshold=1.8), trace, events
+        )
+        assert score.n_objects > 0
+        assert 0.0 <= score.precision <= 1.0
+        assert score.recall >= 0.5  # intense floods are gamma's home turf
+
+    def test_overlap_threshold_monotone(self, flood_run):
+        trace, events, _ = flood_run
+        detector = GammaDetector(tuning="sensitive", threshold=1.8)
+        loose = score_detector(detector, trace, events, min_overlap=0.05)
+        strict = score_detector(detector, trace, events, min_overlap=0.9)
+        assert strict.recall <= loose.recall

@@ -1,0 +1,154 @@
+"""Unit tests for the Table-1 heuristics."""
+
+import pytest
+
+from repro.labeling.heuristics import (
+    CATEGORY_ATTACK,
+    CATEGORY_SPECIAL,
+    CATEGORY_UNKNOWN,
+    label_packets,
+)
+from repro.net.packet import ACK, FIN, PROTO_ICMP, PROTO_TCP, PROTO_UDP, PSH, RST, SYN
+from tests.conftest import make_packet
+
+
+def syn_packets(dport, count=20):
+    return [
+        make_packet(time=float(i), dst=1000 + i, dport=dport, tcp_flags=SYN)
+        for i in range(count)
+    ]
+
+
+def data_packets(dport, count=20):
+    return [
+        make_packet(time=float(i), dport=dport, tcp_flags=ACK | PSH)
+        for i in range(count)
+    ]
+
+
+class TestAttackRules:
+    def test_sasser(self):
+        for port in (1023, 5554, 9898):
+            label = label_packets(syn_packets(port))
+            assert (label.category, label.detail) == (CATEGORY_ATTACK, "Sasser")
+
+    def test_rpc(self):
+        label = label_packets(syn_packets(135))
+        assert (label.category, label.detail) == (CATEGORY_ATTACK, "RPC")
+
+    def test_smb(self):
+        label = label_packets(syn_packets(445))
+        assert (label.category, label.detail) == (CATEGORY_ATTACK, "SMB")
+
+    def test_ping(self):
+        packets = [
+            make_packet(
+                time=float(i), proto=PROTO_ICMP, sport=0, dport=0, icmp_type=8
+            )
+            for i in range(30)
+        ]
+        label = label_packets(packets)
+        assert (label.category, label.detail) == (CATEGORY_ATTACK, "Ping")
+
+    def test_few_icmp_not_ping(self):
+        packets = [
+            make_packet(time=float(i), proto=PROTO_ICMP, sport=0, dport=0)
+            for i in range(3)
+        ]
+        label = label_packets(packets)
+        assert label.detail != "Ping"
+
+    def test_other_attacks_flag_heavy(self):
+        # >7 packets with SYN/RST/FIN >= 50% on a random port.
+        packets = [
+            make_packet(time=float(i), dport=7777, tcp_flags=SYN if i % 2 else RST)
+            for i in range(12)
+        ]
+        label = label_packets(packets)
+        assert (label.category, label.detail) == (CATEGORY_ATTACK, "Other")
+
+    def test_other_attacks_http_syn(self):
+        # Service traffic with SYN >= 30%.
+        packets = data_packets(80, count=12) + syn_packets(80, count=8)
+        label = label_packets(packets)
+        assert (label.category, label.detail) == (CATEGORY_ATTACK, "Other")
+
+    def test_netbios_udp(self):
+        packets = [
+            make_packet(
+                time=float(i), proto=PROTO_UDP, sport=137, dport=137
+            )
+            for i in range(6)
+        ]
+        label = label_packets(packets)
+        assert (label.category, label.detail) == (CATEGORY_ATTACK, "NetBIOS")
+
+    def test_netbios_tcp_139(self):
+        # Below the "other attacks" packet threshold so NetBIOS fires.
+        packets = [
+            make_packet(time=float(i), dport=139, tcp_flags=SYN) for i in range(5)
+        ]
+        label = label_packets(packets)
+        assert (label.category, label.detail) == (CATEGORY_ATTACK, "NetBIOS")
+
+
+class TestSpecialRules:
+    def test_http(self):
+        label = label_packets(data_packets(80))
+        assert (label.category, label.detail) == (CATEGORY_SPECIAL, "Http")
+
+    def test_http_alt_port(self):
+        label = label_packets(data_packets(8080))
+        assert (label.category, label.detail) == (CATEGORY_SPECIAL, "Http")
+
+    def test_services(self):
+        for port in (20, 21, 22, 53):
+            label = label_packets(data_packets(port))
+            assert (label.category, label.detail) == (
+                CATEGORY_SPECIAL,
+                "Service",
+            ), f"port {port}"
+
+    def test_dns_udp(self):
+        packets = [
+            make_packet(time=float(i), proto=PROTO_UDP, dport=53)
+            for i in range(20)
+        ]
+        label = label_packets(packets)
+        assert (label.category, label.detail) == (CATEGORY_SPECIAL, "Service")
+
+
+class TestUnknown:
+    def test_random_ports(self):
+        label = label_packets(data_packets(45678))
+        assert label.category == CATEGORY_UNKNOWN
+
+    def test_empty(self):
+        label = label_packets([])
+        assert label.category == CATEGORY_UNKNOWN
+
+    def test_elephant_flow_is_unknown(self):
+        # The post-2007 mislabeling the paper discusses: random-port
+        # bulk transfer matches no heuristic.
+        packets = [
+            make_packet(time=float(i), sport=40000, dport=50000, tcp_flags=ACK | PSH)
+            for i in range(100)
+        ]
+        assert label_packets(packets).category == CATEGORY_UNKNOWN
+
+
+class TestPriorities:
+    def test_sasser_beats_other(self):
+        # Sasser SYN scans also satisfy "other attacks"; Sasser wins by
+        # table order.
+        label = label_packets(syn_packets(5554, count=50))
+        assert label.detail == "Sasser"
+
+    def test_mixed_traffic_below_threshold_unknown(self):
+        packets = syn_packets(5554, count=3) + data_packets(45678, count=17)
+        label = label_packets(packets)
+        assert label.detail != "Sasser"
+
+    def test_str(self):
+        label = label_packets(syn_packets(445))
+        assert str(label) == "attack:SMB"

@@ -1,0 +1,99 @@
+"""Unit tests for the Louvain implementation."""
+
+import pytest
+
+from repro.core.graph import SimilarityGraph
+from repro.core.louvain import louvain, modularity
+from repro.errors import GraphError
+
+
+def two_cliques(n=4, bridge_weight=0.01) -> SimilarityGraph:
+    """Two n-cliques joined by one weak edge."""
+    graph = SimilarityGraph(n_nodes=2 * n)
+    for offset in (0, n):
+        for i in range(n):
+            for j in range(i + 1, n):
+                graph.add_edge(offset + i, offset + j, 1.0)
+    graph.add_edge(0, n, bridge_weight)
+    return graph
+
+
+class TestLouvain:
+    def test_two_cliques_split(self):
+        graph = two_cliques()
+        partition = louvain(graph, seed=0)
+        left = {partition[i] for i in range(4)}
+        right = {partition[i] for i in range(4, 8)}
+        assert len(left) == 1
+        assert len(right) == 1
+        assert left != right
+
+    def test_isolated_nodes_own_communities(self):
+        graph = SimilarityGraph(n_nodes=3)
+        partition = louvain(graph)
+        assert len(set(partition.values())) == 3
+
+    def test_partition_covers_all_nodes(self):
+        graph = two_cliques()
+        partition = louvain(graph)
+        assert set(partition) == set(range(8))
+
+    def test_labels_contiguous(self):
+        graph = two_cliques()
+        partition = louvain(graph)
+        labels = set(partition.values())
+        assert labels == set(range(len(labels)))
+
+    def test_deterministic_given_seed(self):
+        graph = two_cliques(n=6)
+        assert louvain(graph, seed=3) == louvain(graph, seed=3)
+
+    def test_single_edge(self):
+        graph = SimilarityGraph(n_nodes=2)
+        graph.add_edge(0, 1, 1.0)
+        partition = louvain(graph)
+        assert partition[0] == partition[1]
+
+    def test_improves_modularity_over_singletons(self):
+        graph = two_cliques(n=5)
+        singles = {i: i for i in range(10)}
+        partition = louvain(graph)
+        assert modularity(graph, partition) >= modularity(graph, singles)
+
+    def test_resolution_must_be_positive(self):
+        with pytest.raises(GraphError):
+            louvain(SimilarityGraph(n_nodes=1), resolution=0.0)
+
+    def test_star_with_weak_satellite(self):
+        # A strong triangle plus a weakly attached node: the triangle
+        # must stay together.
+        graph = SimilarityGraph(n_nodes=4)
+        graph.add_edge(0, 1, 1.0)
+        graph.add_edge(1, 2, 1.0)
+        graph.add_edge(0, 2, 1.0)
+        graph.add_edge(2, 3, 0.05)
+        partition = louvain(graph)
+        assert partition[0] == partition[1] == partition[2]
+
+
+class TestModularity:
+    def test_empty_graph(self):
+        graph = SimilarityGraph(n_nodes=3)
+        assert modularity(graph, {0: 0, 1: 1, 2: 2}) == 0.0
+
+    def test_perfect_split_positive(self):
+        graph = two_cliques(bridge_weight=0.001)
+        partition = {i: 0 if i < 4 else 1 for i in range(8)}
+        assert modularity(graph, partition) > 0.4
+
+    def test_everything_one_community_zero_ish(self):
+        graph = two_cliques()
+        partition = {i: 0 for i in range(8)}
+        # Single community: Q = sum_in/2m - 1 = 0 exactly.
+        assert modularity(graph, partition) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bad_split_negative(self):
+        graph = two_cliques(bridge_weight=0.001)
+        # Alternating split cuts every clique edge.
+        partition = {i: i % 2 for i in range(8)}
+        assert modularity(graph, partition) < 0.0

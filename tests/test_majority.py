@@ -1,0 +1,79 @@
+"""Unit tests for majority vote and the Condorcet Jury Theorem."""
+
+import numpy as np
+import pytest
+
+from repro.core.majority import MajorityVoteStrategy, condorcet_probability
+from repro.errors import CombinerError
+from tests.test_confidence_strategies import (
+    FIG2_COMMUNITY,
+    FIG2_CONFIGS,
+    community_set_of,
+    make_community,
+)
+
+
+class TestCondorcet:
+    def test_single_detector_identity(self):
+        assert condorcet_probability(1, 0.7) == pytest.approx(0.7)
+
+    def test_known_value_three_detectors(self):
+        # 3 detectors at p=0.7: C(3,2) 0.49*0.3 + 0.343 = 0.784.
+        assert condorcet_probability(3, 0.7) == pytest.approx(0.784)
+
+    def test_monotone_increasing_when_competent(self):
+        values = [condorcet_probability(n, 0.6) for n in (1, 3, 5, 9, 21)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert values[-1] > 0.8
+
+    def test_monotone_decreasing_when_incompetent(self):
+        values = [condorcet_probability(n, 0.4) for n in (1, 3, 5, 9, 21)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_coin_flip_invariant(self):
+        for n in (1, 3, 5, 11):
+            assert condorcet_probability(n, 0.5) == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert condorcet_probability(101, 0.6) > 0.97
+        assert condorcet_probability(101, 0.4) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(CombinerError):
+            condorcet_probability(0, 0.5)
+        with pytest.raises(CombinerError):
+            condorcet_probability(3, 1.5)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        n, p, trials = 5, 0.7, 20000
+        votes = rng.random((trials, n)) < p
+        empirical = (votes.sum(axis=1) > n // 2).mean()
+        assert condorcet_probability(n, p) == pytest.approx(empirical, abs=0.01)
+
+
+class TestMajorityStrategy:
+    def test_fig2_community_accepted(self):
+        # Detectors voting: A yes, B yes, C no -> 2/3 > 0.5.
+        decisions = MajorityVoteStrategy().classify(
+            community_set_of([FIG2_COMMUNITY]), FIG2_CONFIGS
+        )
+        assert decisions[0].accepted
+        assert decisions[0].mu == pytest.approx(2 / 3)
+
+    def test_half_is_rejected(self):
+        configs = [f"{d}/{i}" for d in "ABCD" for i in range(3)]
+        community = make_community(["A/0", "B/0"])
+        decisions = MajorityVoteStrategy().classify(
+            community_set_of([community]), configs
+        )
+        # 2 of 4 detectors = exactly half, not a majority.
+        assert not decisions[0].accepted
+
+    def test_one_config_counts_as_detector_vote(self):
+        configs = [f"{d}/{i}" for d in "ABC" for i in range(3)]
+        community = make_community(["A/0", "B/2"])
+        decisions = MajorityVoteStrategy().classify(
+            community_set_of([community]), configs
+        )
+        assert decisions[0].accepted  # 2/3 detectors vote

@@ -1,0 +1,81 @@
+"""Unit tests for repro.net.packet."""
+
+import pytest
+
+from repro.net.packet import (
+    ACK,
+    FIN,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    PSH,
+    RST,
+    SYN,
+    Packet,
+    flag_names,
+)
+from tests.conftest import make_packet
+
+
+class TestFlagNames:
+    def test_single(self):
+        assert flag_names(SYN) == "SYN"
+
+    def test_combination_order(self):
+        assert flag_names(SYN | ACK) == "SYN|ACK"
+        assert flag_names(FIN | RST | PSH) == "FIN|RST|PSH"
+
+    def test_empty(self):
+        assert flag_names(0) == "-"
+
+
+class TestPacketValidation:
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            Packet(time=0.0, src=1, dst=2, proto=47)
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ValueError):
+            Packet(time=0.0, src=1, dst=2, sport=70000)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Packet(time=0.0, src=1, dst=2, size=0)
+
+    def test_frozen(self):
+        p = make_packet()
+        with pytest.raises(AttributeError):
+            p.src = 99
+
+
+class TestPacketPredicates:
+    def test_protocol_properties(self):
+        assert make_packet(proto=PROTO_TCP).is_tcp
+        assert make_packet(proto=PROTO_UDP).is_udp
+        assert make_packet(proto=PROTO_ICMP).is_icmp
+
+    def test_has_flags_requires_all(self):
+        p = make_packet(tcp_flags=SYN | ACK)
+        assert p.has_flags(SYN)
+        assert p.has_flags(SYN | ACK)
+        assert not p.has_flags(SYN | FIN)
+
+    def test_has_flags_false_for_udp(self):
+        p = make_packet(proto=PROTO_UDP)
+        assert not p.has_flags(SYN)
+
+
+class TestReversed:
+    def test_endpoints_swapped(self):
+        p = make_packet(src=1, dst=2, sport=10, dport=20)
+        r = p.reversed()
+        assert (r.src, r.dst, r.sport, r.dport) == (2, 1, 20, 10)
+
+    def test_involution(self):
+        p = make_packet()
+        assert p.reversed().reversed() == p
+
+    def test_preserves_time_and_size(self):
+        p = make_packet(time=3.5, size=777)
+        r = p.reversed()
+        assert r.time == 3.5 and r.size == 777

@@ -1,0 +1,83 @@
+"""Unit tests for the PCA-subspace detector."""
+
+import numpy as np
+import pytest
+
+from repro.detectors.pca import PCADetector
+from repro.mawi.anomalies import AnomalySpec
+from repro.mawi.generator import WorkloadSpec, generate_trace
+from repro.net.trace import Trace
+from tests.conftest import make_packet
+
+
+@pytest.fixture(scope="module")
+def flood_trace():
+    """Background plus one intense SYN flood with a known window."""
+    spec = WorkloadSpec(
+        seed=21,
+        duration=30.0,
+        anomalies=[AnomalySpec("syn_flood", intensity=2.0, start=10.0, duration=6.0)],
+    )
+    return generate_trace(spec)
+
+
+class TestDetection:
+    def test_empty_trace(self):
+        assert PCADetector().analyze(Trace([])) == []
+
+    def test_alarms_report_source_ips(self, flood_trace):
+        trace, _events = flood_trace
+        alarms = PCADetector(tuning="sensitive", threshold=1.5).analyze(trace)
+        assert alarms, "sensitive PCA should fire on a 2x flood"
+        for alarm in alarms:
+            assert len(alarm.filters) == 1
+            assert alarm.filters[0].src is not None
+            assert alarm.filters[0].dst is None
+            assert not alarm.flow_keys
+
+    def test_alarm_windows_inside_trace(self, flood_trace):
+        trace, _ = flood_trace
+        for alarm in PCADetector(threshold=1.5).analyze(trace):
+            assert trace.start_time <= alarm.t0 <= alarm.t1 <= trace.end_time + 1e-6
+
+    def test_threshold_monotone(self, flood_trace):
+        trace, _ = flood_trace
+        sensitive = len(PCADetector(threshold=1.5).analyze(trace))
+        conservative = len(PCADetector(threshold=6.0).analyze(trace))
+        assert conservative <= sensitive
+
+    def test_config_stamp(self, flood_trace):
+        trace, _ = flood_trace
+        alarms = PCADetector(tuning="sensitive", threshold=1.5).analyze(trace)
+        assert all(a.config == "pca/sensitive" for a in alarms)
+
+
+class TestResidual:
+    def test_residual_orthogonal_to_normal_subspace(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(30, 8))
+        residual = PCADetector._residual_matrix(matrix, n_components=3)
+        centered = matrix - matrix.mean(axis=0, keepdims=True)
+        _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+        for axis in vt[:3]:
+            assert np.abs(residual @ axis).max() < 1e-8
+
+    def test_full_rank_components_zero_residual(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(10, 4))
+        residual = PCADetector._residual_matrix(matrix, n_components=10)
+        assert np.abs(residual).max() < 1e-8
+
+
+class TestThresholdBins:
+    def test_flags_outlier(self):
+        spe = np.array([1.0] * 20 + [100.0])
+        flagged = PCADetector._threshold_bins(spe, threshold=3.0)
+        assert flagged == [20]
+
+    def test_empty(self):
+        assert PCADetector._threshold_bins(np.array([]), 3.0) == []
+
+    def test_constant_series_not_flagged(self):
+        spe = np.ones(10)
+        assert PCADetector._threshold_bins(spe, 3.0) == []

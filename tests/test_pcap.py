@@ -1,0 +1,102 @@
+"""Unit tests for repro.net.pcap (round trips and error handling)."""
+
+import io
+import struct
+
+import pytest
+
+from repro.errors import PcapError
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, SYN
+from repro.net.pcap import read_pcap, write_pcap
+from repro.net.trace import Trace
+from tests.conftest import make_packet
+
+
+def _round_trip(trace: Trace) -> Trace:
+    buffer = io.BytesIO()
+    write_pcap(trace, buffer)
+    buffer.seek(0)
+    return read_pcap(buffer)
+
+
+class TestRoundTrip:
+    def test_tcp_fields_preserved(self):
+        original = Trace(
+            [make_packet(time=1.25, sport=1234, dport=80, tcp_flags=SYN, size=60)]
+        )
+        result = _round_trip(original)
+        assert len(result) == 1
+        p = result[0]
+        assert p.proto == PROTO_TCP
+        assert (p.sport, p.dport) == (1234, 80)
+        assert p.tcp_flags == SYN
+        assert p.size == 60
+        assert p.time == pytest.approx(1.25, abs=1e-5)
+
+    def test_udp_and_icmp(self):
+        original = Trace(
+            [
+                make_packet(time=0.0, proto=PROTO_UDP, sport=5353, dport=53),
+                make_packet(
+                    time=1.0, proto=PROTO_ICMP, sport=0, dport=0, icmp_type=8
+                ),
+            ]
+        )
+        result = _round_trip(original)
+        protos = sorted(p.proto for p in result)
+        assert protos == [PROTO_ICMP, PROTO_UDP]
+        icmp = next(p for p in result if p.is_icmp)
+        assert icmp.icmp_type == 8
+
+    def test_addresses_preserved(self):
+        original = Trace([make_packet(src=0xC0000201, dst=0x08080808)])
+        result = _round_trip(original)
+        assert result[0].src == 0xC0000201
+        assert result[0].dst == 0x08080808
+
+    def test_many_packets(self, tiny_trace):
+        result = _round_trip(tiny_trace)
+        assert len(result) == len(tiny_trace)
+        assert [p.time for p in result] == pytest.approx(
+            [p.time for p in tiny_trace], abs=1e-5
+        )
+
+    def test_write_returns_stats(self, tiny_trace):
+        buffer = io.BytesIO()
+        stats = write_pcap(tiny_trace, buffer)
+        assert stats.packets == len(tiny_trace)
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\x00" * 10))
+
+    def test_bad_magic(self):
+        data = struct.pack("<IHHiIII", 0xDEADBEEF, 2, 4, 0, 0, 65535, 101)
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(data))
+
+    def test_unsupported_linktype(self):
+        data = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 42)
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(data))
+
+    def test_truncated_record(self):
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        record = struct.pack("<IIII", 0, 0, 100, 100)  # promises 100 bytes
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(header + record + b"\x00" * 10))
+
+    def test_non_ip_packets_skipped(self):
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        body = b"\x60" + b"\x00" * 19  # IPv6 version nibble
+        record = struct.pack("<IIII", 0, 0, len(body), len(body))
+        trace = read_pcap(io.BytesIO(header + record + body))
+        assert len(trace) == 0
+
+    def test_file_path_round_trip(self, tmp_path, tiny_trace):
+        path = str(tmp_path / "trace.pcap")
+        write_pcap(tiny_trace, path)
+        result = read_pcap(path)
+        assert len(result) == len(tiny_trace)

@@ -1,0 +1,116 @@
+"""Integration tests for the end-to-end MAWILab pipeline."""
+
+import pytest
+
+from repro.core.strategies import AverageStrategy
+from repro.labeling.mawilab import (
+    MAWILabPipeline,
+    labels_to_csv,
+    labels_to_xml,
+)
+from repro.mawi.anomalies import AnomalySpec
+from repro.mawi.generator import WorkloadSpec, generate_trace
+from repro.net.flow import Granularity
+
+
+class TestPipelineRun:
+    def test_result_structure(self, pipeline_result):
+        result = pipeline_result
+        assert result.alarms
+        assert result.community_set.communities
+        assert len(result.decisions) == len(result.community_set.communities)
+        assert len(result.labels) == len(result.decisions)
+        assert len(result.config_names) == 12
+
+    def test_taxonomy_partition(self, pipeline_result):
+        labels = pipeline_result.labels
+        anomalous = pipeline_result.anomalous()
+        suspicious = pipeline_result.suspicious()
+        notice = pipeline_result.notice()
+        assert len(anomalous) + len(suspicious) + len(notice) == len(labels)
+
+    def test_labels_have_rules_or_empty_traffic(self, pipeline_result):
+        for record, community in zip(
+            pipeline_result.labels, pipeline_result.community_set.communities
+        ):
+            if community.traffic:
+                assert record.summary.n_transactions > 0
+
+    def test_detectors_recorded(self, pipeline_result):
+        for record in pipeline_result.labels:
+            assert record.detectors
+            assert all(
+                d in ("pca", "gamma", "hough", "kl") for d in record.detectors
+            )
+
+    def test_scann_relative_distance_present(self, pipeline_result):
+        assert all(
+            r.relative_distance is not None for r in pipeline_result.labels
+        )
+
+
+class TestPipelineDetection:
+    def test_detects_planted_attack(self):
+        spec = WorkloadSpec(
+            seed=77,
+            duration=30.0,
+            anomalies=[
+                AnomalySpec("sasser", intensity=2.0),
+                AnomalySpec("ping_flood", intensity=2.0),
+            ],
+        )
+        trace, events = generate_trace(spec)
+        result = MAWILabPipeline().run(trace)
+        categories = {
+            (r.heuristic.category, r.heuristic.detail)
+            for r in result.anomalous()
+        }
+        # At least one injected attack should surface as an accepted
+        # attack-labeled community.
+        assert any(cat == "attack" for cat, _ in categories)
+
+    def test_run_with_alarms_reuses_detections(self, archive_day, day_alarms):
+        pipeline = MAWILabPipeline()
+        result = pipeline.run_with_alarms(archive_day.trace, day_alarms)
+        assert len(result.alarms) == len(day_alarms)
+
+    def test_alternative_strategy(self, archive_day, day_alarms):
+        pipeline = MAWILabPipeline(strategy=AverageStrategy())
+        result = pipeline.run_with_alarms(archive_day.trace, day_alarms)
+        assert all(r.relative_distance is None for r in result.labels)
+
+    def test_packet_granularity(self, archive_day, day_alarms):
+        pipeline = MAWILabPipeline(granularity=Granularity.PACKET)
+        result = pipeline.run_with_alarms(archive_day.trace, day_alarms)
+        assert result.community_set.granularity is Granularity.PACKET
+        assert result.labels
+
+
+class TestExports:
+    def test_csv(self, pipeline_result):
+        csv = labels_to_csv(pipeline_result.labels)
+        lines = csv.strip().split("\n")
+        assert lines[0].startswith("community,taxonomy")
+        assert len(lines) > len(pipeline_result.labels) * 0  # rules rows
+        assert len(lines) >= 1 + len(pipeline_result.labels)
+
+    def test_csv_taxonomy_values(self, pipeline_result):
+        csv = labels_to_csv(pipeline_result.labels)
+        for line in csv.strip().split("\n")[1:]:
+            taxonomy = line.split(",")[1]
+            assert taxonomy in ("anomalous", "suspicious", "notice")
+
+    def test_xml_well_formed(self, pipeline_result):
+        import xml.etree.ElementTree as ET
+
+        xml = labels_to_xml(pipeline_result.labels, trace_name="t")
+        root = ET.fromstring(xml)
+        assert root.tag == "admd"
+        anomalies = list(root)
+        assert len(anomalies) == len(pipeline_result.labels)
+        for element in anomalies:
+            assert element.get("type") in ("anomalous", "suspicious", "notice")
+
+    def test_label_describe(self, pipeline_result):
+        text = pipeline_result.labels[0].describe()
+        assert "alarms=" in text

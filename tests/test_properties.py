@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import SimilarityGraph, build_similarity_graph
+from repro.core.louvain import louvain, modularity
+from repro.core.similarity import constant_measure, jaccard, simpson
+from repro.net.addresses import PrefixPreservingAnonymizer, ip_to_int, ip_to_str
+from repro.net.flow import Granularity, aggregate_flows, biflow_key, uniflow_key
+from repro.net.packet import PROTO_TCP, PROTO_UDP, Packet
+from repro.rules.apriori import apriori, coverage
+
+# -- strategies -------------------------------------------------------
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+packets = st.builds(
+    Packet,
+    time=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    src=addresses,
+    dst=addresses,
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+    proto=st.sampled_from([PROTO_TCP, PROTO_UDP]),
+    size=st.integers(40, 1500),
+    tcp_flags=st.integers(0, 63),
+)
+
+set_sizes = st.tuples(
+    st.integers(0, 50), st.integers(0, 50), st.integers(0, 50)
+).map(lambda t: (min(t[0], t[1], t[2]), max(t[0], t[1]), max(t[0], t[2])))
+
+
+# -- similarity measures ----------------------------------------------
+
+
+@given(set_sizes)
+def test_measures_bounded(sizes):
+    intersection, a, b = sizes
+    for measure in (simpson, jaccard, constant_measure):
+        value = measure(intersection, a, b)
+        assert 0.0 <= value <= 1.0
+
+
+@given(set_sizes)
+def test_simpson_at_least_jaccard(sizes):
+    intersection, a, b = sizes
+    assert simpson(intersection, a, b) >= jaccard(intersection, a, b)
+
+
+@given(
+    st.sets(st.integers(0, 30), max_size=15),
+    st.sets(st.integers(0, 30), max_size=15),
+)
+def test_simpson_semantics_on_real_sets(set_a, set_b):
+    inter = len(set_a & set_b)
+    value = simpson(inter, len(set_a), len(set_b))
+    if set_a and set_b and (set_a <= set_b or set_b <= set_a):
+        assert value == 1.0
+    if not set_a & set_b:
+        assert value == 0.0
+
+
+@given(
+    st.sets(st.integers(0, 30), max_size=15),
+    st.sets(st.integers(0, 30), max_size=15),
+)
+def test_measures_symmetric(set_a, set_b):
+    inter = len(set_a & set_b)
+    for measure in (simpson, jaccard, constant_measure):
+        assert measure(inter, len(set_a), len(set_b)) == measure(
+            inter, len(set_b), len(set_a)
+        )
+
+
+# -- anonymizer --------------------------------------------------------
+
+
+@given(addresses, addresses)
+def test_anonymizer_preserves_prefix_length(a, b):
+    anon = PrefixPreservingAnonymizer(key=b"prop")
+    xa, xb = anon.anonymize(a), anon.anonymize(b)
+    # Length of the common prefix must be identical before and after.
+    if a == b:
+        assert xa == xb
+        return
+    before = 32 - (a ^ b).bit_length()
+    after = 32 - (xa ^ xb).bit_length()
+    assert before == after
+
+
+@given(addresses)
+def test_anonymizer_round_trip_consistency(address):
+    anon = PrefixPreservingAnonymizer(key=b"prop")
+    assert anon.anonymize(address) == anon.anonymize(address)
+    assert 0 <= anon.anonymize(address) <= 0xFFFFFFFF
+
+
+@given(addresses)
+def test_ip_string_round_trip(address):
+    assert ip_to_int(ip_to_str(address)) == address
+
+
+# -- flows -------------------------------------------------------------
+
+
+@given(packets)
+def test_biflow_key_direction_invariant(packet):
+    assert biflow_key(packet) == biflow_key(packet.reversed())
+
+
+@given(packets)
+def test_uniflow_key_identifies_packet_fields(packet):
+    key = uniflow_key(packet)
+    assert key.src == packet.src
+    assert key.dport == packet.dport
+
+
+@given(st.lists(packets, max_size=60))
+def test_aggregation_conserves_packets(packet_list):
+    for granularity in (Granularity.UNIFLOW, Granularity.BIFLOW):
+        flows = aggregate_flows(packet_list, granularity)
+        assert sum(f.packets for f in flows.values()) == len(packet_list)
+        assert sum(f.bytes for f in flows.values()) == sum(
+            p.size for p in packet_list
+        )
+
+
+@given(st.lists(packets, max_size=60))
+def test_biflow_never_finer_than_uniflow(packet_list):
+    uni = aggregate_flows(packet_list, Granularity.UNIFLOW)
+    bi = aggregate_flows(packet_list, Granularity.BIFLOW)
+    assert len(bi) <= len(uni)
+
+
+# -- apriori -----------------------------------------------------------
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(0, 8), min_size=1, max_size=5),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(transactions_strategy, st.floats(min_value=5.0, max_value=95.0))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_apriori_support_threshold(transactions, pct):
+    result = apriori(transactions, min_support_pct=pct)
+    floor = max(1, -(-int(pct * len(transactions)) // 100))
+    for itemset in result.itemsets:
+        assert itemset.count >= floor
+        assert 0 < itemset.support <= 1.0
+
+
+@given(transactions_strategy)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_apriori_downward_closure(transactions):
+    result = apriori(transactions, min_support_pct=20)
+    frequent = {s.items: s.count for s in result.itemsets}
+    for items, count in frequent.items():
+        for item in items:
+            if len(items) > 1:
+                subset = items - {item}
+                assert subset in frequent
+                assert frequent[subset] >= count
+
+
+@given(transactions_strategy)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_apriori_maximal_cover_everything_frequent(transactions):
+    result = apriori(transactions, min_support_pct=20)
+    maximal = result.maximal()
+    for itemset in result.itemsets:
+        assert any(itemset.items <= m.items for m in maximal)
+    assert 0.0 <= coverage(transactions, maximal) <= 1.0
+
+
+# -- louvain -----------------------------------------------------------
+
+edges_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 11),
+        st.integers(0, 11),
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def graph_from_edges(edges):
+    graph = SimilarityGraph(n_nodes=12)
+    for u, v, w in edges:
+        if u != v:
+            graph.add_edge(u, v, w)
+    return graph
+
+
+@given(edges_strategy, st.integers(0, 3))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_louvain_valid_partition(edges, seed):
+    graph = graph_from_edges(edges)
+    partition = louvain(graph, seed=seed)
+    assert set(partition) == set(range(12))
+    labels = set(partition.values())
+    assert labels == set(range(len(labels)))
+
+
+@given(edges_strategy, st.integers(0, 3))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_louvain_never_worse_than_singletons(edges, seed):
+    graph = graph_from_edges(edges)
+    partition = louvain(graph, seed=seed)
+    singles = {node: node for node in range(12)}
+    assert modularity(graph, partition) >= modularity(graph, singles) - 1e-9
+
+
+@given(edges_strategy)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_louvain_connected_components_not_split_when_isolated(edges):
+    graph = graph_from_edges(edges)
+    partition = louvain(graph, seed=0)
+    # Nodes in different connected components never share a community.
+    import networkx as nx
+
+    components = list(nx.connected_components(graph.to_networkx()))
+    component_of = {}
+    for i, component in enumerate(components):
+        for node in component:
+            component_of[node] = i
+    for u in range(12):
+        for v in range(12):
+            if partition[u] == partition[v]:
+                assert component_of[u] == component_of[v]
+
+
+# -- similarity graph ---------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.frozensets(st.integers(0, 20), max_size=8), min_size=1, max_size=15
+    )
+)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_graph_edges_iff_intersection(traffic_sets):
+    graph = build_similarity_graph(traffic_sets, measure="constant")
+    for u in range(len(traffic_sets)):
+        for v, weight in graph.neighbors(u).items():
+            assert traffic_sets[u] & traffic_sets[v]
+            assert weight == 1.0
+    # Converse: intersecting sets are connected.
+    for u in range(len(traffic_sets)):
+        for v in range(u + 1, len(traffic_sets)):
+            if traffic_sets[u] & traffic_sets[v]:
+                assert v in graph.neighbors(u)

@@ -1,0 +1,175 @@
+"""Additional property-based tests: extractor, heuristics, pcap, CA."""
+
+import io
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.correspondence import CorrespondenceAnalysis
+from repro.core.extractor import TrafficExtractor
+from repro.detectors.base import Alarm
+from repro.labeling.heuristics import label_packets
+from repro.net.filters import FeatureFilter
+from repro.net.flow import Granularity
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Packet
+from repro.net.pcap import read_pcap, write_pcap
+from repro.net.trace import Trace
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def _packet_strategy(proto):
+    if proto == PROTO_ICMP:
+        return st.builds(
+            Packet,
+            time=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            src=addresses,
+            dst=addresses,
+            sport=st.just(0),
+            dport=st.just(0),
+            proto=st.just(PROTO_ICMP),
+            size=st.integers(40, 1500),
+            tcp_flags=st.just(0),
+            icmp_type=st.integers(0, 15),
+        )
+    return st.builds(
+        Packet,
+        time=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        src=addresses,
+        dst=addresses,
+        sport=st.integers(0, 65535),
+        dport=st.integers(0, 65535),
+        proto=st.just(proto),
+        size=st.integers(40, 1500),
+        tcp_flags=st.integers(0, 63) if proto == PROTO_TCP else st.just(0),
+    )
+
+
+packets = st.one_of(
+    _packet_strategy(PROTO_TCP),
+    _packet_strategy(PROTO_UDP),
+    _packet_strategy(PROTO_ICMP),
+)
+
+traces = st.lists(packets, min_size=1, max_size=40).map(Trace)
+
+
+# -- extractor ----------------------------------------------------------
+
+
+@given(traces, addresses)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_extractor_packet_set_matches_filter(trace, src):
+    alarm = Alarm(
+        detector="t",
+        config="t/x",
+        t0=trace.start_time,
+        t1=trace.end_time + 1.0,
+        filters=(
+            FeatureFilter(src=src, t0=trace.start_time, t1=trace.end_time + 1.0),
+        ),
+    )
+    extractor = TrafficExtractor(trace, Granularity.PACKET)
+    extracted = extractor.extract(alarm)
+    expected = {i for i, p in enumerate(trace) if p.src == src}
+    assert extracted == expected
+
+
+@given(traces)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_extractor_flow_expansion_superset(trace):
+    """packets_of(extract(alarm)) covers every packet the alarm matched."""
+    src = trace[0].src
+    alarm = Alarm(
+        detector="t",
+        config="t/x",
+        t0=trace.start_time,
+        t1=trace.end_time + 1.0,
+        filters=(
+            FeatureFilter(src=src, t0=trace.start_time, t1=trace.end_time + 1.0),
+        ),
+    )
+    for granularity in (Granularity.UNIFLOW, Granularity.BIFLOW):
+        extractor = TrafficExtractor(trace, granularity)
+        expanded = set(extractor.packets_of(extractor.extract(alarm)))
+        direct = {i for i, p in enumerate(trace) if p.src == src}
+        assert direct <= expanded
+
+
+# -- heuristics ---------------------------------------------------------
+
+
+@given(st.lists(packets, max_size=40))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_heuristics_total_function(packet_list):
+    label = label_packets(packet_list)
+    assert label.category in ("attack", "special", "unknown")
+    assert label.detail
+
+
+@given(st.lists(packets, min_size=1, max_size=30))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_heuristics_order_invariant(packet_list):
+    import random
+
+    shuffled = list(packet_list)
+    random.Random(0).shuffle(shuffled)
+    assert label_packets(packet_list) == label_packets(shuffled)
+
+
+# -- pcap round trip ----------------------------------------------------
+
+
+@given(st.lists(packets, min_size=1, max_size=30))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_pcap_round_trip_preserves_headers(packet_list):
+    trace = Trace(packet_list)
+    buffer = io.BytesIO()
+    write_pcap(trace, buffer)
+    buffer.seek(0)
+    restored = read_pcap(buffer)
+    assert len(restored) == len(trace)
+    for original, recovered in zip(trace, restored):
+        assert recovered.src == original.src
+        assert recovered.dst == original.dst
+        assert recovered.proto == original.proto
+        assert recovered.sport == original.sport
+        assert recovered.dport == original.dport
+        assert abs(recovered.time - original.time) < 1e-5
+        if original.is_tcp:
+            assert recovered.tcp_flags == original.tcp_flags
+        if original.is_icmp:
+            assert recovered.icmp_type == original.icmp_type
+
+
+# -- correspondence analysis --------------------------------------------
+
+tables = st.integers(2, 8).flatmap(
+    lambda cols: st.lists(
+        st.lists(st.integers(0, 9), min_size=cols, max_size=cols),
+        min_size=2,
+        max_size=12,
+    )
+)
+
+
+@given(tables)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_ca_transition_formula_property(rows):
+    table = np.array(rows, dtype=float) + 0.25  # keep rows/cols non-zero
+    ca = CorrespondenceAnalysis(table)
+    projected = ca.project_rows(table)
+    assert np.allclose(projected, ca.row_coordinates, atol=1e-6)
+
+
+@given(tables)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_ca_permuting_rows_permutes_coordinates(rows):
+    table = np.array(rows, dtype=float) + 0.25
+    ca = CorrespondenceAnalysis(table)
+    reversed_ca = CorrespondenceAnalysis(table[::-1])
+    # Same inertia regardless of row order.
+    assert np.allclose(
+        np.sort(ca.inertia), np.sort(reversed_ca.inertia), atol=1e-8
+    )

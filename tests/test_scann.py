@@ -1,0 +1,128 @@
+"""Unit tests for the SCANN combination strategy."""
+
+import pytest
+
+from repro.core.scann import SCANNStrategy, _indicator_matrix
+from repro.errors import CombinerError
+import numpy as np
+
+from tests.test_confidence_strategies import (
+    community_set_of,
+    make_community,
+)
+
+CONFIGS = [f"{d}/{i}" for d in "ABCD" for i in range(3)]
+
+
+def corpus():
+    """A mixed corpus: unanimous accepts, unanimous ignores, noise."""
+    communities = []
+    cid = 0
+    # Five communities reported by every configuration.
+    for _ in range(5):
+        communities.append(make_community(CONFIGS, community_id=cid))
+        cid += 1
+    # Ten single communities from detector D only (noise).
+    for _ in range(10):
+        communities.append(make_community(["D/0"], community_id=cid))
+        cid += 1
+    # Five communities reported by A, B, C fully but not D.
+    abc = [f"{d}/{i}" for d in "ABC" for i in range(3)]
+    for _ in range(5):
+        communities.append(make_community(abc, community_id=cid))
+        cid += 1
+    return communities
+
+
+class TestIndicatorMatrix:
+    def test_pairs(self):
+        votes = np.array([[1.0, 0.0]])
+        indicator = _indicator_matrix(votes)
+        assert indicator.tolist() == [[1.0, 0.0, 0.0, 1.0]]
+
+    def test_shape(self):
+        votes = np.zeros((3, 12))
+        assert _indicator_matrix(votes).shape == (3, 24)
+
+
+class TestSCANN:
+    def test_unanimous_accepted_and_noise_rejected(self):
+        communities = corpus()
+        decisions = SCANNStrategy().classify(
+            community_set_of(communities), CONFIGS
+        )
+        by_id = {d.community_id: d for d in decisions}
+        for cid in range(5):
+            assert by_id[cid].accepted, "unanimous community must be accepted"
+        for cid in range(5, 15):
+            assert not by_id[cid].accepted, "single-config noise must be rejected"
+
+    def test_three_detector_community_accepted(self):
+        communities = corpus()
+        decisions = SCANNStrategy().classify(
+            community_set_of(communities), CONFIGS
+        )
+        by_id = {d.community_id: d for d in decisions}
+        for cid in range(15, 20):
+            assert by_id[cid].accepted
+
+    def test_relative_distance_nonnegative(self):
+        decisions = SCANNStrategy().classify(
+            community_set_of(corpus()), CONFIGS
+        )
+        for decision in decisions:
+            assert decision.relative_distance is not None
+            assert decision.relative_distance >= 0.0
+
+    def test_unanimous_has_larger_distance_than_partial(self):
+        communities = corpus()
+        # Add a borderline community (half the configurations).
+        borderline = make_community(
+            [f"{d}/{i}" for d in "AB" for i in range(3)], community_id=99
+        )
+        communities.append(borderline)
+        decisions = SCANNStrategy().classify(
+            community_set_of(communities), CONFIGS
+        )
+        by_id = {d.community_id: d for d in decisions}
+        assert (
+            by_id[0].relative_distance > by_id[99].relative_distance
+        ), "unanimous community should sit further from the boundary"
+
+    def test_degenerate_corpus_falls_back(self):
+        # All communities identical: CA has no discriminating axis.
+        communities = [
+            make_community(CONFIGS, community_id=i) for i in range(3)
+        ]
+        decisions = SCANNStrategy().classify(
+            community_set_of(communities), CONFIGS
+        )
+        assert all(d.accepted for d in decisions)
+
+    def test_degenerate_all_singles(self):
+        communities = [
+            make_community(["A/0"], community_id=i) for i in range(3)
+        ]
+        decisions = SCANNStrategy().classify(
+            community_set_of(communities), CONFIGS
+        )
+        assert all(not d.accepted for d in decisions)
+
+    def test_empty_communities(self):
+        assert SCANNStrategy().classify(community_set_of([]), CONFIGS) == []
+
+    def test_requires_configs(self):
+        with pytest.raises(CombinerError):
+            SCANNStrategy().classify(community_set_of(corpus()), [])
+
+    def test_scores_populated(self):
+        decisions = SCANNStrategy().classify(
+            community_set_of(corpus()), CONFIGS
+        )
+        assert decisions[0].scores["A"] == pytest.approx(1.0)
+
+    def test_mu_between_zero_and_one(self):
+        decisions = SCANNStrategy().classify(
+            community_set_of(corpus()), CONFIGS
+        )
+        assert all(0.0 <= d.mu <= 1.0 for d in decisions)

@@ -1,0 +1,122 @@
+"""Unit tests for similarity measures and graph construction."""
+
+import pytest
+
+from repro.core.graph import SimilarityGraph, build_similarity_graph
+from repro.core.similarity import constant_measure, jaccard, simpson
+from repro.errors import GraphError
+
+
+class TestMeasures:
+    def test_simpson_inclusion_is_one(self):
+        assert simpson(3, 3, 10) == 1.0
+
+    def test_simpson_disjoint_zero(self):
+        assert simpson(0, 5, 5) == 0.0
+
+    def test_simpson_partial(self):
+        assert simpson(1, 2, 4) == 0.5
+
+    def test_jaccard_identical(self):
+        assert jaccard(5, 5, 5) == 1.0
+
+    def test_jaccard_partial(self):
+        assert jaccard(1, 2, 2) == pytest.approx(1 / 3)
+
+    def test_constant(self):
+        assert constant_measure(1, 5, 9) == 1.0
+        assert constant_measure(0, 5, 9) == 0.0
+
+    def test_simpson_dominates_jaccard(self):
+        for intersection, a, b in [(1, 2, 3), (2, 4, 5), (3, 3, 9)]:
+            assert simpson(intersection, a, b) >= jaccard(intersection, a, b)
+
+    def test_empty_sets(self):
+        assert simpson(0, 0, 0) == 0.0
+        assert jaccard(0, 0, 0) == 0.0
+        assert constant_measure(1, 0, 3) == 0.0
+
+
+class TestSimilarityGraph:
+    def test_all_nodes_present(self):
+        graph = SimilarityGraph(n_nodes=3)
+        assert graph.isolated_nodes() == [0, 1, 2]
+
+    def test_add_edge_symmetric(self):
+        graph = SimilarityGraph(n_nodes=2)
+        graph.add_edge(0, 1, 0.5)
+        assert graph.neighbors(0) == {1: 0.5}
+        assert graph.neighbors(1) == {0: 0.5}
+        assert graph.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = SimilarityGraph(n_nodes=2)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 0, 1.0)
+
+    def test_out_of_range_rejected(self):
+        graph = SimilarityGraph(n_nodes=2)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 5, 1.0)
+
+    def test_zero_weight_ignored(self):
+        graph = SimilarityGraph(n_nodes=2)
+        graph.add_edge(0, 1, 0.0)
+        assert graph.n_edges == 0
+
+    def test_degree(self):
+        graph = SimilarityGraph(n_nodes=3)
+        graph.add_edge(0, 1, 0.5)
+        graph.add_edge(0, 2, 0.25)
+        assert graph.degree(0) == pytest.approx(0.75)
+
+    def test_to_networkx(self):
+        graph = SimilarityGraph(n_nodes=3)
+        graph.add_edge(0, 1, 0.7)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph[0][1]["weight"] == 0.7
+
+
+class TestBuildGraph:
+    def test_intersecting_sets_connected(self):
+        sets = [frozenset({1, 2}), frozenset({2, 3}), frozenset({9})]
+        graph = build_similarity_graph(sets)
+        assert 1 in graph.neighbors(0)
+        assert graph.isolated_nodes() == [2]
+
+    def test_simpson_weights(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3, 4})]
+        graph = build_similarity_graph(sets, measure="simpson")
+        assert graph.neighbors(0)[1] == 1.0  # inclusion
+
+    def test_jaccard_weights(self):
+        sets = [frozenset({1, 2}), frozenset({1, 2, 3, 4})]
+        graph = build_similarity_graph(sets, measure="jaccard")
+        assert graph.neighbors(0)[1] == pytest.approx(0.5)
+
+    def test_edge_threshold(self):
+        sets = [frozenset({1, 2, 3, 4}), frozenset({4, 5, 6, 7})]
+        graph = build_similarity_graph(sets, edge_threshold=0.5)
+        assert graph.n_edges == 0  # simpson = 0.25 <= 0.5
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(GraphError):
+            build_similarity_graph([frozenset({1})], measure="nope")
+
+    def test_callable_measure(self):
+        sets = [frozenset({1}), frozenset({1})]
+        graph = build_similarity_graph(
+            sets, measure=lambda i, a, b: 0.42
+        )
+        assert graph.neighbors(0)[1] == 0.42
+
+    def test_empty_traffic_sets_are_isolated(self):
+        sets = [frozenset(), frozenset({1}), frozenset({1})]
+        graph = build_similarity_graph(sets)
+        assert 0 in graph.isolated_nodes()
+
+    def test_no_quadratic_blowup_on_disjoint_sets(self):
+        sets = [frozenset({i}) for i in range(500)]
+        graph = build_similarity_graph(sets)
+        assert graph.n_edges == 0

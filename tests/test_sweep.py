@@ -1,0 +1,89 @@
+"""Tests for detector sensitivity sweeps (repro.eval.sweep)."""
+
+import pytest
+
+from repro.detectors.gamma import GammaDetector
+from repro.eval.sweep import SweepPoint, SweepResult, sweep_parameter
+from repro.mawi.anomalies import AnomalySpec
+from repro.mawi.generator import WorkloadSpec, generate_trace
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    result = []
+    for seed in (1, 2):
+        trace, events = generate_trace(
+            WorkloadSpec(
+                seed=seed,
+                duration=25.0,
+                anomalies=[
+                    AnomalySpec("ping_flood", intensity=2.0),
+                    AnomalySpec("ddos", intensity=2.0),
+                ],
+            )
+        )
+        result.append((trace, events))
+    return result
+
+
+class TestSweep:
+    def test_threshold_sweep_shape(self, workloads):
+        sweep = sweep_parameter(
+            GammaDetector, "threshold", [1.5, 2.5, 4.0], workloads
+        )
+        assert sweep.detector == "gamma"
+        assert len(sweep.points) == 3
+        values = [p.value for p in sweep.points]
+        assert values == [1.5, 2.5, 4.0]
+
+    def test_recall_decreases_with_threshold(self, workloads):
+        sweep = sweep_parameter(
+            GammaDetector, "threshold", [1.5, 4.5], workloads
+        )
+        loose, strict = sweep.points
+        assert strict.recall <= loose.recall
+        assert strict.n_alarms <= loose.n_alarms
+
+    def test_scores_bounded(self, workloads):
+        sweep = sweep_parameter(
+            GammaDetector, "threshold", [1.5, 2.5], workloads
+        )
+        for point in sweep.points:
+            assert 0.0 <= point.recall <= 1.0
+            assert 0.0 <= point.precision <= 1.0
+
+    def test_best_by_f1(self, workloads):
+        sweep = sweep_parameter(
+            GammaDetector, "threshold", [1.5, 2.5, 4.0], workloads
+        )
+        best = sweep.best_by_f1()
+        assert best in sweep.points
+
+    def test_best_by_f1_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SweepResult(detector="x", parameter="y").best_by_f1()
+
+    def test_to_rows(self, workloads):
+        sweep = sweep_parameter(
+            GammaDetector, "threshold", [2.0], workloads
+        )
+        rows = sweep.to_rows()
+        assert len(rows) == 1
+        assert rows[0][0] == 2.0
+
+    def test_fixed_params_passed(self, workloads):
+        sweep = sweep_parameter(
+            GammaDetector,
+            "threshold",
+            [2.0],
+            workloads,
+            n_sketches=8,
+        )
+        assert sweep.points  # detector accepted the override
+
+    def test_f1_zero_handling(self):
+        result = SweepResult(detector="x", parameter="y")
+        result.points.append(
+            SweepPoint(value=1.0, recall=0.0, precision=0.0, n_alarms=0)
+        )
+        assert result.best_by_f1().value == 1.0

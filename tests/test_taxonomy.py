@@ -1,0 +1,55 @@
+"""Unit tests for the MAWILab taxonomy."""
+
+import pytest
+
+from repro.core.strategies import Decision
+from repro.errors import LabelingError
+from repro.labeling.taxonomy import (
+    TAXONOMY_ANOMALOUS,
+    TAXONOMY_NOTICE,
+    TAXONOMY_SUSPICIOUS,
+    assign_taxonomy,
+)
+
+
+def decision(accepted, mu=0.0, relative_distance=None):
+    return Decision(
+        community_id=0,
+        accepted=accepted,
+        mu=mu,
+        relative_distance=relative_distance,
+    )
+
+
+class TestTaxonomy:
+    def test_accepted_is_anomalous(self):
+        assert assign_taxonomy(decision(True, mu=0.9)) == TAXONOMY_ANOMALOUS
+
+    def test_rejected_close_is_suspicious(self):
+        d = decision(False, relative_distance=0.3)
+        assert assign_taxonomy(d) == TAXONOMY_SUSPICIOUS
+
+    def test_rejected_boundary_is_suspicious(self):
+        d = decision(False, relative_distance=0.5)
+        assert assign_taxonomy(d) == TAXONOMY_SUSPICIOUS
+
+    def test_rejected_far_is_notice(self):
+        d = decision(False, relative_distance=0.51)
+        assert assign_taxonomy(d) == TAXONOMY_NOTICE
+
+    def test_custom_threshold(self):
+        d = decision(False, relative_distance=0.8)
+        assert assign_taxonomy(d, suspicious_distance=1.0) == TAXONOMY_SUSPICIOUS
+
+    def test_mu_fallback_for_non_scann(self):
+        near = decision(False, mu=0.45)  # 0.5/0.45 - 1 = 0.11 -> suspicious
+        far = decision(False, mu=0.1)  # 0.5/0.1 - 1 = 4 -> notice
+        assert assign_taxonomy(near) == TAXONOMY_SUSPICIOUS
+        assert assign_taxonomy(far) == TAXONOMY_NOTICE
+
+    def test_mu_zero_is_notice(self):
+        assert assign_taxonomy(decision(False, mu=0.0)) == TAXONOMY_NOTICE
+
+    def test_inconsistent_decision_rejected(self):
+        with pytest.raises(LabelingError):
+            assign_taxonomy(decision(False, mu=0.9))

@@ -1,0 +1,84 @@
+"""Unit tests for repro.net.trace."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.net.flow import Granularity
+from repro.net.trace import Trace, TraceMetadata, merge_traces
+from tests.conftest import make_packet
+
+
+class TestConstruction:
+    def test_sorted_by_time(self):
+        packets = [make_packet(time=t) for t in (3.0, 1.0, 2.0)]
+        trace = Trace(packets)
+        assert [p.time for p in trace] == [1.0, 2.0, 3.0]
+
+    def test_len_and_getitem(self):
+        trace = Trace([make_packet(time=float(i)) for i in range(5)])
+        assert len(trace) == 5
+        assert trace[0].time == 0.0
+        assert trace[4].time == 4.0
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+        with pytest.raises(TraceError):
+            _ = trace.start_time
+
+    def test_metadata_defaults(self):
+        trace = Trace([make_packet()])
+        assert isinstance(trace.metadata, TraceMetadata)
+
+    def test_total_bytes(self):
+        trace = Trace([make_packet(size=10), make_packet(size=20)])
+        assert trace.total_bytes == 30
+
+
+class TestTimeSlice:
+    def test_half_open(self):
+        trace = Trace([make_packet(time=float(i)) for i in range(10)])
+        window = trace.time_slice(2.0, 5.0)
+        assert list(window) == [2, 3, 4]
+
+    def test_empty_window(self):
+        trace = Trace([make_packet(time=float(i)) for i in range(10)])
+        assert len(trace.time_slice(20.0, 30.0)) == 0
+
+    def test_negative_interval_rejected(self):
+        trace = Trace([make_packet()])
+        with pytest.raises(TraceError):
+            trace.time_slice(5.0, 1.0)
+
+
+class TestSelectAndFlows:
+    def test_select(self):
+        trace = Trace(
+            [make_packet(time=float(i), dport=80 if i % 2 else 53) for i in range(6)]
+        )
+        indices = trace.select(lambda p: p.dport == 80)
+        assert all(trace[i].dport == 80 for i in indices)
+        assert len(indices) == 3
+
+    def test_flows_cached(self, tiny_trace):
+        first = tiny_trace.flows(Granularity.UNIFLOW)
+        second = tiny_trace.flows(Granularity.UNIFLOW)
+        assert first is second
+
+    def test_flow_of(self, tiny_trace):
+        key = tiny_trace.flow_of(0, Granularity.UNIFLOW)
+        assert key in tiny_trace.flows(Granularity.UNIFLOW)
+
+
+class TestMerge:
+    def test_merge_sorts(self):
+        t1 = Trace([make_packet(time=2.0)])
+        t2 = Trace([make_packet(time=1.0)])
+        merged = merge_traces([t1, t2], name="m")
+        assert merged.metadata.name == "m"
+        assert [p.time for p in merged] == [1.0, 2.0]
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(TraceError):
+            merge_traces([])
