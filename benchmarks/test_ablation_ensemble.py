@@ -8,7 +8,6 @@ attack-ratio contrast and coverage.
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import GRANULARITY_DATES, run_once
 from repro.detectors.registry import default_ensemble

@@ -12,7 +12,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.scann import SCANNStrategy

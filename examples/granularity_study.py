@@ -55,7 +55,8 @@ def main() -> None:
             degrees.append(summary.rule_degree)
             supports.append(summary.rule_support)
         sizes = [c.size for c in community_set.communities]
-        mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+        def mean(xs):
+            return sum(xs) / len(xs) if xs else 0.0
         print(
             f"{granularity.value:12s} {len(sizes):11d} "
             f"{community_set.n_single:7d} {max(sizes):7d} "

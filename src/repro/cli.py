@@ -1,17 +1,21 @@
 """Command-line interface.
 
-Five subcommands expose the library to non-Python users::
+Six subcommands expose the library to non-Python users::
 
-    mawilab generate  --seed 7 --duration 30 --anomaly sasser \
-                      --anomaly ping_flood --out day.pcap --truth truth.json
-    mawilab inspect   day.pcap
-    mawilab detect    day.pcap --config kl/sensitive
-    mawilab label     day.pcap --format csv --out labels.csv
-    mawilab archive   --start 2004-01-01 --months 6
+    mawilab generate      --seed 7 --duration 30 --anomaly sasser \
+                          --anomaly ping_flood --out day.pcap --truth truth.json
+    mawilab inspect       day.pcap
+    mawilab detect        day.pcap --config kl/sensitive
+    mawilab label         day.pcap --format csv --out labels.csv
+    mawilab archive       --start 2004-01-01 --months 6
+    mawilab label-archive --start 2004-01-01 --months 6 --workers 4 \
+                          --out-dir labels/ --cache-dir .mawilab-cache --resume
 
 `label` runs the full 4-step pipeline; `archive` sweeps synthetic
 archive days and prints the SCANN attack-ratio series (the Fig. 7
-workflow).  All commands are deterministic given their seeds.
+workflow); `label-archive` shards archive days across a process pool,
+writes one label CSV per day plus a JSON batch report, and can resume
+an interrupted run.  All commands are deterministic given their seeds.
 """
 
 from __future__ import annotations
@@ -81,29 +85,18 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_pipeline(args: argparse.Namespace):
-    from repro.core.scann import SCANNStrategy
-    from repro.core.strategies import (
-        AverageStrategy,
-        MaximumStrategy,
-        MinimumStrategy,
-    )
-    from repro.core.majority import MajorityVoteStrategy
-    from repro.labeling.mawilab import MAWILabPipeline
-    from repro.net.flow import Granularity
+def _pipeline_config(args: argparse.Namespace):
+    from repro.runner.config import PipelineConfig
 
-    strategies = {
-        "scann": SCANNStrategy,
-        "average": AverageStrategy,
-        "minimum": MinimumStrategy,
-        "maximum": MaximumStrategy,
-        "majority": MajorityVoteStrategy,
-    }
-    return MAWILabPipeline(
-        granularity=Granularity(args.granularity),
-        strategy=strategies[args.strategy](),
+    return PipelineConfig(
+        strategy=args.strategy,
+        granularity=args.granularity,
         measure=args.measure,
     )
+
+
+def _build_pipeline(args: argparse.Namespace):
+    return _pipeline_config(args).build_pipeline()
 
 
 def _cmd_label(args: argparse.Namespace) -> int:
@@ -134,9 +127,23 @@ def _cmd_label(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_archive(args: argparse.Namespace) -> int:
+def _month_dates(start_iso: str, months: int) -> list[str]:
+    """``months`` consecutive monthly dates starting at ``start_iso``."""
     import datetime
 
+    start = datetime.date.fromisoformat(start_iso)
+    dates = []
+    for i in range(months):
+        month = start.month - 1 + i
+        dates.append(
+            datetime.date(
+                start.year + month // 12, month % 12 + 1, start.day
+            ).isoformat()
+        )
+    return dates
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
     from repro.eval.metrics import attack_ratio_by_class
     from repro.labeling.heuristics import label_community
     from repro.labeling.mawilab import MAWILabPipeline
@@ -144,15 +151,7 @@ def _cmd_archive(args: argparse.Namespace) -> int:
 
     archive = SyntheticArchive(seed=args.seed, trace_duration=args.duration)
     pipeline = MAWILabPipeline()
-    start = datetime.date.fromisoformat(args.start)
-    dates = []
-    for i in range(args.months):
-        month = start.month - 1 + i
-        dates.append(
-            datetime.date(
-                start.year + month // 12, month % 12 + 1, start.day
-            ).isoformat()
-        )
+    dates = _month_dates(args.start, args.months)
     print(f"{'date':12s} {'era':14s} {'communities':>11s} "
           f"{'accepted':>8s} {'acc.ratio':>9s} {'rej.ratio':>9s}")
     for date in dates:
@@ -173,6 +172,52 @@ def _cmd_archive(args: argparse.Namespace) -> int:
             f"{acc:9.2f} {rej:9.2f}"
         )
     return 0
+
+
+def _cmd_label_archive(args: argparse.Namespace) -> int:
+    import datetime
+    import os
+
+    from repro.mawi.archive import SyntheticArchive
+    from repro.runner.batch import BatchRunner
+
+    archive = SyntheticArchive(seed=args.seed, trace_duration=args.duration)
+    dates = args.date or _month_dates(args.start, args.months)
+    seen = set()
+    for date in dates:
+        try:
+            datetime.date.fromisoformat(date)
+        except ValueError:
+            print(f"error: invalid --date {date!r} (want YYYY-MM-DD)",
+                  file=sys.stderr)
+            return 2
+        if date in seen:
+            print(f"error: duplicate --date {date!r}", file=sys.stderr)
+            return 2
+        seen.add(date)
+    runner = BatchRunner(
+        config=_pipeline_config(args),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        out_dir=args.out_dir,
+        resume=args.resume,
+    )
+
+    def progress(done: int, total: int, report) -> None:
+        marker = "ok" if report.ok else f"FAILED ({report.error})"
+        cache = " [cached alarms]" if report.cache_hit else ""
+        print(
+            f"[{done}/{total}] {report.date}: {marker}{cache}",
+            file=sys.stderr,
+        )
+
+    batch = runner.run(archive, dates, progress=progress)
+    print(batch.describe())
+    report_path = os.path.join(args.out_dir, "report.json")
+    with open(report_path, "w") as handle:
+        handle.write(batch.to_json())
+    print(f"wrote per-day CSVs and {report_path}", file=sys.stderr)
+    return 1 if batch.failures() else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -214,21 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument("pcap")
     label.add_argument("--format", choices=("csv", "xml"), default="csv")
     label.add_argument("--out", help="output path (stdout if omitted)")
-    label.add_argument(
-        "--strategy",
-        choices=("scann", "average", "minimum", "maximum", "majority"),
-        default="scann",
-    )
-    label.add_argument(
-        "--granularity",
-        choices=("packet", "uniflow", "biflow"),
-        default="uniflow",
-    )
-    label.add_argument(
-        "--measure",
-        choices=("simpson", "jaccard", "constant"),
-        default="simpson",
-    )
+    _add_pipeline_options(label)
     label.set_defaults(func=_cmd_label)
 
     archive = sub.add_parser(
@@ -240,7 +271,63 @@ def build_parser() -> argparse.ArgumentParser:
     archive.add_argument("--months", type=int, default=6)
     archive.set_defaults(func=_cmd_archive)
 
+    label_archive = sub.add_parser(
+        "label-archive",
+        help="label many archive days across a process pool",
+    )
+    label_archive.add_argument("--seed", type=int, default=2010)
+    label_archive.add_argument("--duration", type=float, default=30.0)
+    label_archive.add_argument("--start", default="2004-01-01")
+    label_archive.add_argument("--months", type=int, default=6)
+    label_archive.add_argument(
+        "--date",
+        action="append",
+        help="explicit ISO date to label (repeatable; overrides "
+        "--start/--months)",
+    )
+    label_archive.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size (1 = serial)",
+    )
+    label_archive.add_argument(
+        "--cache-dir",
+        help="directory caching Step 1 alarms keyed by (trace, ensemble)",
+    )
+    label_archive.add_argument(
+        "--out-dir",
+        required=True,
+        help="directory receiving labels-<date>.csv files and report.json",
+    )
+    label_archive.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip dates whose label CSV already exists in --out-dir",
+    )
+    _add_pipeline_options(label_archive)
+    label_archive.set_defaults(func=_cmd_label_archive)
+
     return parser
+
+
+def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
+    """Pipeline options shared by `label` and `label-archive`."""
+    parser.add_argument(
+        "--strategy",
+        choices=("scann", "average", "minimum", "maximum", "majority"),
+        default="scann",
+    )
+    parser.add_argument(
+        "--granularity",
+        choices=("packet", "uniflow", "biflow"),
+        default="uniflow",
+    )
+    parser.add_argument(
+        "--measure",
+        choices=("simpson", "jaccard", "constant"),
+        default="simpson",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -22,8 +22,8 @@ so confidence scores and SCANN votes never see them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.detectors.base import Alarm
 from repro.errors import CombinerError

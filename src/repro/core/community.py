@@ -8,7 +8,7 @@ communities* — the estimator's failure mode the evaluation counts
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional
 
 from repro.detectors.base import Alarm

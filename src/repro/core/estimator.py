@@ -13,7 +13,7 @@ Orchestrates Step 2 of the paper's method:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.community import Community, CommunitySet
 from repro.core.extractor import TrafficExtractor
@@ -41,6 +41,9 @@ class SimilarityEstimator:
         Louvain shuffle seed (fixes the partition).
     resolution:
         Louvain modularity resolution.
+    graph_backend:
+        Similarity-graph construction backend ("auto" / "numpy" /
+        "python"); both backends build identical graphs.
     """
 
     def __init__(
@@ -50,12 +53,14 @@ class SimilarityEstimator:
         edge_threshold: float = 0.0,
         seed: int = 0,
         resolution: float = 1.0,
+        graph_backend: str = "auto",
     ) -> None:
         self.granularity = granularity
         self.measure = measure
         self.edge_threshold = edge_threshold
         self.seed = seed
         self.resolution = resolution
+        self.graph_backend = graph_backend
 
     def build(self, trace: Trace, alarms: Sequence[Alarm]) -> CommunitySet:
         """Run the estimator on one trace's alarms."""
@@ -66,6 +71,7 @@ class SimilarityEstimator:
             traffic_sets,
             measure=self.measure,
             edge_threshold=self.edge_threshold,
+            backend=self.graph_backend,
         )
         partition = louvain(
             graph, resolution=self.resolution, seed=self.seed

@@ -14,7 +14,6 @@ implementation).
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.graph import SimilarityGraph
 from repro.errors import GraphError

@@ -17,7 +17,7 @@ An alarm may carry both; the associated traffic is the union.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import DetectorError

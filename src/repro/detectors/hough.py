@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.detectors.base import Alarm, Detector
 from repro.detectors.sketch import SketchHasher
-from repro.net.flow import Granularity, uniflow_key
+from repro.net.flow import uniflow_key
 from repro.net.trace import Trace
 
 

@@ -61,7 +61,8 @@ class KLDetector(Detector):
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
         n_bins = p["n_bins"]
-        bin_of = lambda t: min(int((t - t_start) / span * n_bins), n_bins - 1)
+        def bin_of(t: float) -> int:
+            return min(int((t - t_start) / span * n_bins), n_bins - 1)
 
         # Per-bin packet index lists.
         bins: list[list[int]] = [[] for _ in range(n_bins)]

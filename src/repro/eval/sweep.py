@@ -59,37 +59,23 @@ class SweepResult:
         ]
 
 
-def sweep_parameter(
-    detector_cls,
-    parameter: str,
-    values: Sequence[float],
-    workloads: Sequence[tuple[Trace, Sequence[GroundTruthEvent]]],
-    granularity: Granularity = Granularity.UNIFLOW,
-    min_overlap: float = 0.2,
-    **fixed_params,
-) -> SweepResult:
-    """Sweep ``parameter`` of ``detector_cls`` over ``values``.
+def _score_grid_chunk(payload: tuple) -> list[SweepPoint]:
+    """Score a chunk of grid values (module-level for pool workers).
 
-    Parameters
-    ----------
-    detector_cls:
-        A :class:`~repro.detectors.base.Detector` subclass.
-    parameter:
-        Name of the parameter to sweep (must exist in the detector's
-        defaults).
-    values:
-        Grid of values.
-    workloads:
-        ``(trace, events)`` pairs; scores are averaged over them.
-    fixed_params:
-        Other parameter overrides held constant during the sweep.
-
-    Returns
-    -------
-    SweepResult
-        One :class:`SweepPoint` per grid value.
+    Chunking keeps payload serialization at O(workers x corpus): the
+    workload traces are pickled once per chunk rather than once per
+    grid value.
     """
-    result = SweepResult(detector=detector_cls.name, parameter=parameter)
+    (
+        detector_cls,
+        parameter,
+        values,
+        fixed_params,
+        workloads,
+        granularity,
+        min_overlap,
+    ) = payload
+    points = []
     for value in values:
         params = dict(fixed_params)
         params[parameter] = value
@@ -107,7 +93,7 @@ def sweep_parameter(
             precisions.append(score.precision)
             alarms += score.n_objects
         n = max(len(workloads), 1)
-        result.points.append(
+        points.append(
             SweepPoint(
                 value=float(value),
                 recall=sum(recalls) / n,
@@ -115,4 +101,67 @@ def sweep_parameter(
                 n_alarms=alarms,
             )
         )
-    return result
+    return points
+
+
+def sweep_parameter(
+    detector_cls,
+    parameter: str,
+    values: Sequence[float],
+    workloads: Sequence[tuple[Trace, Sequence[GroundTruthEvent]]],
+    granularity: Granularity = Granularity.UNIFLOW,
+    min_overlap: float = 0.2,
+    workers: int = 1,
+    **fixed_params,
+) -> SweepResult:
+    """Sweep ``parameter`` of ``detector_cls`` over ``values``.
+
+    Parameters
+    ----------
+    detector_cls:
+        A :class:`~repro.detectors.base.Detector` subclass.
+    parameter:
+        Name of the parameter to sweep (must exist in the detector's
+        defaults).
+    values:
+        Grid of values.
+    workloads:
+        ``(trace, events)`` pairs; scores are averaged over them.
+    workers:
+        Process-pool size for scoring grid values concurrently
+        (``<= 1`` keeps the sweep in-process).  Grid points are
+        independent, so results are identical at any pool size.
+    fixed_params:
+        Other parameter overrides held constant during the sweep.
+
+    Returns
+    -------
+    SweepResult
+        One :class:`SweepPoint` per grid value.
+    """
+    from repro.runner.pool import parallel_map
+
+    workloads = [(trace, list(events)) for trace, events in workloads]
+    values = list(values)
+    n_chunks = min(max(workers, 1), len(values)) or 1
+    chunks = [values[i::n_chunks] for i in range(n_chunks)]
+    payloads = [
+        (
+            detector_cls,
+            parameter,
+            chunk,
+            fixed_params,
+            workloads,
+            granularity,
+            min_overlap,
+        )
+        for chunk in chunks
+    ]
+    chunk_points = parallel_map(_score_grid_chunk, payloads, workers=workers)
+    # Unstripe back to input order (chunk i holds values[i::n_chunks]).
+    points: list[SweepPoint] = [None] * len(values)  # type: ignore[list-item]
+    for i, chunk_result in enumerate(chunk_points):
+        points[i::n_chunks] = chunk_result
+    return SweepResult(
+        detector=detector_cls.name, parameter=parameter, points=points
+    )

@@ -22,7 +22,6 @@ lightweight :class:`StoredLabel` records usable with
 from __future__ import annotations
 
 import csv
-import io
 import os
 from dataclasses import dataclass
 from typing import Optional

@@ -19,7 +19,7 @@ MAWILab database, exportable as CSV or an admd-flavoured XML.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 from xml.sax.saxutils import escape, quoteattr
 
@@ -131,6 +131,29 @@ class MAWILabPipeline:
     def config_names(self) -> list[str]:
         return [d.config_name for d in self.ensemble]
 
+    def ensemble_fingerprint(self) -> str:
+        """Stable digest of the detector ensemble (names + parameters).
+
+        Two pipelines with the same fingerprint emit identical Step 1
+        alarms for a given trace, which is what lets the batch runner
+        cache alarm sets on disk and reuse them across combiner or
+        granularity changes.
+        """
+        import hashlib
+
+        parts = [
+            (d.name, d.tuning, tuple(sorted(d.params.items())))
+            for d in self.ensemble
+        ]
+        return hashlib.sha256(repr(sorted(parts)).encode()).hexdigest()[:16]
+
+    def detect(self, trace: Trace) -> list[Alarm]:
+        """Step 1 only: run every detector configuration on the trace."""
+        alarms: list[Alarm] = []
+        for detector in self.ensemble:
+            alarms.extend(detector.analyze(trace))
+        return alarms
+
     def run(self, trace: Trace, annotations: Sequence = ()) -> PipelineResult:
         """Label one trace.
 
@@ -140,11 +163,9 @@ class MAWILabPipeline:
         not vote in the combiner, and accepted communities report
         their tags (paper Section 6).
         """
-        # Step 1: detectors.
-        alarms: list[Alarm] = []
-        for detector in self.ensemble:
-            alarms.extend(detector.analyze(trace))
-        return self.run_with_alarms(trace, alarms, annotations=annotations)
+        return self.run_with_alarms(
+            trace, self.detect(trace), annotations=annotations
+        )
 
     def run_with_alarms(
         self,

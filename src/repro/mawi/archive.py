@@ -58,6 +58,16 @@ class SyntheticArchive:
         self.seed = seed
         self.trace_duration = trace_duration
 
+    def fingerprint(self) -> str:
+        """Stable digest of the archive identity.
+
+        Two archives with equal fingerprints generate identical traces
+        for every date, so the digest can key on-disk caches of
+        per-trace derived artifacts (e.g. the batch runner's alarms).
+        """
+        payload = f"synthetic:{self.seed}:{self.trace_duration!r}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
     def day(self, date: str) -> ArchiveDay:
         """Generate (deterministically) the trace for one ISO date."""
         era = era_for_date(date)

@@ -9,7 +9,7 @@ lets the pipeline cache flow aggregations per (trace, granularity).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import TraceError

@@ -10,9 +10,9 @@ part of the rule degree).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
-from repro.net.flow import Flow, FlowKey
+from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 
 # Field order defines the canonical 4-tuple rendering <src, sport, dst, dport>.

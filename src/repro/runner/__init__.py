@@ -1,0 +1,33 @@
+"""Batch archive labeling: shard traces across a process pool.
+
+The paper's whole point is *longitudinal* labeling — running the
+4-step method over years of daily MAWI traces.  This package provides
+the production machinery for that workload:
+
+* :class:`~repro.runner.config.PipelineConfig` — a picklable pipeline
+  description shared by the CLI and pool workers;
+* :class:`~repro.runner.cache.AlarmCache` — an on-disk Step 1 cache so
+  re-labeling with a different combiner or granularity skips detection;
+* :class:`~repro.runner.batch.BatchRunner` — shards an archive (or any
+  iterable of traces) across workers, tracks per-shard progress and
+  failures, supports resuming an interrupted run, and aggregates the
+  per-trace label counts into a longitudinal report.
+"""
+
+from repro.runner.batch import BatchRunner
+from repro.runner.cache import AlarmCache
+from repro.runner.config import PipelineConfig
+from repro.runner.pool import parallel_map
+from repro.runner.report import BatchReport, TraceReport
+from repro.runner.worker import TraceTask, run_task
+
+__all__ = [
+    "AlarmCache",
+    "BatchReport",
+    "BatchRunner",
+    "PipelineConfig",
+    "TraceReport",
+    "TraceTask",
+    "parallel_map",
+    "run_task",
+]

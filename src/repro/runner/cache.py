@@ -1,0 +1,91 @@
+"""On-disk cache of Step 1 alarm sets.
+
+Detection dominates pipeline runtime, and its output depends only on
+(trace, ensemble) — not on the combiner, granularity or similarity
+measure.  Caching alarms keyed by ``(archive, trace, ensemble)``
+therefore lets a re-labeling sweep with a different combiner skip
+Step 1 entirely.
+
+Entries are pickle files written atomically (temp file + ``os.replace``)
+so concurrent pool workers never observe a torn entry; a corrupt or
+unreadable entry is treated as a miss and evicted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.detectors.base import Alarm
+
+
+class AlarmCache:
+    """Pickle-per-entry alarm cache rooted at ``cache_dir``."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def make_key(
+        archive_fingerprint: str, trace_name: str, ensemble_fingerprint: str
+    ) -> str:
+        """Filesystem-safe cache key for one (archive, trace, ensemble)."""
+        digest = hashlib.sha256(
+            f"{archive_fingerprint}:{trace_name}:{ensemble_fingerprint}".encode()
+        ).hexdigest()[:24]
+        return f"alarms-{digest}"
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[list[Alarm]]:
+        """Cached alarms for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                alarms = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # Torn/corrupt entry (e.g. from a killed worker): evict.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return alarms
+
+    def put(self, key: str, alarms: list[Alarm]) -> None:
+        """Store ``alarms`` under ``key`` atomically."""
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(alarms, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("alarms-*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.cache_dir.glob("alarms-*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,89 @@
+"""Picklable pipeline configuration.
+
+Pool workers cannot receive a live :class:`MAWILabPipeline` (strategy
+objects and detector instances are cheap to rebuild but awkward to
+ship), so batch tasks carry this frozen description instead and each
+worker materializes the pipeline locally.  The CLI builds its serial
+pipelines through the same path, guaranteeing that serial and sharded
+runs label identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Names accepted for :attr:`PipelineConfig.strategy`."""
+    return ("scann", "average", "minimum", "maximum", "majority")
+
+
+def _strategy_for(name: str):
+    from repro.core.majority import MajorityVoteStrategy
+    from repro.core.scann import SCANNStrategy
+    from repro.core.strategies import (
+        AverageStrategy,
+        MaximumStrategy,
+        MinimumStrategy,
+    )
+
+    strategies = {
+        "scann": SCANNStrategy,
+        "average": AverageStrategy,
+        "minimum": MinimumStrategy,
+        "maximum": MaximumStrategy,
+        "majority": MajorityVoteStrategy,
+    }
+    try:
+        return strategies[name]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {sorted(strategies)}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything needed to rebuild a :class:`MAWILabPipeline`.
+
+    Attributes mirror the pipeline constructor; ``detectors`` /
+    ``tunings`` restrict the ensemble (``None`` keeps the paper's 12
+    configurations).
+    """
+
+    strategy: str = "scann"
+    granularity: str = "uniflow"
+    measure: str = "simpson"
+    edge_threshold: float = 0.1
+    rule_support_pct: float = 20.0
+    seed: int = 0
+    detectors: Optional[tuple[str, ...]] = None
+    tunings: Optional[tuple[str, ...]] = None
+
+    def build_pipeline(self):
+        """Materialize the pipeline this config describes."""
+        from repro.detectors.registry import default_ensemble
+        from repro.labeling.mawilab import MAWILabPipeline
+        from repro.net.flow import Granularity
+
+        ensemble = None
+        if self.detectors is not None or self.tunings is not None:
+            ensemble = default_ensemble(
+                detectors=self.detectors, tunings=self.tunings
+            )
+        return MAWILabPipeline(
+            ensemble=ensemble,
+            granularity=Granularity(self.granularity),
+            strategy=_strategy_for(self.strategy),
+            measure=self.measure,
+            edge_threshold=self.edge_threshold,
+            rule_support_pct=self.rule_support_pct,
+            seed=self.seed,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.strategy}/{self.granularity}/{self.measure}"
+            f" thr={self.edge_threshold} support={self.rule_support_pct}%"
+        )

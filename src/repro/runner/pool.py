@@ -1,0 +1,62 @@
+"""Process-pool fan-out shared by the batch runner and sweeps.
+
+``parallel_map`` is a thin, order-preserving wrapper over
+``ProcessPoolExecutor`` with two properties the callers rely on:
+
+* ``workers <= 1`` runs inline in the calling process — no fork, no
+  pickling — which keeps tests debuggable and lets monkeypatched
+  worker internals take effect;
+* progress callbacks fire as shards *complete* (any order), while the
+  returned list always preserves input order, so sharded results are
+  deterministic regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: ``progress(done, total, result)`` called after each item finishes.
+ProgressCallback = Callable[[int, int, object], None]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, fanning out across processes.
+
+    ``fn`` must be a module-level callable and items picklable when
+    ``workers > 1``.  Results are returned in input order.
+    """
+    items = list(items)
+    total = len(items)
+    if total == 0:
+        return []
+    if workers <= 1:
+        results: list[R] = []
+        for i, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if progress is not None:
+                progress(i + 1, total, result)
+        return results
+
+    slots: list[Optional[R]] = [None] * total
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        future_to_index = {
+            pool.submit(fn, item): i for i, item in enumerate(items)
+        }
+        done = 0
+        for future in as_completed(future_to_index):
+            index = future_to_index[future]
+            slots[index] = future.result()
+            done += 1
+            if progress is not None:
+                progress(done, total, slots[index])
+    return slots  # type: ignore[return-value]

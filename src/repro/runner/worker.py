@@ -1,0 +1,148 @@
+"""The per-trace labeling task executed inside pool workers.
+
+:func:`run_task` must stay a module-level function (pickled by
+reference into pool workers) and must never raise: every failure is
+folded into a ``status="failed"`` :class:`TraceReport` so one bad
+shard cannot take down a batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.net.trace import Trace
+from repro.runner.config import PipelineConfig
+from repro.runner.report import TraceReport
+
+
+@dataclass(frozen=True)
+class TraceTask:
+    """One shard: label one trace (generated or embedded).
+
+    When ``trace`` is ``None`` the worker regenerates the archive day
+    from ``(archive_seed, trace_duration, date)`` — pickling a date
+    string is far cheaper than pickling a packet trace.  An embedded
+    ``trace`` supports labeling arbitrary traces (e.g. loaded pcaps).
+    """
+
+    date: str
+    config: PipelineConfig = PipelineConfig()
+    archive_seed: int = 2010
+    trace_duration: float = 60.0
+    trace: Optional[Trace] = None
+    cache_dir: Optional[str] = None
+    out_dir: Optional[str] = None
+
+
+def csv_path_for(out_dir: str | Path, date: str) -> Path:
+    """Where one trace's label CSV lands inside ``out_dir``."""
+    return Path(out_dir) / f"labels-{date}.csv"
+
+
+def fingerprint_trace(trace: Trace) -> str:
+    """Content-derived digest of an inline trace.
+
+    Cache keys for embedded traces must reflect the packets themselves
+    — two different traces sharing a name/length/duration must not
+    share Step 1 alarms.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"{trace.metadata.name}:{len(trace)}".encode())
+    for pkt in trace:
+        hasher.update(
+            f"{pkt.time!r},{pkt.src},{pkt.dst},{pkt.sport},{pkt.dport},"
+            f"{pkt.proto},{pkt.size},{pkt.tcp_flags},{pkt.icmp_type};".encode()
+        )
+    return f"inline:{hasher.hexdigest()[:16]}"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def run_task(task: TraceTask) -> TraceReport:
+    """Label one trace; never raises (failures become reports)."""
+    started = time.perf_counter()
+    try:
+        report = _run_task_inner(task)
+    except Exception as exc:  # noqa: BLE001 - shard isolation is the point
+        report = TraceReport(
+            date=task.date,
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    report.elapsed = time.perf_counter() - started
+    return report
+
+
+def _run_task_inner(task: TraceTask) -> TraceReport:
+    from repro.labeling.mawilab import labels_to_csv
+    from repro.mawi.archive import SyntheticArchive
+    from repro.runner.cache import AlarmCache
+
+    if task.trace is not None:
+        trace = task.trace
+        trace_fingerprint = fingerprint_trace(trace)
+    else:
+        archive = SyntheticArchive(
+            seed=task.archive_seed, trace_duration=task.trace_duration
+        )
+        trace = archive.day(task.date).trace
+        trace_fingerprint = archive.fingerprint()
+
+    pipeline = task.config.build_pipeline()
+
+    cache = AlarmCache(task.cache_dir) if task.cache_dir else None
+    alarms = None
+    key = ""
+    if cache is not None:
+        key = AlarmCache.make_key(
+            trace_fingerprint, task.date, pipeline.ensemble_fingerprint()
+        )
+        alarms = cache.get(key)
+    cache_hit = alarms is not None
+    if alarms is None:
+        alarms = pipeline.detect(trace)
+        if cache is not None:
+            cache.put(key, alarms)
+
+    result = pipeline.run_with_alarms(trace, alarms)
+    csv_text = labels_to_csv(result.labels)
+
+    csv_path = ""
+    if task.out_dir:
+        out_path = csv_path_for(task.out_dir, task.date)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        _write_atomic(out_path, csv_text)
+        csv_path = str(out_path)
+
+    return TraceReport(
+        date=task.date,
+        status="ok",
+        n_alarms=len(result.alarms),
+        n_communities=len(result.community_set.communities),
+        n_anomalous=len(result.anomalous()),
+        n_suspicious=len(result.suspicious()),
+        n_notice=len(result.notice()),
+        cache_hit=cache_hit,
+        csv_path=csv_path,
+        csv_sha256=hashlib.sha256(csv_text.encode()).hexdigest(),
+    )

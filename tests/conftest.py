@@ -18,8 +18,6 @@ from repro.net.packet import (
     PROTO_ICMP,
     PROTO_TCP,
     PROTO_UDP,
-    PSH,
-    SYN,
     Packet,
 )
 from repro.net.trace import Trace

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RuleMiningError
-from repro.rules.apriori import AprioriResult, apriori, coverage
+from repro.rules.apriori import apriori, coverage
 
 
 class TestBasics:

@@ -5,7 +5,6 @@ import pytest
 from repro.detectors.base import Alarm, Detector
 from repro.detectors.kl import KLDetector
 from repro.eval.benchmark import DetectorScore, benchmark_detector, label_to_alarm
-from repro.net.filters import FeatureFilter
 
 
 class NullDetector(Detector):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.detectors.base import Alarm, Configuration, Detector
+from repro.detectors.base import Alarm, Configuration
 from repro.detectors.registry import (
     DETECTOR_NAMES,
     default_ensemble,

@@ -1,6 +1,5 @@
 """Unit tests for repro.mawi.events and repro.mawi.archive."""
 
-import pytest
 
 from repro.mawi.archive import SyntheticArchive, first_week_of_months
 from repro.mawi.events import archive_timeline, era_for_date

@@ -1,6 +1,5 @@
 """Unit tests for the Table-1 heuristics."""
 
-import pytest
 
 from repro.labeling.heuristics import (
     CATEGORY_ATTACK,
@@ -8,7 +7,7 @@ from repro.labeling.heuristics import (
     CATEGORY_UNKNOWN,
     label_packets,
 )
-from repro.net.packet import ACK, FIN, PROTO_ICMP, PROTO_TCP, PROTO_UDP, PSH, RST, SYN
+from repro.net.packet import ACK, FIN, PROTO_ICMP, PROTO_UDP, PSH, RST, SYN
 from tests.conftest import make_packet
 
 

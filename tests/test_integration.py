@@ -2,7 +2,6 @@
 
 import io
 
-import pytest
 
 from repro.labeling.mawilab import MAWILabPipeline
 from repro.mawi.anomalies import AnomalySpec

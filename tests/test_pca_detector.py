@@ -7,7 +7,6 @@ from repro.detectors.pca import PCADetector
 from repro.mawi.anomalies import AnomalySpec
 from repro.mawi.generator import WorkloadSpec, generate_trace
 from repro.net.trace import Trace
-from tests.conftest import make_packet
 
 
 @pytest.fixture(scope="module")

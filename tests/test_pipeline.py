@@ -1,6 +1,5 @@
 """Integration tests for the end-to-end MAWILab pipeline."""
 
-import pytest
 
 from repro.core.strategies import AverageStrategy
 from repro.labeling.mawilab import (

@@ -1,6 +1,8 @@
 """Unit tests for similarity measures and graph construction."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.graph import SimilarityGraph, build_similarity_graph
 from repro.core.similarity import constant_measure, jaccard, simpson
@@ -120,3 +122,50 @@ class TestBuildGraph:
         sets = [frozenset({i}) for i in range(500)]
         graph = build_similarity_graph(sets)
         assert graph.n_edges == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(GraphError):
+            build_similarity_graph([frozenset({1})], backend="cuda")
+
+
+#: Randomized per-alarm traffic sets over a small element universe, so
+#: co-occurrence (and hence edges) is common rather than degenerate.
+traffic_sets_st = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=25), max_size=12),
+    max_size=24,
+)
+
+
+class TestBackendEquivalence:
+    """The numpy backend must reproduce the reference graphs exactly."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        sets=traffic_sets_st,
+        measure=st.sampled_from(["simpson", "jaccard", "constant"]),
+        threshold=st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.9]),
+    )
+    def test_numpy_matches_python(self, sets, measure, threshold):
+        vectorized = build_similarity_graph(
+            sets, measure=measure, edge_threshold=threshold, backend="numpy"
+        )
+        reference = build_similarity_graph(
+            sets, measure=measure, edge_threshold=threshold, backend="python"
+        )
+        assert vectorized.n_nodes == reference.n_nodes
+        # Same edges AND bit-identical weights.
+        assert vectorized.adjacency == reference.adjacency
+
+    @settings(max_examples=50, deadline=None)
+    @given(sets=traffic_sets_st)
+    def test_numpy_matches_python_callable_measure(self, sets):
+        def halved_overlap(intersection, size_a, size_b):
+            return intersection / (2 * max(size_a, size_b, 1))
+
+        vectorized = build_similarity_graph(
+            sets, measure=halved_overlap, backend="numpy"
+        )
+        reference = build_similarity_graph(
+            sets, measure=halved_overlap, backend="python"
+        )
+        assert vectorized.adjacency == reference.adjacency

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
-from repro.net.stats import TraceStats, compute_stats
+from repro.net.stats import compute_stats
 from repro.net.trace import Trace
 
 
