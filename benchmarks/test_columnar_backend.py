@@ -1,0 +1,73 @@
+"""Columnar engine acceptance: speedup with byte-identical labels.
+
+The ROADMAP's north star asks the hot path to run "as fast as the
+hardware allows"; the columnar packet engine re-expresses Step 1
+feature binning, Step 2 traffic extraction and the similarity graph as
+NumPy array programs.  This benchmark pins both halves of the claim on
+the benchmark synthetic trace:
+
+* end-to-end ``MAWILabPipeline.run`` is at least 3x faster on the
+  ``numpy`` backend than on the pure-Python reference backend, and
+* ``labels_to_csv`` output is byte-identical between the two.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.labeling.mawilab import MAWILabPipeline, labels_to_csv
+from repro.mawi.archive import SyntheticArchive
+
+from benchmarks.conftest import ARCHIVE_SEED, TRACE_DURATION
+
+BENCH_DATE = "2005-06-01"
+
+
+def _fresh_trace():
+    """A cold trace per run, so neither backend inherits warm caches."""
+    archive = SyntheticArchive(
+        seed=ARCHIVE_SEED, trace_duration=TRACE_DURATION
+    )
+    return archive.day(BENCH_DATE).trace
+
+
+def _run(backend: str):
+    trace = _fresh_trace()
+    pipeline = MAWILabPipeline(backend=backend)
+    started = time.perf_counter()
+    result = pipeline.run(trace)
+    elapsed = time.perf_counter() - started
+    return labels_to_csv(result.labels), elapsed
+
+
+def test_columnar_backend_3x_and_byte_identical():
+    csv_numpy, _warmup = _run("numpy")
+
+    # Best-of-3 for both sides so one scheduler hiccup cannot decide
+    # the comparison; the observed gap is ~5-6x, asserted at 3x.
+    numpy_best = min(_run("numpy")[1] for _ in range(3))
+    python_runs = [_run("python") for _ in range(3)]
+    python_best = min(elapsed for _csv, elapsed in python_runs)
+
+    assert csv_numpy == python_runs[0][0]
+    assert all(csv == csv_numpy for csv, _elapsed in python_runs)
+    assert python_best >= 3.0 * numpy_best, (
+        f"columnar speedup {python_best / numpy_best:.2f}x below 3x "
+        f"(numpy {numpy_best:.3f}s, python {python_best:.3f}s)"
+    )
+
+
+def test_backends_identical_across_granularities():
+    """CSV parity holds for every similarity granularity, not just the
+    default uniflow configuration."""
+    from repro.net.flow import Granularity
+
+    for granularity in Granularity:
+        outputs = {}
+        for backend in ("numpy", "python"):
+            pipeline = MAWILabPipeline(
+                granularity=granularity, backend=backend
+            )
+            result = pipeline.run(_fresh_trace())
+            outputs[backend] = labels_to_csv(result.labels)
+        assert outputs["numpy"] == outputs["python"], granularity

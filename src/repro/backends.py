@@ -1,0 +1,24 @@
+"""The ``backend=`` convention shared by every vectorized layer.
+
+Layers with a columnar fast path (filters, extractor, detectors,
+graph, heuristics, cache keys) accept ``backend="auto" | "numpy" |
+"python"`` and resolve it through this single helper, so validation
+and the meaning of ``"auto"`` cannot drift between layers.
+"""
+
+from __future__ import annotations
+
+BACKENDS = ("auto", "numpy", "python")
+
+
+def resolve_backend(backend: str, *, what: str = "engine") -> str:
+    """Normalize a backend choice to ``"numpy"`` or ``"python"``.
+
+    ``"auto"`` resolves to ``"numpy"``; anything outside
+    :data:`BACKENDS` raises ``ValueError`` naming the offending layer.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown {what} backend {backend!r}; known: {list(BACKENDS)}"
+        )
+    return "numpy" if backend in ("auto", "numpy") else "python"

@@ -1,21 +1,29 @@
 """Command-line interface.
 
-Six subcommands expose the library to non-Python users::
+Seven subcommands expose the library to non-Python users::
 
     mawilab generate      --seed 7 --duration 30 --anomaly sasser \
                           --anomaly ping_flood --out day.pcap --truth truth.json
     mawilab inspect       day.pcap
     mawilab detect        day.pcap --config kl/sensitive
     mawilab label         day.pcap --format csv --out labels.csv
+    mawilab bench         --backend auto --out bench.json
     mawilab archive       --start 2004-01-01 --months 6
     mawilab label-archive --start 2004-01-01 --months 6 --workers 4 \
                           --out-dir labels/ --cache-dir .mawilab-cache --resume
 
-`label` runs the full 4-step pipeline; `archive` sweeps synthetic
-archive days and prints the SCANN attack-ratio series (the Fig. 7
-workflow); `label-archive` shards archive days across a process pool,
-writes one label CSV per day plus a JSON batch report, and can resume
-an interrupted run.  All commands are deterministic given their seeds.
+`label` runs the full 4-step pipeline; `bench` runs it once on a
+synthetic archive day and prints per-stage wall times (detect /
+extract / graph / combine / label) as JSON — the perf artifact CI
+archives on every PR; `archive` sweeps synthetic archive days and
+prints the SCANN attack-ratio series (the Fig. 7 workflow);
+`label-archive` shards archive days across a process pool, writes one
+label CSV per day plus a JSON batch report, and can resume an
+interrupted run.  All commands are deterministic given their seeds.
+
+The pipeline commands accept ``--backend {auto,numpy,python}``: the
+columnar NumPy engine (default) or the pure-Python reference
+implementations; both label identically.
 """
 
 from __future__ import annotations
@@ -92,6 +100,7 @@ def _pipeline_config(args: argparse.Namespace):
         strategy=args.strategy,
         granularity=args.granularity,
         measure=args.measure,
+        backend=args.backend,
     )
 
 
@@ -122,6 +131,55 @@ def _cmd_label(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             handle.write(rendered)
         print(f"wrote labels to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """One synthetic-trace pipeline run with per-stage wall times.
+
+    Prints a JSON document so CI can archive comparable perf artifacts
+    across PRs: generation parameters, per-stage seconds
+    (detect / extract / graph / combine / label), totals and output
+    shape (alarm/community/label counts).
+    """
+    import time
+
+    from repro.labeling.mawilab import MAWILabPipeline
+    from repro.mawi.archive import SyntheticArchive
+
+    archive = SyntheticArchive(seed=args.seed, trace_duration=args.duration)
+    trace = archive.day(args.date).trace
+    pipeline = MAWILabPipeline(backend=args.backend)
+
+    timings: dict = {}
+    started = time.perf_counter()
+    alarms = pipeline.detect(trace)
+    timings["detect"] = time.perf_counter() - started
+    result = pipeline.run_with_alarms(trace, alarms, timings=timings)
+    total = time.perf_counter() - started
+
+    payload = {
+        "backend": args.backend,
+        "seed": args.seed,
+        "date": args.date,
+        "duration": args.duration,
+        "n_packets": len(trace),
+        "n_alarms": len(result.alarms),
+        "n_communities": len(result.community_set.communities),
+        "n_anomalous": len(result.anomalous()),
+        "stages": {
+            stage: round(timings.get(stage, 0.0), 6)
+            for stage in ("detect", "extract", "graph", "combine", "label")
+        },
+        "total": round(total, 6),
+    }
+    rendered = json.dumps(payload, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote bench report to {args.out}", file=sys.stderr)
     else:
         print(rendered, end="")
     return 0
@@ -262,6 +320,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_options(label)
     label.set_defaults(func=_cmd_label)
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the synthetic-trace pipeline once and print per-stage "
+        "wall times as JSON",
+    )
+    bench.add_argument("--seed", type=int, default=2010)
+    bench.add_argument("--duration", type=float, default=30.0)
+    bench.add_argument("--date", default="2005-06-01")
+    bench.add_argument(
+        "--backend", choices=("auto", "numpy", "python"), default="auto"
+    )
+    bench.add_argument("--out", help="output path (stdout if omitted)")
+    bench.set_defaults(func=_cmd_bench)
+
     archive = sub.add_parser(
         "archive", help="label synthetic archive days and print the series"
     )
@@ -327,6 +399,13 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         "--measure",
         choices=("simpson", "jaccard", "constant"),
         default="simpson",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        help="engine backend: numpy = columnar fast paths (default), "
+        "python = pure-Python reference implementations",
     )
 
 

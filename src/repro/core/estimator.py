@@ -13,7 +13,8 @@ Orchestrates Step 2 of the paper's method:
 
 from __future__ import annotations
 
-from typing import Sequence
+import time
+from typing import Optional, Sequence
 
 from repro.core.community import Community, CommunitySet
 from repro.core.extractor import TrafficExtractor
@@ -41,6 +42,12 @@ class SimilarityEstimator:
         Louvain shuffle seed (fixes the partition).
     resolution:
         Louvain modularity resolution.
+    backend:
+        Traffic-extraction backend ("auto" / "numpy" / "python").  On
+        the numpy backend, per-alarm traffic flows from the columnar
+        extractor into the graph builder as dense code arrays, and the
+        public ``FrozenSet`` traffic sets are materialized afterwards
+        for the community records.
     graph_backend:
         Similarity-graph construction backend ("auto" / "numpy" /
         "python"); both backends build identical graphs.
@@ -53,6 +60,7 @@ class SimilarityEstimator:
         edge_threshold: float = 0.0,
         seed: int = 0,
         resolution: float = 1.0,
+        backend: str = "auto",
         graph_backend: str = "auto",
     ) -> None:
         self.granularity = granularity
@@ -60,23 +68,54 @@ class SimilarityEstimator:
         self.edge_threshold = edge_threshold
         self.seed = seed
         self.resolution = resolution
+        self.backend = backend
         self.graph_backend = graph_backend
 
-    def build(self, trace: Trace, alarms: Sequence[Alarm]) -> CommunitySet:
-        """Run the estimator on one trace's alarms."""
+    def build(
+        self,
+        trace: Trace,
+        alarms: Sequence[Alarm],
+        timings: Optional[dict] = None,
+    ) -> CommunitySet:
+        """Run the estimator on one trace's alarms.
+
+        ``timings``, when given, accumulates per-stage wall seconds
+        under the keys ``"extract"``, ``"graph"`` and ``"combine"``
+        (Louvain clustering) — the ``repro bench`` instrumentation.
+        """
+        clock = time.perf_counter
         alarms = list(alarms)
-        extractor = TrafficExtractor(trace, self.granularity)
-        traffic_sets = extractor.extract_all(alarms)
+        started = clock()
+        extractor = TrafficExtractor(
+            trace, self.granularity, backend=self.backend
+        )
+        if extractor.backend == "numpy":
+            code_sets = extractor.extract_all_codes(alarms)
+            graph_input: Sequence = code_sets
+            traffic_sets = [
+                extractor.codes_to_traffic(codes) for codes in code_sets
+            ]
+        else:
+            traffic_sets = extractor.extract_all(alarms)
+            graph_input = traffic_sets
+        if timings is not None:
+            timings["extract"] = timings.get("extract", 0.0) + clock() - started
+        started = clock()
         graph = build_similarity_graph(
-            traffic_sets,
+            graph_input,
             measure=self.measure,
             edge_threshold=self.edge_threshold,
             backend=self.graph_backend,
         )
+        if timings is not None:
+            timings["graph"] = timings.get("graph", 0.0) + clock() - started
+        started = clock()
         partition = louvain(
             graph, resolution=self.resolution, seed=self.seed
         )
         communities = self._materialize(alarms, traffic_sets, partition)
+        if timings is not None:
+            timings["combine"] = timings.get("combine", 0.0) + clock() - started
         return CommunitySet(
             communities=communities,
             alarms=alarms,

@@ -9,13 +9,31 @@ Retrieves the traffic described by each alarm at a chosen granularity
 The granularity choice is the estimator's central trade-off (Fig. 1 and
 Fig. 3): packets give precise but fragmented associations, flows relate
 alarms that touch different packets of the same conversation.
+
+Two interchangeable backends implement the retrieval, following the
+same ``backend=`` convention as
+:func:`~repro.core.graph.build_similarity_graph`:
+
+* ``"numpy"`` (default) — alarm filters become boolean masks over the
+  trace's :class:`~repro.net.table.PacketTable`, flows are dense
+  integer codes (:func:`~repro.net.table.flow_codes`), and
+  :meth:`TrafficExtractor.extract_all_codes` hands the per-alarm code
+  arrays straight to the vectorized similarity-graph builder without
+  ever constructing Python sets.
+* ``"python"`` — the original per-packet predicate loop, kept as the
+  readable reference; property tests assert both backends extract
+  identical traffic sets.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import FrozenSet, Sequence
 
+import numpy as np
+
+from repro.backends import resolve_backend
 from repro.detectors.base import Alarm
+from repro.errors import TraceError
 from repro.net.flow import FlowKey, Granularity, biflow_key, uniflow_key
 from repro.net.trace import Trace
 
@@ -23,16 +41,42 @@ from repro.net.trace import Trace
 class TrafficExtractor:
     """Extracts, per alarm, the associated traffic set.
 
-    The extractor precomputes per-packet flow keys once per trace so
-    that each alarm extraction costs only its own time window.
+    The extractor precomputes per-packet flow keys (or dense flow
+    codes, on the numpy backend) once per trace so that each alarm
+    extraction costs only its own time window.
+
+    Parameters
+    ----------
+    trace:
+        The trace alarms refer to.
+    granularity:
+        Traffic granularity of the extracted sets.
+    backend:
+        ``"numpy"``, ``"python"`` or ``"auto"`` (numpy).  Both produce
+        identical traffic sets.
     """
 
-    def __init__(self, trace: Trace, granularity: Granularity = Granularity.UNIFLOW) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        granularity: Granularity = Granularity.UNIFLOW,
+        backend: str = "auto",
+    ) -> None:
         self.trace = trace
         self.granularity = granularity
+        self.backend = resolve_backend(backend, what="extractor")
+        if self.backend == "numpy":
+            self._init_numpy()
+        else:
+            self._init_python()
+
+    # -- python (reference) backend ------------------------------------
+
+    def _init_python(self) -> None:
+        trace = self.trace
         # Per-packet flow keys (lazy by granularity need).
         self._uniflow_of: list[FlowKey] = [uniflow_key(p) for p in trace]
-        if granularity is Granularity.BIFLOW:
+        if self.granularity is Granularity.BIFLOW:
             self._biflow_of: list[FlowKey] = [biflow_key(p) for p in trace]
         else:
             self._biflow_of = []
@@ -40,19 +84,6 @@ class TrafficExtractor:
         self._uniflow_index: dict[FlowKey, list[int]] = {}
         for i, key in enumerate(self._uniflow_of):
             self._uniflow_index.setdefault(key, []).append(i)
-
-    def extract(self, alarm: Alarm) -> FrozenSet:
-        """Traffic set of one alarm at this extractor's granularity."""
-        indices = self._packet_indices(alarm)
-        if self.granularity is Granularity.PACKET:
-            return frozenset(indices)
-        if self.granularity is Granularity.UNIFLOW:
-            return frozenset(self._uniflow_of[i] for i in indices)
-        return frozenset(self._biflow_of[i] for i in indices)
-
-    def extract_all(self, alarms: list[Alarm]) -> list[FrozenSet]:
-        """Traffic sets for a list of alarms (index-aligned)."""
-        return [self.extract(alarm) for alarm in alarms]
 
     def _packet_indices(self, alarm: Alarm) -> set[int]:
         """Packet indices designated by the alarm (filters + flow keys)."""
@@ -73,6 +104,110 @@ class TrafficExtractor:
                         indices.add(i)
         return indices
 
+    # -- numpy backend -------------------------------------------------
+
+    def _init_numpy(self) -> None:
+        trace = self.trace
+        self._codes, self._keys = trace.flow_code_table(Granularity.UNIFLOW)
+        self._key_to_code = {key: c for c, key in enumerate(self._keys)}
+        if self.granularity is Granularity.BIFLOW:
+            self._bicodes, self._bikeys = trace.flow_code_table(
+                Granularity.BIFLOW
+            )
+            self._bikey_to_code = {
+                key: c for c, key in enumerate(self._bikeys)
+            }
+        else:
+            self._bicodes = np.empty(0, dtype=np.int64)
+            self._bikeys = []
+            self._bikey_to_code = {}
+
+    def _alarm_mask(self, alarm: Alarm) -> np.ndarray:
+        """Boolean packet mask designated by the alarm."""
+        table = self.trace.table
+        mask = np.zeros(len(table), dtype=bool)
+        for feature_filter in alarm.filters:
+            t0 = feature_filter.t0 if feature_filter.t0 is not None else alarm.t0
+            t1 = feature_filter.t1 if feature_filter.t1 is not None else alarm.t1
+            if t1 < t0:
+                # Mirror Trace.time_slice on the reference path.
+                raise TraceError(f"empty interval [{t0}, {t1})")
+            mask |= feature_filter.mask(table, t0=t0, t1=t1)
+        if alarm.flow_keys:
+            wanted = [
+                self._key_to_code[key]
+                for key in alarm.flow_keys
+                if key in self._key_to_code
+            ]
+            if wanted:
+                in_flows = np.isin(self._codes, np.array(wanted, dtype=np.int64))
+                time = table.time
+                in_window = (time >= alarm.t0) & (time < alarm.t1)
+                if alarm.t1 == self.trace.end_time:
+                    in_window |= time == alarm.t1
+                mask |= in_flows & in_window
+        return mask
+
+    def _codes_for_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Sorted unique traffic codes (or packet indices) of a mask."""
+        if self.granularity is Granularity.PACKET:
+            return np.nonzero(mask)[0]
+        if self.granularity is Granularity.UNIFLOW:
+            return np.unique(self._codes[mask])
+        return np.unique(self._bicodes[mask])
+
+    def codes_to_traffic(self, codes: np.ndarray) -> FrozenSet:
+        """Materialize a code array as the public traffic set."""
+        if self.granularity is Granularity.PACKET:
+            return frozenset(int(i) for i in codes)
+        keys = (
+            self._keys
+            if self.granularity is Granularity.UNIFLOW
+            else self._bikeys
+        )
+        return frozenset(keys[int(c)] for c in codes)
+
+    # -- public API ----------------------------------------------------
+
+    def extract(self, alarm: Alarm) -> FrozenSet:
+        """Traffic set of one alarm at this extractor's granularity."""
+        if self.backend == "numpy":
+            return self.codes_to_traffic(
+                self._codes_for_mask(self._alarm_mask(alarm))
+            )
+        indices = self._packet_indices(alarm)
+        if self.granularity is Granularity.PACKET:
+            return frozenset(indices)
+        if self.granularity is Granularity.UNIFLOW:
+            return frozenset(self._uniflow_of[i] for i in indices)
+        return frozenset(self._biflow_of[i] for i in indices)
+
+    def extract_all(self, alarms: Sequence[Alarm]) -> list[FrozenSet]:
+        """Traffic sets for a list of alarms (index-aligned)."""
+        if self.backend == "numpy":
+            return [
+                self.codes_to_traffic(codes)
+                for codes in self.extract_all_codes(alarms)
+            ]
+        return [self.extract(alarm) for alarm in alarms]
+
+    def extract_all_codes(self, alarms: Sequence[Alarm]) -> list[np.ndarray]:
+        """Batched extraction as dense int arrays (numpy backend only).
+
+        Element ``i`` holds the sorted unique traffic codes (flow ids,
+        or packet indices at packet granularity) of alarm ``i`` — the
+        exact integer alphabet
+        :func:`~repro.core.graph.build_similarity_graph` consumes
+        directly, skipping Python set construction entirely.
+        """
+        if self.backend != "numpy":
+            raise ValueError(
+                "extract_all_codes requires the numpy extractor backend"
+            )
+        return [
+            self._codes_for_mask(self._alarm_mask(alarm)) for alarm in alarms
+        ]
+
     def packets_of(self, traffic: FrozenSet) -> list[int]:
         """Expand a traffic set back to packet indices.
 
@@ -80,6 +215,8 @@ class TrafficExtractor:
         granularities it returns every packet of every listed flow.
         Used by the heuristics and the rule miner, which need packets.
         """
+        if self.backend == "numpy":
+            return [int(i) for i in self.packet_index_array(traffic)]
         if self.granularity is Granularity.PACKET:
             return sorted(int(i) for i in traffic)
         if self.granularity is Granularity.UNIFLOW:
@@ -92,3 +229,27 @@ class TrafficExtractor:
         return sorted(
             i for i, key in enumerate(self._biflow_of) if key in wanted
         )
+
+    def packet_index_array(self, traffic: FrozenSet) -> np.ndarray:
+        """Vectorized :meth:`packets_of` (sorted int64 array).
+
+        Only available on the numpy backend; the heuristics use it to
+        label community traffic without materializing packet objects.
+        """
+        if self.backend != "numpy":
+            raise ValueError(
+                "packet_index_array requires the numpy extractor backend"
+            )
+        if self.granularity is Granularity.PACKET:
+            return np.array(sorted(int(i) for i in traffic), dtype=np.int64)
+        if self.granularity is Granularity.UNIFLOW:
+            key_to_code: dict = self._key_to_code
+            codes = self._codes
+        else:
+            key_to_code = self._bikey_to_code
+            codes = self._bicodes
+        wanted = [key_to_code[key] for key in traffic if key in key_to_code]
+        if not wanted:
+            return np.empty(0, dtype=np.int64)
+        mask = np.isin(codes, np.array(wanted, dtype=np.int64))
+        return np.nonzero(mask)[0].astype(np.int64)

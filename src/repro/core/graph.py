@@ -98,7 +98,10 @@ def build_similarity_graph(
     ----------
     traffic_sets:
         One traffic set per alarm (index-aligned with alarm ids).
-        Empty sets yield isolated nodes.
+        Either Python sets of hashable elements or — as produced by
+        ``TrafficExtractor.extract_all_codes`` — NumPy arrays of unique
+        integer codes, which the numpy backend ingests without any
+        per-element Python work.  Empty sets yield isolated nodes.
     measure:
         Similarity measure name or callable ``(intersection, |A|, |B|)
         -> weight``.
@@ -165,7 +168,12 @@ def _build_similarity_graph_python(
             for v in alarm_ids[i + 1 :]:
                 intersections[(u, v)] += 1
 
-    for (u, v), count in intersections.items():
+    # Insert edges sorted by (u, v) — the order the numpy backend emits
+    # pairs in.  Louvain iterates adjacency dicts in insertion order
+    # when breaking modularity ties, so both backends must build graphs
+    # that are identical *as ordered dicts*, not merely equal.
+    for (u, v) in sorted(intersections):
+        count = intersections[(u, v)]
         weight = measure_fn(count, len(traffic_sets[u]), len(traffic_sets[v]))
         if weight > edge_threshold:
             graph.add_edge(u, v, weight)
@@ -188,20 +196,36 @@ def _cooccurrence_pairs(
     # Flatten the inverted index into parallel (element code, alarm id)
     # arrays.  Iterating alarms in id order makes alarm ids ascending
     # within each element's posting list after a stable sort by code.
-    codes = np.empty(total, dtype=np.int64)
-    alarm_ids = np.empty(total, dtype=np.int64)
-    code_of: dict = {}
-    pos = 0
-    for alarm_id, traffic in enumerate(traffic_sets):
-        for element in traffic:
-            code = code_of.setdefault(element, len(code_of))
-            codes[pos] = code
-            alarm_ids[pos] = alarm_id
-            pos += 1
+    if all(isinstance(traffic, np.ndarray) for traffic in traffic_sets):
+        # Pre-encoded traffic (e.g. flow codes from the columnar
+        # extractor): re-encode densely without touching Python objects.
+        flat = np.concatenate(
+            [traffic for traffic in traffic_sets if len(traffic)]
+        ).astype(np.int64, copy=False)
+        alarm_ids = np.repeat(
+            np.arange(n, dtype=np.int64),
+            [len(traffic) for traffic in traffic_sets],
+        )
+        codes = np.unique(flat, return_inverse=True)[1].astype(
+            np.int64, copy=False
+        )
+        n_codes = int(codes.max()) + 1
+    else:
+        codes = np.empty(total, dtype=np.int64)
+        alarm_ids = np.empty(total, dtype=np.int64)
+        code_of: dict = {}
+        pos = 0
+        for alarm_id, traffic in enumerate(traffic_sets):
+            for element in traffic:
+                code = code_of.setdefault(element, len(code_of))
+                codes[pos] = code
+                alarm_ids[pos] = alarm_id
+                pos += 1
+        n_codes = len(code_of)
 
     order = np.argsort(codes, kind="stable")
     members = alarm_ids[order]
-    counts_per_code = np.bincount(codes, minlength=len(code_of))
+    counts_per_code = np.bincount(codes, minlength=n_codes)
     starts = np.concatenate(([0], np.cumsum(counts_per_code)[:-1]))
 
     # Generate all within-element pairs, batching posting lists of the

@@ -20,6 +20,7 @@ import abc
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.backends import resolve_backend
 from repro.errors import DetectorError
 from repro.net.filters import FeatureFilter
 from repro.net.flow import FlowKey
@@ -61,12 +62,22 @@ class Alarm:
             raise DetectorError("alarm designates no traffic")
 
     def describe(self) -> str:
-        """Short human-readable form."""
+        """Short human-readable form.
+
+        Always leads with the full configuration id (falling back to
+        the detector family when a bare family name was stamped in) so
+        every rendering carries the time window's detector config.  An
+        alarm designating traffic through both filters and flow keys is
+        a *union* of the two, rendered with an explicit ``∪``; an alarm
+        whose designation is empty-handed renders that state explicitly
+        rather than as a blank.
+        """
+        config = self.config or self.detector or "?"
         parts = [f.describe() for f in self.filters]
         if self.flow_keys:
             parts.append(f"{len(self.flow_keys)} flows")
-        body = ", ".join(parts) if parts else "(empty)"
-        return f"[{self.config}] {self.t0:.1f}-{self.t1:.1f}s {body}"
+        body = " ∪ ".join(parts) if parts else "(empty traffic union)"
+        return f"[{config}] {self.t0:.1f}-{self.t1:.1f}s {body}"
 
 
 @dataclass(frozen=True)
@@ -102,8 +113,19 @@ class Detector(abc.ABC):
     #: Family name; subclasses override.
     name: str = "base"
 
-    def __init__(self, tuning: str = "optimal", **params) -> None:
+    def __init__(
+        self, tuning: str = "optimal", backend: str = "auto", **params
+    ) -> None:
         self.tuning = tuning
+        #: Feature-path backend: ``"numpy"`` reads the trace's columnar
+        #: table, ``"python"`` scans packet objects (the reference
+        #: implementation).  Both emit identical alarms; ``backend`` is
+        #: deliberately *not* a detector parameter so it never enters
+        #: ensemble fingerprints or alarm-cache keys derived from them.
+        try:
+            self.backend = resolve_backend(backend, what=self.name)
+        except ValueError as exc:
+            raise DetectorError(str(exc)) from None
         self.params = dict(self.default_params())
         unknown = set(params) - set(self.params)
         if unknown:

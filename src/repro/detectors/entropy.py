@@ -36,6 +36,10 @@ from collections import Counter
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
+from repro.detectors.features import (
+    binned_value_histogram,
+    first_appearance_order,
+)
 from repro.net.filters import FeatureFilter
 from repro.net.trace import Trace
 
@@ -50,6 +54,30 @@ def shannon_entropy(counts: Counter) -> float:
         return 0.0
     probabilities = np.array(list(counts.values()), dtype=float) / total
     return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+def _entropy_series(counts: np.ndarray) -> np.ndarray:
+    """Per-bin Shannon entropies of a dense histogram matrix."""
+    n_bins = counts.shape[0]
+    entropies = np.zeros(n_bins)
+    totals = counts.sum(axis=1)
+    for b in range(n_bins):
+        if totals[b] == 0:
+            continue
+        row = counts[b]
+        probabilities = row[row > 0] / totals[b]
+        entropies[b] = float(
+            -(probabilities * np.log2(probabilities)).sum()
+        )
+    return entropies
+
+
+def _entropy_deviations(entropies: np.ndarray) -> np.ndarray:
+    """Robust z-scores of an entropy series (median/MAD centered)."""
+    median = float(np.median(entropies))
+    mad = float(np.median(np.abs(entropies - median)))
+    scale = 1.4826 * mad if mad > 0 else float(entropies.std()) or 1.0
+    return (entropies - median) / scale
 
 
 class EntropyDetector(Detector):
@@ -68,6 +96,12 @@ class EntropyDetector(Detector):
     def analyze(self, trace: Trace) -> list[Alarm]:
         if len(trace) < 8:
             return []
+        if self.backend == "numpy":
+            return self._analyze_numpy(trace)
+        return self._analyze_python(trace)
+
+    def _analyze_python(self, trace: Trace) -> list[Alarm]:
+        """Reference path: Counter histograms, packet-by-packet."""
         p = self.params
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
@@ -85,10 +119,7 @@ class EntropyDetector(Detector):
                 for b in range(n_bins)
             ]
             entropies = np.array([shannon_entropy(h) for h in histograms])
-            median = float(np.median(entropies))
-            mad = float(np.median(np.abs(entropies - median)))
-            scale = 1.4826 * mad if mad > 0 else float(entropies.std()) or 1.0
-            deviations = (entropies - median) / scale
+            deviations = _entropy_deviations(entropies)
             for b in np.nonzero(np.abs(deviations) > p["threshold"])[0]:
                 b = int(b)
                 if not bins[b]:
@@ -98,22 +129,101 @@ class EntropyDetector(Detector):
                 values = self._responsible_values(
                     histograms, b, falling=deviations[b] < 0
                 )
-                for value in values:
-                    alarms.append(
-                        self._alarm(
-                            t0,
-                            t1,
-                            filters=(
-                                FeatureFilter(
-                                    t0=t0,
-                                    t1=t1,
-                                    **{_FILTER_FIELD[feature]: value},
-                                ),
-                            ),
-                            score=float(abs(deviations[b])),
-                        )
-                    )
+                alarms.extend(
+                    self._value_alarms(feature, values, t0, t1, deviations[b])
+                )
         return alarms
+
+    def _analyze_numpy(self, trace: Trace) -> list[Alarm]:
+        """Columnar path: dense histograms + vectorized entropies.
+
+        Value selections are integer-identical to
+        :meth:`_analyze_python`; entropy floats can differ in the last
+        ulp because the reference sums probabilities in Counter
+        insertion order.
+        """
+        p = self.params
+        table = trace.table
+        t_start, t_end = trace.start_time, trace.end_time
+        span = max(t_end - t_start, 1e-9)
+        n_bins = p["n_bins"]
+        bin_idx = np.minimum(
+            ((table.time - t_start) / span * n_bins).astype(np.int64),
+            n_bins - 1,
+        )
+
+        alarms: list[Alarm] = []
+        bin_width = span / n_bins
+        for feature in _FEATURES:
+            histogram = binned_value_histogram(table, feature, bin_idx, n_bins)
+            entropies = _entropy_series(histogram.counts)
+            deviations = _entropy_deviations(entropies)
+            for b in np.nonzero(np.abs(deviations) > p["threshold"])[0]:
+                b = int(b)
+                members = np.nonzero(bin_idx == b)[0]
+                if members.size == 0:
+                    continue
+                t0 = t_start + b * bin_width
+                t1 = t0 + bin_width
+                values = self._responsible_values_dense(
+                    histogram, b, members, falling=deviations[b] < 0
+                )
+                alarms.extend(
+                    self._value_alarms(feature, values, t0, t1, deviations[b])
+                )
+        return alarms
+
+    def _value_alarms(
+        self, feature: str, values, t0: float, t1: float, deviation: float
+    ) -> list[Alarm]:
+        """One alarm per responsible value (shared by both backends)."""
+        return [
+            self._alarm(
+                t0,
+                t1,
+                filters=(
+                    FeatureFilter(
+                        t0=t0,
+                        t1=t1,
+                        **{_FILTER_FIELD[feature]: int(value)},
+                    ),
+                ),
+                score=float(abs(deviation)),
+            )
+            for value in values
+        ]
+
+    def _responsible_values_dense(
+        self,
+        histogram,
+        b: int,
+        members: np.ndarray,
+        falling: bool,
+    ) -> list:
+        """Dense twin of :meth:`_responsible_values`.
+
+        Same ordering semantics: ``most_common`` ties break by first
+        appearance within the bin; "fresh" dispersion values sort by
+        (count, value) descending.
+        """
+        top = self.params["top_values"]
+        counts = histogram.counts
+        uniq_codes, first_pos = first_appearance_order(histogram.codes[members])
+        bin_counts = counts[b, uniq_codes]
+        if falling:
+            order = np.lexsort((first_pos, -bin_counts))[:top]
+            return [int(histogram.values[c]) for c in uniq_codes[order]]
+        neighbours = np.zeros(counts.shape[1], dtype=np.int64)
+        if b > 0:
+            neighbours += counts[b - 1]
+        if b + 1 < counts.shape[0]:
+            neighbours += counts[b + 1]
+        fresh = neighbours[uniq_codes] == 0
+        fresh_codes = uniq_codes[fresh]
+        fresh_counts = bin_counts[fresh]
+        fresh_values = histogram.values[fresh_codes].astype(np.int64)
+        order = np.lexsort((-fresh_values, -fresh_counts))[:top]
+        return [int(v) for v in fresh_values[order]]
 
     def _responsible_values(self, histograms, b: int, falling: bool) -> list:
         """Values explaining an entropy drop (concentration) or rise."""

@@ -54,11 +54,17 @@ class GammaDetector(Detector):
         if len(trace) == 0:
             return []
         alarms: list[Alarm] = []
-        times = np.array([pkt.time for pkt in trace])
+        if self.backend == "numpy":
+            times = trace.table.time
+        else:
+            times = np.array([pkt.time for pkt in trace])
         for direction in ("src", "dst"):
-            keys = np.array(
-                [getattr(pkt, direction) for pkt in trace], dtype=np.uint64
-            )
+            if self.backend == "numpy":
+                keys = trace.table.column(direction).astype(np.uint64)
+            else:
+                keys = np.array(
+                    [getattr(pkt, direction) for pkt in trace], dtype=np.uint64
+                )
             alarms.extend(self._analyze_direction(trace, times, keys, direction))
         return alarms
 
@@ -89,7 +95,12 @@ class GammaDetector(Detector):
         alarms: list[Alarm] = []
         for sketch in np.nonzero(deviations > p["threshold"])[0]:
             ips = dominant_keys(
-                keys, mask_all, hasher, int(sketch), top=p["max_ips_per_sketch"]
+                keys,
+                mask_all,
+                hasher,
+                int(sketch),
+                top=p["max_ips_per_sketch"],
+                backend=self.backend,
             )
             for ip in ips:
                 if direction == "src":

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.detectors.base import Alarm, Detector
 from repro.detectors.sketch import SketchHasher
-from repro.net.flow import uniflow_key
+from repro.net.flow import Granularity, uniflow_key
 from repro.net.trace import Trace
 
 
@@ -62,7 +62,10 @@ class HoughDetector(Detector):
         if len(trace) == 0:
             return []
         p = self.params
-        times = np.array([pkt.time for pkt in trace])
+        if self.backend == "numpy":
+            times = trace.table.time
+        else:
+            times = np.array([pkt.time for pkt in trace])
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
         x = np.clip(
@@ -76,9 +79,12 @@ class HoughDetector(Detector):
                 p["y_bins"],
                 seed=p["hash_seed"] + (0 if direction == "src" else 1),
             )
-            keys = np.array(
-                [getattr(pkt, direction) for pkt in trace], dtype=np.uint64
-            )
+            if self.backend == "numpy":
+                keys = trace.table.column(direction).astype(np.uint64)
+            else:
+                keys = np.array(
+                    [getattr(pkt, direction) for pkt in trace], dtype=np.uint64
+                )
             y = hasher.buckets(keys)
             alarms.extend(
                 self._analyze_picture(trace, x, y, t_start, span, direction)
@@ -107,29 +113,50 @@ class HoughDetector(Detector):
         )
         alarms: list[Alarm] = []
         bin_width = span / p["x_bins"]
+        vectorized = self.backend == "numpy"
         for line_pixels in lines:
-            pixel_set = set(line_pixels)
-            # Packets whose (y, x) pixel is on the line.
-            member = np.array(
-                [(int(yy), int(xx)) in pixel_set for yy, xx in zip(y, x)]
-            )
-            indices = np.nonzero(member)[0]
+            if vectorized:
+                # Packets whose (y, x) pixel is on the line, via a 2-D
+                # lookup image instead of a per-packet set probe.
+                line_image = np.zeros((p["y_bins"], p["x_bins"]), dtype=bool)
+                line_ys, line_xs = zip(*line_pixels)
+                line_image[list(line_ys), list(line_xs)] = True
+                indices = np.nonzero(line_image[y, x])[0]
+            else:
+                pixel_set = set(line_pixels)
+                member = np.array(
+                    [(int(yy), int(xx)) in pixel_set for yy, xx in zip(y, x)]
+                )
+                indices = np.nonzero(member)[0]
             if indices.size == 0:
                 continue
             # A line pixel aggregates every host hashing to its y bin;
             # retrieving "the original data" (the cited method's final
             # step) means keeping only hosts that actually drew the
             # line.  One alarm per dominant host on the line.
-            per_key: dict[int, list[int]] = {}
-            for i in indices:
-                key = int(getattr(trace[int(i)], direction))
-                per_key.setdefault(key, []).append(int(i))
             cutoff = max(
                 int(p["min_votes"]), int(0.25 * indices.size)
             )
-            ranked = sorted(
-                per_key.items(), key=lambda kv: len(kv[1]), reverse=True
-            )
+            if vectorized:
+                line_keys = trace.table.column(direction)[indices]
+                uniq, first_index, counts = np.unique(
+                    line_keys, return_index=True, return_counts=True
+                )
+                # Count-descending, ties by first appearance — the
+                # stable-sort order of the reference branch below.
+                order = np.lexsort((first_index, -counts))
+                ranked = [
+                    (int(uniq[i]), indices[line_keys == uniq[i]])
+                    for i in order[: p["max_keys_per_line"]]
+                ]
+            else:
+                per_key: dict[int, list[int]] = {}
+                for i in indices:
+                    key = int(getattr(trace[int(i)], direction))
+                    per_key.setdefault(key, []).append(int(i))
+                ranked = sorted(
+                    per_key.items(), key=lambda kv: len(kv[1]), reverse=True
+                )
             for key, key_indices in ranked[: p["max_keys_per_line"]]:
                 if len(key_indices) < cutoff:
                     continue
@@ -138,9 +165,18 @@ class HoughDetector(Detector):
                 t1 = t_start + (int(x_values.max()) + 1) * bin_width
                 if not self._is_transient(trace, key, direction, t0, t1):
                     continue
-                flows = frozenset(
-                    uniflow_key(trace[i]) for i in key_indices
-                )
+                if vectorized:
+                    codes, flow_keys = trace.flow_code_table(
+                        Granularity.UNIFLOW
+                    )
+                    flows = frozenset(
+                        flow_keys[c]
+                        for c in np.unique(codes[key_indices])
+                    )
+                else:
+                    flows = frozenset(
+                        uniflow_key(trace[i]) for i in key_indices
+                    )
                 alarms.append(
                     self._alarm(
                         t0,
@@ -171,21 +207,31 @@ class HoughDetector(Detector):
         span = max(trace.end_time - trace.start_time, 1e-9)
         window = max(t1 - t0, 1e-9)
         outside = span - window
-        if outside <= span * 0.1:
-            # Whole-trace line: no outside baseline to compare against;
-            # treat as transient only if clearly heavy.
-            count = sum(
-                1 for pkt in trace if getattr(pkt, direction) == key
-            )
-            return count >= self.params["whole_trace_min_packets"]
-        inside = 0
-        total = 0
-        for pkt in trace:
-            if getattr(pkt, direction) != key:
-                continue
-            total += 1
-            if t0 <= pkt.time < t1:
-                inside += 1
+        if self.backend == "numpy":
+            host = trace.table.column(direction) == key
+            if outside <= span * 0.1:
+                return (
+                    int(host.sum()) >= self.params["whole_trace_min_packets"]
+                )
+            time = trace.table.time
+            total = int(host.sum())
+            inside = int((host & (time >= t0) & (time < t1)).sum())
+        else:
+            if outside <= span * 0.1:
+                # Whole-trace line: no outside baseline to compare
+                # against; treat as transient only if clearly heavy.
+                count = sum(
+                    1 for pkt in trace if getattr(pkt, direction) == key
+                )
+                return count >= self.params["whole_trace_min_packets"]
+            inside = 0
+            total = 0
+            for pkt in trace:
+                if getattr(pkt, direction) != key:
+                    continue
+                total += 1
+                if t0 <= pkt.time < t1:
+                    inside += 1
         if total == 0:
             return False
         rate_in = inside / window

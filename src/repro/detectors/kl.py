@@ -30,6 +30,11 @@ from collections import Counter
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
+from repro.detectors.features import (
+    BinnedHistogram,
+    binned_value_histogram,
+    first_appearance_order,
+)
 from repro.net.trace import Trace
 from repro.rules.apriori import apriori
 from repro.rules.itemsets import rules_from_result, transactions_from_packets
@@ -57,6 +62,12 @@ class KLDetector(Detector):
     def analyze(self, trace: Trace) -> list[Alarm]:
         if len(trace) < 4:
             return []
+        if self.backend == "numpy":
+            return self._analyze_numpy(trace)
+        return self._analyze_python(trace)
+
+    def _analyze_python(self, trace: Trace) -> list[Alarm]:
+        """Reference path: Counter histograms, packet-by-packet."""
         p = self.params
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
@@ -118,6 +129,61 @@ class KLDetector(Detector):
                 )
         return _dedupe(alarms)
 
+    def _analyze_numpy(self, trace: Trace) -> list[Alarm]:
+        """Columnar path: dense per-bin histograms over the table.
+
+        Bin assignment, histogram counting (``np.add.at`` over
+        ``(time bin, value code)``), divergence series and
+        grown-value ranking are all vectorized; packet objects are only
+        materialized for the anomalous bins handed to the rule miner.
+        Selections are integer-identical to :meth:`_analyze_python`
+        (divergence *values* may differ in the last float ulp because
+        the reference accumulates in set-iteration order).
+        """
+        p = self.params
+        table = trace.table
+        t_start, t_end = trace.start_time, trace.end_time
+        span = max(t_end - t_start, 1e-9)
+        n_bins = p["n_bins"]
+        bin_idx = np.minimum(
+            ((table.time - t_start) / span * n_bins).astype(np.int64),
+            n_bins - 1,
+        )
+
+        alarms: list[Alarm] = []
+        bin_width = span / n_bins
+        for feature in _FEATURES:
+            histogram = binned_value_histogram(table, feature, bin_idx, n_bins)
+            series = _divergence_series(histogram.counts, p["smoothing"])
+            cut = _robust_cut(series, p["threshold"])
+            for b in np.nonzero(series > cut)[0]:
+                b = int(b)
+                members = np.nonzero(bin_idx == b)[0]
+                if members.size == 0:
+                    continue
+                value_set = _grown_values_dense(
+                    histogram, b, members, top=p["top_values"]
+                )
+                if not value_set.size:
+                    continue
+                selected_mask = np.isin(
+                    histogram.codes[members], value_set
+                )
+                if not selected_mask.any():
+                    continue
+                selected = [trace[int(i)] for i in members[selected_mask]]
+                previous = [
+                    trace[int(i)] for i in np.nonzero(bin_idx == b - 1)[0]
+                ]
+                t0 = t_start + b * bin_width
+                t1 = t0 + bin_width
+                alarms.extend(
+                    self._mine_alarms(
+                        selected, previous, t0, t1, float(series[b])
+                    )
+                )
+        return _dedupe(alarms)
+
     def _mine_alarms(
         self, packets, previous_packets, t0: float, t1: float, score: float
     ) -> list[Alarm]:
@@ -158,6 +224,48 @@ class KLDetector(Detector):
                 )
             )
         return alarms
+
+
+def _divergence_series(counts: np.ndarray, smoothing: float) -> np.ndarray:
+    """Symmetrized KL between consecutive rows of a dense histogram.
+
+    Vectorized twin of :func:`_symmetric_kl` (restricted per bin pair
+    to the union support, exactly like the Counter key union).
+    """
+    n_bins = counts.shape[0]
+    series = np.zeros(n_bins)
+    totals = counts.sum(axis=1)
+    for b in range(1, n_bins):
+        n_prev, n_curr = int(totals[b - 1]), int(totals[b])
+        if n_prev == 0 or n_curr == 0:
+            continue
+        prev, curr = counts[b - 1], counts[b]
+        support = (prev > 0) | (curr > 0)
+        k = int(support.sum())
+        p = (prev[support] + smoothing) / (n_prev + smoothing * k)
+        q = (curr[support] + smoothing) / (n_curr + smoothing * k)
+        log_ratio = np.log(p / q)
+        series[b] = float((p * log_ratio).sum() - (q * log_ratio).sum()) / 2.0
+    return series
+
+
+def _grown_values_dense(
+    histogram: BinnedHistogram, b: int, members: np.ndarray, top: int
+) -> np.ndarray:
+    """Value codes whose probability grew most into bin ``b``.
+
+    Dense twin of :func:`_grown_values`: same deltas (identical float
+    divisions), same rank order (delta descending, ties by first
+    appearance within the bin — ``Counter`` insertion order), same
+    slice-then-filter semantics.
+    """
+    counts = histogram.counts
+    n_prev = max(int(counts[b - 1].sum()), 1)
+    n_curr = max(int(counts[b].sum()), 1)
+    uniq_codes, first_pos = first_appearance_order(histogram.codes[members])
+    delta = counts[b, uniq_codes] / n_curr - counts[b - 1, uniq_codes] / n_prev
+    order = np.lexsort((first_pos, -delta))[:top]
+    return uniq_codes[order][delta[order] > 0]
 
 
 def _symmetric_kl(prev: Counter, curr: Counter, smoothing: float) -> float:

@@ -58,8 +58,12 @@ class PCADetector(Detector):
         if len(trace) == 0:
             return []
         p = self.params
-        times = np.array([pkt.time for pkt in trace])
-        srcs = np.array([pkt.src for pkt in trace], dtype=np.uint64)
+        if self.backend == "numpy":
+            times = trace.table.time
+            srcs = trace.table.src.astype(np.uint64)
+        else:
+            times = np.array([pkt.time for pkt in trace])
+            srcs = np.array([pkt.src for pkt in trace], dtype=np.uint64)
         hasher = SketchHasher(p["n_sketches"], seed=p["hash_seed"])
         t_start, t_end = trace.start_time, trace.end_time
         matrix = sketch_time_matrix(
@@ -83,7 +87,12 @@ class PCADetector(Detector):
                 if contributions[sketch] <= 0:
                     continue
                 ips = dominant_keys(
-                    srcs, mask, hasher, int(sketch), top=p["max_ips_per_sketch"]
+                    srcs,
+                    mask,
+                    hasher,
+                    int(sketch),
+                    top=p["max_ips_per_sketch"],
+                    backend=self.backend,
                 )
                 for ip in ips:
                     alarms.append(

@@ -34,6 +34,7 @@ TUNINGS = ("optimal", "sensitive", "conservative")
 def default_ensemble(
     detectors: Optional[Iterable[str]] = None,
     tunings: Optional[Iterable[str]] = None,
+    backend: str = "auto",
 ) -> list[Detector]:
     """Instantiate the detector ensemble.
 
@@ -43,6 +44,9 @@ def default_ensemble(
         Detector family names to include; defaults to all four.
     tunings:
         Tunings per family; defaults to the paper's three.
+    backend:
+        Feature-path backend applied to every configuration
+        ("auto" / "numpy" / "python"); backends emit identical alarms.
 
     Returns
     -------
@@ -61,11 +65,13 @@ def default_ensemble(
                 raise DetectorError(
                     f"detector {name!r} has no tuning {tuning!r}"
                 )
-            ensemble.append(cls(tuning=tuning, **tuning_table[tuning]))
+            ensemble.append(
+                cls(tuning=tuning, backend=backend, **tuning_table[tuning])
+            )
     return ensemble
 
 
-def detector_for_config(config_name: str) -> Detector:
+def detector_for_config(config_name: str, backend: str = "auto") -> Detector:
     """Instantiate the detector for a ``"family/tuning"`` config name."""
     try:
         family, tuning = config_name.split("/", 1)
@@ -78,7 +84,7 @@ def detector_for_config(config_name: str) -> Detector:
     cls, tuning_table = _CLASSES[family]
     if tuning not in tuning_table:
         raise DetectorError(f"detector {family!r} has no tuning {tuning!r}")
-    return cls(tuning=tuning, **tuning_table[tuning])
+    return cls(tuning=tuning, backend=backend, **tuning_table[tuning])
 
 
 def run_ensemble(

@@ -24,9 +24,25 @@ from collections import Counter
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.errors import DetectorError
 
 _MERSENNE_PRIME = (1 << 61) - 1
+_M61 = np.uint64(_MERSENNE_PRIME)
+_MASK29 = (1 << 29) - 1
+_MASK32 = (1 << 32) - 1
+
+
+def _mod_mersenne(x: np.ndarray) -> np.ndarray:
+    """``x mod (2^61 - 1)`` for any uint64 array, in uint64 arithmetic.
+
+    Two folds (``2^61 ≡ 1 mod p``) bring any 64-bit value below ``p``
+    except the fixed point ``p`` itself, which the final conditional
+    subtraction maps to 0.
+    """
+    x = (x & _M61) + (x >> np.uint64(61))
+    x = (x & _M61) + (x >> np.uint64(61))
+    return np.where(x >= _M61, x - _M61, x)
 
 
 class SketchHasher:
@@ -41,14 +57,34 @@ class SketchHasher:
         self._b = int(rng.integers(0, _MERSENNE_PRIME))
 
     def bucket(self, key: int) -> int:
-        """Bucket of one key."""
+        """Bucket of one key (scalar reference for :meth:`buckets`)."""
         return ((self._a * key + self._b) % _MERSENNE_PRIME) % self.n_sketches
 
     def buckets(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized bucket computation for an array of keys."""
+        """Vectorized bucket computation for an array of keys.
+
+        Pure uint64 arithmetic: ``a * key mod (2^61 - 1)`` is computed
+        via 32-bit limb products (``a = a_hi·2^32 + a_lo``) reduced with
+        the Mersenne identities ``2^64 ≡ 8`` and ``2^61 ≡ 1 (mod p)``,
+        so no Python-object bigints appear.  A property test pins this
+        to the scalar :meth:`bucket` reference.
+        """
         keys = np.asarray(keys, dtype=np.uint64)
-        mixed = (self._a * keys.astype(object) + self._b) % _MERSENNE_PRIME
-        return np.array([int(v) % self.n_sketches for v in mixed], dtype=np.int64)
+        k = _mod_mersenne(keys)
+        a_hi, a_lo = self._a >> 32, self._a & _MASK32
+        k_hi, k_lo = k >> np.uint64(32), k & np.uint64(_MASK32)
+        # a_hi, k_hi < 2^29 (both operands are < 2^61), so each limb
+        # product below stays inside uint64.
+        t_high = _mod_mersenne((a_hi * k_hi) << np.uint64(3))
+        mid = _mod_mersenne(a_hi * k_lo + a_lo * k_hi)
+        t_mid = _mod_mersenne(
+            ((mid & np.uint64(_MASK29)) << np.uint64(32)) + (mid >> np.uint64(29))
+        )
+        t_low = _mod_mersenne(a_lo * k_lo)
+        hashed = _mod_mersenne(
+            _mod_mersenne(t_high + t_mid + t_low) + np.uint64(self._b)
+        )
+        return (hashed % np.uint64(self.n_sketches)).astype(np.int64)
 
 
 def sketch_time_matrix(
@@ -83,16 +119,37 @@ def dominant_keys(
     sketch: int,
     top: int = 3,
     min_fraction: float = 0.1,
+    backend: str = "auto",
 ) -> list[int]:
     """Most frequent keys hashing to ``sketch`` among masked packets.
 
     Used to invert a sketch-level detection back to concrete addresses:
     return up to ``top`` keys, each accounting for at least
-    ``min_fraction`` of the sketch's packets.
+    ``min_fraction`` of the sketch's packets.  The ``"numpy"`` backend
+    (default) counts with one ``np.unique`` pass; ``"python"`` is the
+    Counter-based reference.  Both return identical key lists,
+    including ``most_common``-style tie-breaking by first appearance.
     """
+    backend = resolve_backend(backend, what="dominant_keys")
     selected = keys[mask]
     if selected.size == 0:
         return []
+    if backend == "numpy":
+        in_sketch = selected[hasher.buckets(selected) == sketch]
+        if in_sketch.size == 0:
+            return []
+        uniq, first_index, counts = np.unique(
+            in_sketch, return_index=True, return_counts=True
+        )
+        # Counter.most_common order: count descending, ties by first
+        # appearance (sorted() is stable over dict insertion order).
+        order = np.lexsort((first_index, -counts))
+        total = int(in_sketch.size)
+        return [
+            int(uniq[i])
+            for i in order[:top]
+            if int(counts[i]) / total >= min_fraction
+        ]
     in_sketch = [int(k) for k in selected if hasher.bucket(int(k)) == sketch]
     if not in_sketch:
         return []

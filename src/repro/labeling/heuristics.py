@@ -28,9 +28,14 @@ destination port with the right protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
 
 from repro.net.packet import FIN, PROTO_ICMP, PROTO_TCP, PROTO_UDP, RST, SYN, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.table import PacketTable
 
 CATEGORY_ATTACK = "attack"
 CATEGORY_SPECIAL = "special"
@@ -151,8 +156,83 @@ def label_packets(
     return HeuristicLabel(CATEGORY_UNKNOWN, "Unknown")
 
 
+def label_packets_table(
+    table: "PacketTable",
+    indices: np.ndarray,
+    port_fraction: float = 0.5,
+    icmp_threshold: float = 0.5,
+    min_icmp_packets: int = 10,
+) -> HeuristicLabel:
+    """Vectorized :func:`label_packets` over columnar traffic.
+
+    Evaluates the Table-1 rules on the table rows selected by
+    ``indices`` with boolean column arithmetic; the fractions are the
+    same integer-count divisions as the reference, so both paths assign
+    identical labels.
+    """
+    n = int(len(indices))
+    if n == 0:
+        return HeuristicLabel(CATEGORY_UNKNOWN, "Unknown")
+    proto = table.proto[indices]
+    sport = table.sport[indices]
+    dport = table.dport[indices]
+    flags = table.tcp_flags[indices]
+    is_tcp = proto == PROTO_TCP
+    is_udp = proto == PROTO_UDP
+
+    def port_frac(ports: Iterable[int], proto_mask: np.ndarray) -> float:
+        wanted = np.array(sorted(ports), dtype=np.uint16)
+        hits = proto_mask & (np.isin(sport, wanted) | np.isin(dport, wanted))
+        return int(hits.sum()) / n
+
+    n_tcp = int(is_tcp.sum())
+    syn = (
+        int((is_tcp & ((flags & SYN) > 0)).sum()) / n_tcp if n_tcp else 0.0
+    )
+    control = (
+        int((is_tcp & ((flags & (SYN | RST | FIN)) > 0)).sum()) / n_tcp
+        if n_tcp
+        else 0.0
+    )
+    icmp = int((proto == PROTO_ICMP).sum()) / n
+
+    if port_frac(_SASSER_PORTS, is_tcp) >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "Sasser")
+    if port_frac({135}, is_tcp) >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "RPC")
+    if port_frac({445}, is_tcp) >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "SMB")
+    if n >= min_icmp_packets and icmp >= icmp_threshold:
+        return HeuristicLabel(CATEGORY_ATTACK, "Ping")
+
+    service_fraction = port_frac(_WELL_KNOWN_SERVICE_PORTS, is_tcp) + port_frac(
+        {53}, is_udp
+    )
+
+    if n > 7 and control >= 0.5:
+        return HeuristicLabel(CATEGORY_ATTACK, "Other")
+    if service_fraction >= port_fraction and syn >= 0.3:
+        return HeuristicLabel(CATEGORY_ATTACK, "Other")
+
+    netbios = port_frac({137}, is_udp) + port_frac({139}, is_tcp)
+    if netbios >= port_fraction:
+        return HeuristicLabel(CATEGORY_ATTACK, "NetBIOS")
+
+    if port_frac(_HTTP_PORTS, is_tcp) >= port_fraction and syn < 0.3:
+        return HeuristicLabel(CATEGORY_SPECIAL, "Http")
+    special = port_frac(_SPECIAL_TCP_PORTS, is_tcp) + port_frac({53}, is_udp)
+    if special >= port_fraction and syn < 0.3:
+        return HeuristicLabel(CATEGORY_SPECIAL, "Service")
+
+    return HeuristicLabel(CATEGORY_UNKNOWN, "Unknown")
+
+
 def label_community(community, extractor) -> HeuristicLabel:
     """Label one community via its extracted traffic.
+
+    Follows the extractor's backend: columnar extractors label through
+    :func:`label_packets_table` without materializing packet objects,
+    reference extractors through :func:`label_packets`.
 
     Parameters
     ----------
@@ -162,6 +242,9 @@ def label_community(community, extractor) -> HeuristicLabel:
         The :class:`~repro.core.extractor.TrafficExtractor` of the
         estimator run (needed to expand flow keys back to packets).
     """
+    if getattr(extractor, "backend", "python") == "numpy":
+        indices = extractor.packet_index_array(community.traffic)
+        return label_packets_table(extractor.trace.table, indices)
     indices = extractor.packets_of(community.traffic)
     packets = [extractor.trace[i] for i in indices]
     return label_packets(packets)

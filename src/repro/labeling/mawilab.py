@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 from xml.sax.saxutils import escape, quoteattr
 
+from repro.backends import resolve_backend
 from repro.core.community import CommunitySet
 from repro.core.estimator import SimilarityEstimator
 from repro.core.scann import SCANNStrategy
@@ -105,6 +106,14 @@ class MAWILabPipeline:
         20 %).
     seed:
         Louvain seed.
+    backend:
+        Engine backend ("auto" / "numpy" / "python") applied to every
+        stage that has a columnar fast path: detector feature binning,
+        traffic extraction, similarity-graph construction and the
+        community heuristics.  ``"python"`` selects the pure-Python
+        reference implementations end-to-end; both backends produce
+        byte-identical label output.  A caller-supplied ``ensemble``
+        keeps its own per-detector backends.
     """
 
     def __init__(
@@ -116,14 +125,23 @@ class MAWILabPipeline:
         edge_threshold: float = 0.1,
         rule_support_pct: float = 20.0,
         seed: int = 0,
+        backend: str = "auto",
     ) -> None:
-        self.ensemble = list(ensemble) if ensemble is not None else default_ensemble()
+        resolve_backend(backend, what="pipeline")  # validate early
+        self.backend = backend
+        self.ensemble = (
+            list(ensemble)
+            if ensemble is not None
+            else default_ensemble(backend=backend)
+        )
         self.strategy = strategy or SCANNStrategy()
         self.estimator = SimilarityEstimator(
             granularity=granularity,
             measure=measure,
             edge_threshold=edge_threshold,
             seed=seed,
+            backend=backend,
+            graph_backend=backend,
         )
         self.rule_support_pct = rule_support_pct
 
@@ -172,8 +190,16 @@ class MAWILabPipeline:
         trace: Trace,
         alarms: Sequence[Alarm],
         annotations: Sequence = (),
+        timings: Optional[dict] = None,
     ) -> PipelineResult:
-        """Label one trace from precomputed alarms (Steps 2-4 only)."""
+        """Label one trace from precomputed alarms (Steps 2-4 only).
+
+        ``timings``, when given, accumulates per-stage wall seconds
+        (``extract`` / ``graph`` / ``combine`` / ``label``) — the
+        ``repro bench`` instrumentation.
+        """
+        import time as _time
+
         from repro.core.annotations import (
             ANNOTATION_DETECTOR,
             merge_annotations,
@@ -189,18 +215,28 @@ class MAWILabPipeline:
             )
         alarms = merge_annotations(list(alarms), list(annotations))
         # Step 2: similarity estimator (annotations participate).
-        community_set = self.estimator.build(trace, alarms)
+        community_set = self.estimator.build(trace, alarms, timings=timings)
         # Step 3: combiner (annotations excluded from the vote table).
+        started = _time.perf_counter()
         decisions = self.strategy.classify(
             community_set, strip_annotation_configs(self.config_names)
         )
+        if timings is not None:
+            timings["combine"] = (
+                timings.get("combine", 0.0) + _time.perf_counter() - started
+            )
         # Step 4: rules + taxonomy.
+        started = _time.perf_counter()
         labels = [
             self._label_one(community_set, community, decision)
             for community, decision in zip(
                 community_set.communities, decisions
             )
         ]
+        if timings is not None:
+            timings["label"] = (
+                timings.get("label", 0.0) + _time.perf_counter() - started
+            )
         return PipelineResult(
             trace=trace,
             alarms=alarms,

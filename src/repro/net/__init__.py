@@ -38,11 +38,17 @@ from repro.net.flow import (
     biflow_key,
     uniflow_key,
 )
+from repro.net.table import (
+    PacketTable,
+    aggregate_flows_table,
+    flow_codes,
+)
 from repro.net.trace import Trace, TraceMetadata, merge_traces
 from repro.net.pcap import read_pcap, write_pcap
 from repro.net.stats import TraceStats, compute_stats
 from repro.net.filters import (
     FeatureFilter,
+    match_mask,
     match_packet,
 )
 
@@ -69,6 +75,9 @@ __all__ = [
     "aggregate_flows",
     "biflow_key",
     "uniflow_key",
+    "PacketTable",
+    "aggregate_flows_table",
+    "flow_codes",
     "Trace",
     "TraceMetadata",
     "merge_traces",
@@ -77,5 +86,6 @@ __all__ = [
     "TraceStats",
     "compute_stats",
     "FeatureFilter",
+    "match_mask",
     "match_packet",
 ]

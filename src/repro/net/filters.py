@@ -18,9 +18,14 @@ Filters compose the heterogeneous granularities of the four detectors:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.table import PacketTable
 
 
 @dataclass(frozen=True)
@@ -57,6 +62,40 @@ class FeatureFilter:
             return False
         return True
 
+    def mask(
+        self,
+        table: "PacketTable",
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`matches` over a whole columnar table.
+
+        Returns a boolean array, one entry per table row, equal
+        element-for-element to calling :meth:`matches` on each packet.
+        ``t0``/``t1`` override the filter's own (wildcard) time bounds —
+        the traffic extractor passes the alarm window here.  The table
+        must be time-sorted (every :class:`~repro.net.trace.Trace`
+        table is), which turns the window into two binary searches.
+
+        The scalar :meth:`matches` stays the reference implementation;
+        a property test asserts both agree.
+        """
+        n = len(table)
+        mask = np.zeros(n, dtype=bool)
+        lo_t = self.t0 if self.t0 is not None else t0
+        hi_t = self.t1 if self.t1 is not None else t1
+        lo = int(np.searchsorted(table.time, lo_t, side="left")) if lo_t is not None else 0
+        hi = int(np.searchsorted(table.time, hi_t, side="left")) if hi_t is not None else n
+        if hi <= lo:
+            return mask
+        window = np.ones(hi - lo, dtype=bool)
+        for field in ("src", "dst", "sport", "dport", "proto"):
+            wanted = getattr(self, field)
+            if wanted is not None:
+                window &= table.column(field)[lo:hi] == wanted
+        mask[lo:hi] = window
+        return mask
+
     @property
     def degree(self) -> int:
         """Number of non-wildcard *feature* fields (time excluded).
@@ -85,3 +124,11 @@ class FeatureFilter:
 def match_packet(filters: list[FeatureFilter], packet: Packet) -> bool:
     """True if any filter in the list matches the packet."""
     return any(f.matches(packet) for f in filters)
+
+
+def match_mask(filters: list[FeatureFilter], table: "PacketTable") -> np.ndarray:
+    """Vectorized :func:`match_packet`: OR of every filter's mask."""
+    mask = np.zeros(len(table), dtype=bool)
+    for feature_filter in filters:
+        mask |= feature_filter.mask(table)
+    return mask

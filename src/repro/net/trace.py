@@ -4,17 +4,27 @@ A :class:`Trace` is an ordered, timestamp-sorted collection of packets
 with metadata describing its origin — in the MAWI archive, the capture
 date and samplepoint.  Traces are immutable after construction, which
 lets the pipeline cache flow aggregations per (trace, granularity).
+
+Since the columnar engine, a trace is *backed* by a
+:class:`~repro.net.table.PacketTable` (struct-of-arrays): the hot paths
+— filter matching, traffic extraction, detector feature binning — read
+the NumPy columns directly via :attr:`Trace.table`, while
+:class:`~repro.net.packet.Packet` objects are materialized lazily and
+cached only where object-level code still needs them (rule mining,
+reference backends, tests).
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import TraceError
-from repro.net.flow import Flow, FlowKey, Granularity, aggregate_flows
+from repro.net.flow import Flow, FlowKey, Granularity
 from repro.net.packet import Packet
+from repro.net.table import PacketTable, aggregate_flows_table, flow_codes
 
 
 @dataclass(frozen=True)
@@ -41,7 +51,7 @@ class TraceMetadata:
 
 
 class Trace:
-    """An immutable, time-sorted packet trace.
+    """An immutable, time-sorted packet trace over a columnar table.
 
     Parameters
     ----------
@@ -58,51 +68,99 @@ class Trace:
         packets: Sequence[Packet],
         metadata: Optional[TraceMetadata] = None,
     ) -> None:
-        self._packets: tuple[Packet, ...] = tuple(
-            sorted(packets, key=lambda p: p.time)
-        )
+        table = PacketTable.from_packets(list(packets)).sorted_by_time()
+        self._init_from_table(table, metadata)
+
+    @classmethod
+    def from_table(
+        cls,
+        table: PacketTable,
+        metadata: Optional[TraceMetadata] = None,
+    ) -> "Trace":
+        """Build a trace directly from a columnar table (no objects)."""
+        trace = cls.__new__(cls)
+        trace._init_from_table(table.sorted_by_time(), metadata)
+        return trace
+
+    def _init_from_table(
+        self, table: PacketTable, metadata: Optional[TraceMetadata]
+    ) -> None:
+        self._table = table
         self.metadata = metadata or TraceMetadata()
-        self._times: list[float] = [p.time for p in self._packets]
+        self._times = table.time
+        self._packet_cache: list[Optional[Packet]] = [None] * len(table)
+        self._packets_tuple: Optional[tuple[Packet, ...]] = None
         self._flow_cache: dict[Granularity, dict[FlowKey, Flow]] = {}
+        self._code_cache: dict[Granularity, tuple[np.ndarray, list[FlowKey]]] = {}
+
+    # -- columnar access ----------------------------------------------
+
+    @property
+    def table(self) -> PacketTable:
+        """The struct-of-arrays backing store (time-sorted)."""
+        return self._table
+
+    def flow_code_table(
+        self, granularity: Granularity
+    ) -> tuple[np.ndarray, list[FlowKey]]:
+        """Per-packet flow codes + code->key table (cached per trace)."""
+        cached = self._code_cache.get(granularity)
+        if cached is None:
+            cached = flow_codes(self._table, granularity)
+            self._code_cache[granularity] = cached
+        return cached
 
     # -- basic container protocol ------------------------------------
 
     def __len__(self) -> int:
-        return len(self._packets)
+        return len(self._table)
 
     def __iter__(self) -> Iterator[Packet]:
-        return iter(self._packets)
+        return iter(self.packets)
 
-    def __getitem__(self, index: int) -> Packet:
-        return self._packets[index]
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.packets[index]
+        packet = self._packet_cache[index]
+        if packet is None:
+            packet = self._table.packet(index)
+            self._packet_cache[index] = packet
+        return packet
 
     @property
     def packets(self) -> tuple[Packet, ...]:
-        """The packets, sorted by time."""
-        return self._packets
+        """The packets as objects, sorted by time (materialized lazily)."""
+        if self._packets_tuple is None:
+            cache = self._packet_cache
+            table = self._table
+            for i, packet in enumerate(cache):
+                if packet is None:
+                    cache[i] = table.packet(i)
+            self._packets_tuple = tuple(cache)
+        return self._packets_tuple
 
     @property
     def duration(self) -> float:
         """Trace duration in seconds (0 for empty traces)."""
-        if not self._packets:
+        if len(self._times) == 0:
             return 0.0
-        return self._times[-1] - self._times[0]
+        return float(self._times[-1] - self._times[0])
 
     @property
     def start_time(self) -> float:
-        if not self._packets:
+        if len(self._times) == 0:
             raise TraceError("empty trace has no start time")
-        return self._times[0]
+        return float(self._times[0])
 
     @property
     def end_time(self) -> float:
-        if not self._packets:
+        if len(self._times) == 0:
             raise TraceError("empty trace has no end time")
-        return self._times[-1]
+        return float(self._times[-1])
 
     @property
     def total_bytes(self) -> int:
-        return sum(p.size for p in self._packets)
+        return int(self._table.size.sum())
 
     # -- slicing and filtering ----------------------------------------
 
@@ -114,21 +172,27 @@ class Trace:
         """
         if t1 < t0:
             raise TraceError(f"empty interval [{t0}, {t1})")
-        lo = bisect.bisect_left(self._times, t0)
-        hi = bisect.bisect_left(self._times, t1)
-        return range(lo, hi)
+        lo, hi = np.searchsorted(self._times, [t0, t1], side="left")
+        return range(int(lo), int(hi))
 
     def select(self, predicate: Callable[[Packet], bool]) -> list[int]:
-        """Indices of packets satisfying ``predicate``."""
-        return [i for i, p in enumerate(self._packets) if predicate(p)]
+        """Indices of packets satisfying ``predicate`` (object path)."""
+        return [i for i, p in enumerate(self.packets) if predicate(p)]
 
     # -- flow aggregation ---------------------------------------------
 
     def flows(self, granularity: Granularity = Granularity.UNIFLOW) -> dict[FlowKey, Flow]:
-        """Flow table at ``granularity`` (cached per trace)."""
+        """Flow table at ``granularity`` (cached per trace).
+
+        Aggregation runs on the columnar table; it produces the exact
+        mapping of :func:`repro.net.flow.aggregate_flows`.
+        """
         cached = self._flow_cache.get(granularity)
         if cached is None:
-            cached = aggregate_flows(self._packets, granularity)
+            codes, keys = self.flow_code_table(granularity)
+            cached = aggregate_flows_table(
+                self._table, granularity, codes=codes, keys=keys
+            )
             self._flow_cache[granularity] = cached
         return cached
 
@@ -136,7 +200,7 @@ class Trace:
         """Flow key of packet ``index`` at ``granularity``."""
         from repro.net.flow import key_for
 
-        return key_for(self._packets[index], granularity)
+        return key_for(self[index], granularity)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -150,12 +214,11 @@ def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
 
     Metadata other than the name is taken from the first trace; callers
     merging across link upgrades should set metadata themselves.
+    Tables are concatenated column-wise — no packet objects are built.
     """
     if not traces:
         raise TraceError("cannot merge zero traces")
-    packets: list[Packet] = []
-    for trace in traces:
-        packets.extend(trace.packets)
+    table = PacketTable.concatenate([trace.table for trace in traces])
     base = traces[0].metadata
     metadata = TraceMetadata(
         name=name,
@@ -163,4 +226,4 @@ def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
         link_mbps=base.link_mbps,
         date=base.date,
     )
-    return Trace(packets, metadata)
+    return Trace.from_table(table, metadata)

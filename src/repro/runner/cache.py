@@ -20,6 +20,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.backends import resolve_backend
 from repro.detectors.base import Alarm
 
 
@@ -34,11 +35,24 @@ class AlarmCache:
 
     @staticmethod
     def make_key(
-        archive_fingerprint: str, trace_name: str, ensemble_fingerprint: str
+        archive_fingerprint: str,
+        trace_name: str,
+        ensemble_fingerprint: str,
+        backend: str = "auto",
     ) -> str:
-        """Filesystem-safe cache key for one (archive, trace, ensemble)."""
+        """Filesystem-safe key for one (archive, trace, ensemble, backend).
+
+        The engine backend is part of the key: the columnar and
+        reference paths emit identical alarms by construction, but
+        keeping their entries separate means a parity bug can never be
+        masked by — or poison — a cache hit from the other backend.
+        ``"auto"`` normalizes to ``"numpy"`` so the spelling of the
+        default does not fragment the cache.
+        """
+        backend = resolve_backend(backend, what="cache-key")
         digest = hashlib.sha256(
-            f"{archive_fingerprint}:{trace_name}:{ensemble_fingerprint}".encode()
+            f"{archive_fingerprint}:{trace_name}:{ensemble_fingerprint}"
+            f":{backend}".encode()
         ).hexdigest()[:24]
         return f"alarms-{digest}"
 

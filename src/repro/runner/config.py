@@ -60,6 +60,9 @@ class PipelineConfig:
     seed: int = 0
     detectors: Optional[tuple[str, ...]] = None
     tunings: Optional[tuple[str, ...]] = None
+    #: Engine backend ("auto" / "numpy" / "python"); part of the alarm
+    #: cache key so reference and columnar runs never share entries.
+    backend: str = "auto"
 
     def build_pipeline(self):
         """Materialize the pipeline this config describes."""
@@ -70,7 +73,9 @@ class PipelineConfig:
         ensemble = None
         if self.detectors is not None or self.tunings is not None:
             ensemble = default_ensemble(
-                detectors=self.detectors, tunings=self.tunings
+                detectors=self.detectors,
+                tunings=self.tunings,
+                backend=self.backend,
             )
         return MAWILabPipeline(
             ensemble=ensemble,
@@ -80,10 +85,12 @@ class PipelineConfig:
             edge_threshold=self.edge_threshold,
             rule_support_pct=self.rule_support_pct,
             seed=self.seed,
+            backend=self.backend,
         )
 
     def describe(self) -> str:
         return (
             f"{self.strategy}/{self.granularity}/{self.measure}"
             f" thr={self.edge_threshold} support={self.rule_support_pct}%"
+            f" backend={self.backend}"
         )

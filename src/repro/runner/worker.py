@@ -115,7 +115,10 @@ def _run_task_inner(task: TraceTask) -> TraceReport:
     key = ""
     if cache is not None:
         key = AlarmCache.make_key(
-            trace_fingerprint, task.date, pipeline.ensemble_fingerprint()
+            trace_fingerprint,
+            task.date,
+            pipeline.ensemble_fingerprint(),
+            backend=task.config.backend,
         )
         alarms = cache.get(key)
     cache_hit = alarms is not None

@@ -1,0 +1,73 @@
+"""Tests for the `bench` subcommand and the CLI --backend option."""
+
+import json
+
+from repro.cli import build_parser, main
+
+
+class TestBenchCommand:
+    def test_prints_stage_json(self, capsys):
+        assert main(["bench", "--duration", "5", "--seed", "7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "auto"
+        assert set(payload["stages"]) == {
+            "detect",
+            "extract",
+            "graph",
+            "combine",
+            "label",
+        }
+        assert all(v >= 0 for v in payload["stages"].values())
+        assert payload["total"] >= max(payload["stages"].values())
+        assert payload["n_packets"] > 0
+
+    def test_writes_json_file(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--duration",
+                    "5",
+                    "--backend",
+                    "python",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["backend"] == "python"
+
+    def test_backend_choices_validated(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--backend", "numpy"])
+        assert args.backend == "numpy"
+
+
+class TestBackendOption:
+    def test_label_accepts_backend(self):
+        parser = build_parser()
+        args = parser.parse_args(["label", "x.pcap", "--backend", "python"])
+        assert args.backend == "python"
+
+    def test_label_archive_backend_reaches_config(self):
+        from repro.cli import _pipeline_config
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["label-archive", "--out-dir", "o", "--backend", "python"]
+        )
+        assert _pipeline_config(args).backend == "python"
+
+
+class TestCacheKeyBackend:
+    def test_backend_in_cache_key(self):
+        from repro.runner.cache import AlarmCache
+
+        base = AlarmCache.make_key("a", "d", "e", backend="numpy")
+        assert AlarmCache.make_key("a", "d", "e", backend="python") != base
+        # "auto" normalizes to numpy, so defaults share entries.
+        assert AlarmCache.make_key("a", "d", "e", backend="auto") == base
+        assert AlarmCache.make_key("a", "d", "e") == base

@@ -1,0 +1,266 @@
+"""Property tests: columnar (numpy) paths vs pure-Python references.
+
+Every layer the columnar engine vectorizes keeps its original
+object-based implementation as an oracle, selected by ``backend=``
+(the convention PR 1 introduced for ``build_similarity_graph``).
+These hypothesis tests assert the two implementations are
+element-for-element identical:
+
+* ``FeatureFilter.mask`` vs per-packet ``FeatureFilter.matches``;
+* ``TrafficExtractor`` (extract / extract_all / packets_of) across all
+  three granularities;
+* ``Trace.flows`` (columnar aggregation) vs ``aggregate_flows``;
+* detector feature histograms (``binned_value_histogram`` vs Counter);
+* ``SketchHasher.buckets`` vs the scalar ``bucket``, and
+  ``dominant_keys`` across backends;
+* the Table-1 heuristics over columns vs over packet objects;
+* the similarity graph fed with code arrays vs fed with frozensets.
+"""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.extractor import TrafficExtractor
+from repro.core.graph import build_similarity_graph
+from repro.detectors.base import Alarm
+from repro.detectors.features import binned_value_histogram
+from repro.detectors.sketch import SketchHasher, dominant_keys
+from repro.labeling.heuristics import label_packets, label_packets_table
+from repro.net.filters import FeatureFilter, match_mask, match_packet
+from repro.net.flow import Granularity, aggregate_flows, uniflow_key
+from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Packet
+from repro.net.trace import Trace
+
+# -- strategies -------------------------------------------------------
+#
+# Small value alphabets so filters, flows and histograms actually
+# collide; ICMP packets keep ports/flags zero like real traffic.
+
+_small_addr = st.integers(0, 5)
+_small_port = st.integers(0, 3)
+_times = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+def _packet(time, src, dst, sport, dport, proto, size, flags):
+    if proto == PROTO_ICMP:
+        sport = dport = 0
+    return Packet(
+        time=time,
+        src=src,
+        dst=dst,
+        sport=sport,
+        dport=dport,
+        proto=proto,
+        size=size,
+        tcp_flags=flags if proto == PROTO_TCP else 0,
+        icmp_type=8 if proto == PROTO_ICMP else 0,
+    )
+
+
+packets = st.builds(
+    _packet,
+    time=_times,
+    src=_small_addr,
+    dst=_small_addr,
+    sport=_small_port,
+    dport=_small_port,
+    proto=st.sampled_from([PROTO_TCP, PROTO_UDP, PROTO_ICMP]),
+    size=st.integers(40, 1500),
+    flags=st.integers(0, 63),
+)
+
+packet_lists = st.lists(packets, min_size=1, max_size=40)
+
+filters = st.builds(
+    FeatureFilter,
+    src=st.none() | _small_addr,
+    dst=st.none() | _small_addr,
+    sport=st.none() | _small_port,
+    dport=st.none() | _small_port,
+    proto=st.none() | st.sampled_from([PROTO_TCP, PROTO_UDP, PROTO_ICMP]),
+    t0=st.none() | st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    t1=st.none() | st.floats(min_value=5.0, max_value=10.0, allow_nan=False),
+)
+
+
+@st.composite
+def traces_and_alarms(draw):
+    trace = Trace(draw(packet_lists))
+    alarms = []
+    for _ in range(draw(st.integers(1, 4))):
+        t0 = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        t1 = draw(st.floats(min_value=5.0, max_value=11.0, allow_nan=False))
+        alarm_filters = tuple(draw(st.lists(filters, max_size=2)))
+        flow_keys = set()
+        if draw(st.booleans()):
+            index = draw(st.integers(0, len(trace) - 1))
+            flow_keys.add(uniflow_key(trace[index]))
+        if draw(st.booleans()):
+            # A key absent from the trace must be silently ignored.
+            flow_keys.add(uniflow_key(trace[0])._replace(src=999))
+        if not alarm_filters and not flow_keys:
+            alarm_filters = (FeatureFilter(src=draw(_small_addr)),)
+        alarms.append(
+            Alarm(
+                detector="t",
+                config="t/x",
+                t0=t0,
+                t1=t1,
+                filters=alarm_filters,
+                flow_keys=frozenset(flow_keys),
+            )
+        )
+    return trace, alarms
+
+
+# -- filter masks ------------------------------------------------------
+
+
+@given(packet_lists, st.lists(filters, min_size=1, max_size=3))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_filter_mask_matches_reference(packet_list, filter_list):
+    trace = Trace(packet_list)
+    for feature_filter in filter_list:
+        mask = feature_filter.mask(trace.table)
+        reference = [feature_filter.matches(p) for p in trace]
+        assert mask.tolist() == reference
+    any_mask = match_mask(filter_list, trace.table)
+    assert any_mask.tolist() == [
+        match_packet(filter_list, p) for p in trace
+    ]
+
+
+# -- traffic extraction ------------------------------------------------
+
+
+@given(traces_and_alarms())
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_extractor_backends_identical(trace_and_alarms):
+    trace, alarms = trace_and_alarms
+    for granularity in Granularity:
+        fast = TrafficExtractor(trace, granularity, backend="numpy")
+        reference = TrafficExtractor(trace, granularity, backend="python")
+        fast_sets = fast.extract_all(alarms)
+        reference_sets = reference.extract_all(alarms)
+        assert fast_sets == reference_sets
+        for alarm, traffic in zip(alarms, fast_sets):
+            assert fast.extract(alarm) == traffic
+            assert fast.packets_of(traffic) == reference.packets_of(traffic)
+
+
+@given(traces_and_alarms())
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_extract_all_codes_feed_same_graph(trace_and_alarms):
+    trace, alarms = trace_and_alarms
+    extractor = TrafficExtractor(trace, Granularity.UNIFLOW, backend="numpy")
+    codes = extractor.extract_all_codes(alarms)
+    sets = extractor.extract_all(alarms)
+    from_codes = build_similarity_graph(codes, backend="numpy")
+    from_sets = build_similarity_graph(sets, backend="python")
+    # Ordered equality, not just dict equality: Louvain breaks
+    # modularity ties in adjacency iteration order, so backends must
+    # agree on edge insertion order for identical community numbering.
+    assert _ordered_adjacency(from_codes) == _ordered_adjacency(from_sets)
+
+
+def _ordered_adjacency(graph):
+    return {
+        node: list(neighbours.items())
+        for node, neighbours in graph.adjacency.items()
+    }
+
+
+# -- flow aggregation --------------------------------------------------
+
+
+@given(packet_lists)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_trace_flows_match_reference_aggregation(packet_list):
+    trace = Trace(packet_list)
+    for granularity in (Granularity.UNIFLOW, Granularity.BIFLOW):
+        assert trace.flows(granularity) == aggregate_flows(
+            trace.packets, granularity
+        )
+
+
+# -- detector feature histograms ---------------------------------------
+
+
+@given(packet_lists, st.integers(2, 8))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_binned_histograms_match_counters(packet_list, n_bins):
+    trace = Trace(packet_list)
+    t_start = trace.start_time
+    span = max(trace.end_time - t_start, 1e-9)
+    bin_idx = np.minimum(
+        ((trace.table.time - t_start) / span * n_bins).astype(np.int64),
+        n_bins - 1,
+    )
+    for feature in ("src", "dst", "sport", "dport"):
+        histogram = binned_value_histogram(
+            trace.table, feature, bin_idx, n_bins
+        )
+        for b in range(n_bins):
+            reference = Counter(
+                getattr(p, feature)
+                for p, in_bin in zip(trace, bin_idx == b)
+                if in_bin
+            )
+            dense = {
+                int(histogram.values[c]): int(histogram.counts[b, c])
+                for c in range(len(histogram.values))
+                if histogram.counts[b, c]
+            }
+            assert dense == reference
+
+
+# -- sketch hashing ----------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=50),
+    st.integers(0, 5),
+    st.integers(1, 8),
+)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_vectorized_buckets_match_scalar(keys, seed, n_sketches):
+    hasher = SketchHasher(n_sketches, seed=seed)
+    array = np.array(keys, dtype=np.uint64)
+    assert hasher.buckets(array).tolist() == [
+        hasher.bucket(k) for k in keys
+    ]
+
+
+@given(
+    st.lists(st.integers(0, 6), min_size=1, max_size=60),
+    st.integers(0, 3),
+    st.integers(1, 4),
+    st.integers(1, 4),
+)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_dominant_keys_backends_identical(keys, seed, n_sketches, top):
+    hasher = SketchHasher(n_sketches, seed=seed)
+    array = np.array(keys, dtype=np.uint64)
+    mask = np.ones(len(keys), dtype=bool)
+    for sketch in range(n_sketches):
+        assert dominant_keys(
+            array, mask, hasher, sketch, top=top, backend="numpy"
+        ) == dominant_keys(
+            array, mask, hasher, sketch, top=top, backend="python"
+        )
+
+
+# -- heuristics --------------------------------------------------------
+
+
+@given(packet_lists)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_heuristic_labels_identical(packet_list):
+    trace = Trace(packet_list)
+    table_label = label_packets_table(
+        trace.table, np.arange(len(trace), dtype=np.int64)
+    )
+    assert table_label == label_packets(list(trace))

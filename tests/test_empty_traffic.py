@@ -1,0 +1,131 @@
+"""Regression tests: alarms whose filters match zero packets.
+
+A detector can legitimately emit an alarm whose feature filters
+designate no packet of the trace (e.g. a rule mined from a value that
+sits exactly on a bin edge).  Such an alarm must flow through the
+whole pipeline as an *isolated* graph node — an empty traffic set must
+not divide by ``min(|E1|, |E2|) == 0`` in the Simpson measure, not
+crash the heuristics, and not derail community numbering.
+"""
+
+import pytest
+
+from repro.core.graph import build_similarity_graph
+from repro.detectors.base import Alarm
+from repro.labeling.mawilab import MAWILabPipeline, labels_to_csv
+from repro.net.filters import FeatureFilter
+from repro.net.flow import Granularity
+from repro.net.trace import Trace
+from tests.conftest import make_packet
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        [make_packet(time=float(i), src=1, dst=2) for i in range(10)]
+    )
+
+
+def empty_alarm(t0=0.0, t1=9.0):
+    """An alarm whose filter matches no packet (src 77 never appears)."""
+    return Alarm(
+        detector="t",
+        config="t/x",
+        t0=t0,
+        t1=t1,
+        filters=(FeatureFilter(src=77, t0=t0, t1=t1),),
+    )
+
+
+def matching_alarm(t0=0.0, t1=9.5):
+    return Alarm(
+        detector="u",
+        config="u/x",
+        t0=t0,
+        t1=t1,
+        filters=(FeatureFilter(src=1, t0=t0, t1=t1),),
+    )
+
+
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+@pytest.mark.parametrize("granularity", list(Granularity))
+def test_empty_extraction_both_backends(trace, backend, granularity):
+    from repro.core.extractor import TrafficExtractor
+
+    extractor = TrafficExtractor(trace, granularity, backend=backend)
+    assert extractor.extract(empty_alarm()) == frozenset()
+    assert extractor.packets_of(frozenset()) == []
+
+
+@pytest.mark.parametrize("graph_backend", ["numpy", "python"])
+def test_empty_set_is_isolated_node_not_simpson_crash(graph_backend):
+    # One empty set among overlapping ones: the Simpson denominator
+    # min(|E1|, |E2|) would be 0 for any pair involving it.
+    traffic_sets = [frozenset({1, 2}), frozenset(), frozenset({2, 3})]
+    graph = build_similarity_graph(
+        traffic_sets, measure="simpson", backend=graph_backend
+    )
+    assert graph.isolated_nodes() == [1]
+    assert graph.neighbors(0) == {2: 0.5}
+
+
+@pytest.mark.parametrize("backend", ["numpy", "python"])
+def test_pipeline_survives_empty_traffic_alarm(trace, backend):
+    pipeline = MAWILabPipeline(backend=backend)
+    alarms = [matching_alarm(), empty_alarm()]
+    result = pipeline.run_with_alarms(trace, alarms)
+    # The empty alarm forms its own single community with empty traffic.
+    empties = [
+        c for c in result.community_set.communities if not c.traffic
+    ]
+    assert len(empties) == 1
+    assert empties[0].is_single
+    record = result.labels[empties[0].id]
+    assert record.heuristic.category == "unknown"
+    # CSV rendering must not blow up either, and both backends agree.
+    assert labels_to_csv(result.labels)
+
+
+def test_backends_agree_on_empty_traffic_alarm(trace):
+    alarms = [matching_alarm(), empty_alarm()]
+    csvs = {
+        backend: labels_to_csv(
+            MAWILabPipeline(backend=backend)
+            .run_with_alarms(trace, alarms)
+            .labels
+        )
+        for backend in ("numpy", "python")
+    }
+    assert csvs["numpy"] == csvs["python"]
+
+
+class TestAlarmDescribe:
+    def test_includes_config_and_window(self):
+        text = empty_alarm(1.0, 2.0).describe()
+        assert "[t/x]" in text
+        assert "1.0-2.0s" in text
+
+    def test_falls_back_to_detector_family(self):
+        alarm = Alarm(
+            detector="pca",
+            config="",
+            t0=0.0,
+            t1=1.0,
+            filters=(FeatureFilter(src=1),),
+        )
+        assert alarm.describe().startswith("[pca]")
+
+    def test_union_of_filters_and_flows_is_explicit(self, trace):
+        from repro.net.flow import uniflow_key
+
+        alarm = Alarm(
+            detector="t",
+            config="t/x",
+            t0=0.0,
+            t1=1.0,
+            filters=(FeatureFilter(src=1), FeatureFilter(dst=2)),
+            flow_keys=frozenset({uniflow_key(trace[0])}),
+        )
+        text = alarm.describe()
+        assert text.count("∪") == 2
+        assert "1 flows" in text
