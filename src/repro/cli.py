@@ -1,20 +1,26 @@
 """Command-line interface.
 
-Seven subcommands expose the library to non-Python users::
+Eight subcommands expose the library to non-Python users::
 
     mawilab generate      --seed 7 --duration 30 --anomaly sasser \
                           --anomaly ping_flood --out day.pcap --truth truth.json
     mawilab inspect       day.pcap
     mawilab detect        day.pcap --config kl/sensitive
     mawilab label         day.pcap --format csv --out labels.csv
+    mawilab stream        day.pcap --window 60 --hop 30 --out labels.csv
     mawilab bench         --backend auto --out bench.json
     mawilab archive       --start 2004-01-01 --months 6
     mawilab label-archive --start 2004-01-01 --months 6 --workers 4 \
                           --out-dir labels/ --cache-dir .mawilab-cache --resume
 
-`label` runs the full 4-step pipeline; `bench` runs it once on a
-synthetic archive day and prints per-stage wall times (detect /
-extract / graph / combine / label) as JSON — the perf artifact CI
+`label` runs the full 4-step pipeline on one closed trace; `stream`
+runs the same method *online* over a sliding window — the pcap is read
+in bounded batches, each window is labeled as its end passes, and
+per-window progress (packets, alarms, latency) goes to stderr while
+the final cross-window-deduplicated CSV goes to stdout; `bench` runs
+the offline pipeline once on a synthetic archive day plus a streaming
+leg, and prints per-stage wall times and streaming throughput
+(packets/sec, p95 window latency) as JSON — the perf artifact CI
 archives on every PR; `archive` sweeps synthetic archive days and
 prints the SCANN attack-ratio series (the Fig. 7 workflow);
 `label-archive` shards archive days across a process pool, writes one
@@ -136,6 +142,64 @@ def _cmd_label(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Label a pcap online, window by window, in bounded memory."""
+    from repro.labeling.mawilab import labels_to_xml
+    from repro.net.flow import Granularity
+    from repro.net.pcap import iter_pcap
+    from repro.runner.config import _strategy_for
+    from repro.stream import StreamingPipeline
+
+    from repro.errors import StreamError
+
+    if args.granularity == "packet":
+        print(
+            "error: packet granularity is not streamable (packet indices "
+            "are window-local); use uniflow or biflow",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        pipeline = StreamingPipeline(
+            window=args.window,
+            hop=args.hop,
+            granularity=Granularity(args.granularity),
+            strategy=_strategy_for(args.strategy),
+            measure=args.measure,
+            backend=args.backend,
+        )
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for result in pipeline.process(
+        iter_pcap(args.pcap, chunk_packets=args.chunk)
+    ):
+        print(result.describe(), file=sys.stderr)
+    labels = pipeline.merged_labels()
+    stats = pipeline.stats()
+    print(
+        f"{stats.n_windows} windows, {stats.total_packets} packets, "
+        f"{stats.packets_per_sec:.0f} pkt/s, "
+        f"p95 window latency {stats.p95_latency * 1e3:.1f}ms, "
+        f"peak ring {stats.peak_ring_packets} packets -> "
+        f"{len(labels)} labels",
+        file=sys.stderr,
+    )
+    if args.format == "csv":
+        from repro.labeling.mawilab import labels_to_csv
+
+        rendered = labels_to_csv(labels)
+    else:
+        rendered = labels_to_xml(labels, trace_name=args.pcap)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote labels to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """One synthetic-trace pipeline run with per-stage wall times.
 
@@ -160,6 +224,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     result = pipeline.run_with_alarms(trace, alarms, timings=timings)
     total = time.perf_counter() - started
 
+    # Streaming leg: the same trace consumed as a chunked stream with
+    # overlapping windows, so the artifact tracks online throughput
+    # (packets/sec) and window latency alongside the offline stages.
+    from repro.stream import StreamingPipeline, chunk_table
+
+    from repro.errors import StreamError
+
+    stream_window = args.stream_window or args.duration / 3.0
+    stream_hop = args.stream_hop or stream_window / 2.0
+    try:
+        streamer = StreamingPipeline(
+            window=stream_window, hop=stream_hop, backend=args.backend
+        )
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    stream_result = streamer.run(
+        chunk_table(trace.table, args.stream_chunk)
+    )
+
     payload = {
         "backend": args.backend,
         "seed": args.seed,
@@ -174,6 +258,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for stage in ("detect", "extract", "graph", "combine", "label")
         },
         "total": round(total, 6),
+        "streaming": {
+            "window": stream_window,
+            "hop": stream_hop,
+            "chunk_packets": args.stream_chunk,
+            "n_labels": len(stream_result.labels),
+            **stream_result.stats.to_dict(),
+        },
     }
     rendered = json.dumps(payload, indent=2) + "\n"
     if args.out:
@@ -331,8 +422,53 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--backend", choices=("auto", "numpy", "python"), default="auto"
     )
+    bench.add_argument(
+        "--stream-window",
+        type=float,
+        help="streaming-leg window seconds (default: duration / 3)",
+    )
+    bench.add_argument(
+        "--stream-hop",
+        type=float,
+        help="streaming-leg hop seconds (default: window / 2)",
+    )
+    bench.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=2048,
+        help="streaming-leg ingestion batch size in packets",
+    )
     bench.add_argument("--out", help="output path (stdout if omitted)")
     bench.set_defaults(func=_cmd_bench)
+
+    stream = sub.add_parser(
+        "stream",
+        help="label a pcap online over a sliding window (bounded memory)",
+    )
+    stream.add_argument("pcap")
+    stream.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="window span in seconds (window >= trace duration "
+        "reproduces `label` byte-for-byte)",
+    )
+    stream.add_argument(
+        "--hop",
+        type=float,
+        help="seconds between window emissions (default: window, i.e. "
+        "tumbling; smaller values overlap windows)",
+    )
+    stream.add_argument(
+        "--chunk",
+        type=int,
+        default=8192,
+        help="ingestion batch size in packets",
+    )
+    stream.add_argument("--format", choices=("csv", "xml"), default="csv")
+    stream.add_argument("--out", help="output path (stdout if omitted)")
+    _add_pipeline_options(stream)
+    stream.set_defaults(func=_cmd_stream)
 
     archive = sub.add_parser(
         "archive", help="label synthetic archive days and print the series"

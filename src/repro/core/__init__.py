@@ -19,6 +19,7 @@ from repro.core.similarity import (
     simpson,
 )
 from repro.core.graph import SimilarityGraph, build_similarity_graph
+from repro.core.dynamic import DynamicSimilarityGraph
 from repro.core.louvain import louvain, modularity
 from repro.core.community import Community, CommunitySet
 from repro.core.estimator import SimilarityEstimator
@@ -47,6 +48,7 @@ __all__ = [
     "jaccard",
     "simpson",
     "SimilarityGraph",
+    "DynamicSimilarityGraph",
     "build_similarity_graph",
     "louvain",
     "modularity",

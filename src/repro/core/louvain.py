@@ -76,16 +76,31 @@ class _WorkGraph:
 
 
 def _one_pass(
-    work: _WorkGraph, resolution: float, rng: random.Random
+    work: _WorkGraph,
+    resolution: float,
+    rng: random.Random,
+    initial: dict[int, int] | None = None,
 ) -> tuple[dict[int, int], bool]:
-    """One local-move phase; returns (partition, improved)."""
+    """One local-move phase; returns (partition, improved).
+
+    ``initial`` seeds the starting communities (warm start); by default
+    every node starts in its own singleton.
+    """
     m = work.total_weight()
     if m <= 0:
-        return {node: node for node in work.nodes}, False
-    community: dict[int, int] = {node: node for node in work.nodes}
-    community_degree: dict[int, float] = {
-        node: work.degree(node) for node in work.nodes
-    }
+        return dict(initial) if initial else {
+            node: node for node in work.nodes
+        }, False
+    if initial is None:
+        community: dict[int, int] = {node: node for node in work.nodes}
+    else:
+        community = dict(initial)
+    community_degree: dict[int, float] = {}
+    for node in work.nodes:
+        label = community[node]
+        community_degree[label] = (
+            community_degree.get(label, 0.0) + work.degree(node)
+        )
     improved = False
     order = list(work.nodes)
     rng.shuffle(order)
@@ -151,11 +166,89 @@ def _aggregate(work: _WorkGraph, partition: dict[int, int]) -> tuple[_WorkGraph,
     return _WorkGraph(adjacency, self_loops), mapping
 
 
+def _refine(
+    work: _WorkGraph,
+    partition: dict[int, int],
+    resolution: float,
+    rng: random.Random,
+) -> dict[int, int]:
+    """Split each community into the sub-communities of its subgraph.
+
+    Leiden-style refinement for warm starts: a seeded community can
+    accumulate stale merges that single-node moves cannot undo (moving
+    one node out of a dense community is never locally profitable even
+    when splitting it in half would be).  Re-clustering each
+    community's *induced subgraph* from singletons finds those splits;
+    the aggregation passes that follow can re-merge any split that was
+    actually worth keeping, so refinement only adds expressiveness.
+
+    Labels follow the pass-phase convention — each community is
+    labelled by one of its own member nodes (its minimum) — which is
+    what the aggregation bookkeeping in :func:`louvain` relies on.
+    """
+    groups: dict[int, list[int]] = {}
+    for node, label in partition.items():
+        groups.setdefault(label, []).append(node)
+    refined: dict[int, int] = {}
+    for label in sorted(groups):
+        nodes = groups[label]
+        if len(nodes) == 1:
+            refined[nodes[0]] = nodes[0]
+            continue
+        node_set = set(nodes)
+        sub_adjacency = {
+            node: {
+                neighbor: weight
+                for neighbor, weight in work.adjacency[node].items()
+                if neighbor in node_set
+            }
+            for node in nodes
+        }
+        sub = _WorkGraph(
+            sub_adjacency, {node: work.self_loops[node] for node in nodes}
+        )
+        sub_partition, _ = _one_pass(sub, resolution, rng)
+        subgroups: dict[int, list[int]] = {}
+        for node in nodes:
+            subgroups.setdefault(sub_partition[node], []).append(node)
+        for sub_nodes in subgroups.values():
+            anchor = min(sub_nodes)
+            for node in sub_nodes:
+                refined[node] = anchor
+    return refined
+
+
+def _normalize_seed(
+    seed_partition: dict[int, int], n_nodes: int
+) -> dict[int, int]:
+    """Seed labels in anchor-node form, fresh singletons for new nodes.
+
+    Each seeded community is relabelled by its minimum member node (the
+    pass-phase convention :func:`louvain`'s aggregation bookkeeping
+    relies on).  Nodes absent from ``seed_partition`` (alarms that
+    joined after the partition was computed) start as their own
+    singletons, so a warm start never glues unseen nodes together.
+    """
+    groups: dict[int, list[int]] = {}
+    for node in range(n_nodes):
+        if node in seed_partition:
+            groups.setdefault(seed_partition[node], []).append(node)
+    initial: dict[int, int] = {
+        node: node for node in range(n_nodes) if node not in seed_partition
+    }
+    for nodes in groups.values():
+        anchor = min(nodes)
+        for node in nodes:
+            initial[node] = anchor
+    return initial
+
+
 def louvain(
     graph: SimilarityGraph,
     resolution: float = 1.0,
     seed: int = 0,
     max_passes: int = 20,
+    seed_partition: dict[int, int] | None = None,
 ) -> dict[int, int]:
     """Louvain partition of a similarity graph.
 
@@ -169,6 +262,15 @@ def louvain(
         Seed for the node-visit shuffles; fixes the output.
     max_passes:
         Safety bound on aggregation rounds.
+    seed_partition:
+        Optional warm start: node -> community label to *begin* the
+        first local-move phase from, instead of singletons.  Nodes
+        missing from the mapping start as fresh singletons.  The
+        streaming engine passes the previous window's partition here so
+        each window refines it rather than re-clustering from scratch;
+        local moves can still split or merge seeded communities.
+        ``None`` (the default) is the classic cold start and is
+        byte-for-byte the historical behaviour.
 
     Returns
     -------
@@ -181,14 +283,28 @@ def louvain(
     work = _WorkGraph.from_similarity_graph(graph)
     # node (original) -> current super-node.
     assignment = {node: node for node in range(graph.n_nodes)}
+    initial = (
+        _normalize_seed(seed_partition, graph.n_nodes)
+        if seed_partition is not None
+        else None
+    )
     for _ in range(max_passes):
-        partition, improved = _one_pass(work, resolution, rng)
-        if not improved:
+        partition, improved = _one_pass(work, resolution, rng, initial=initial)
+        # A warm start must be folded into the assignment even when the
+        # local moves found nothing to change — the seed communities
+        # themselves are the result; aggregate once and keep going.
+        seeded = initial is not None
+        initial = None
+        if not improved and not seeded:
             break
+        if seeded:
+            partition = _refine(work, partition, resolution, rng)
         work, mapping = _aggregate(work, partition)
         assignment = {
             node: mapping[partition[assignment[node]]] for node in assignment
         }
+        if not improved and not seeded:
+            break
     # Relabel contiguously.
     labels = sorted(set(assignment.values()))
     relabel = {label: i for i, label in enumerate(labels)}

@@ -35,8 +35,11 @@ from repro.detectors.registry import (
     detector_for_config,
     run_ensemble,
 )
+from repro.detectors.streaming import StreamingDetector, wrap_ensemble
 
 __all__ = [
+    "StreamingDetector",
+    "wrap_ensemble",
     "Alarm",
     "Configuration",
     "Detector",

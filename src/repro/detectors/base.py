@@ -147,6 +147,42 @@ class Detector(abc.ABC):
     def analyze(self, trace: Trace) -> list[Alarm]:
         """Analyze one trace and return the alarms."""
 
+    def analyze_stream(self, trace: Trace, state: dict) -> list[Alarm]:
+        """Analyze one *window* of a stream, carrying ``state`` across.
+
+        ``state`` is a per-configuration dict owned by the caller
+        (see :class:`~repro.detectors.streaming.StreamingDetector`);
+        detectors read what the previous window left and write what the
+        next window should see.  The default implementation ignores the
+        state and delegates to :meth:`analyze`, which keeps the
+        stateless detectors correct; detectors with cross-window
+        baselines (e.g. KL's histogram baseline) override this.
+
+        With an empty ``state`` (first window) every override must emit
+        exactly :meth:`analyze`'s alarms — that is what makes streaming
+        output byte-identical to the offline pipeline when one window
+        covers the whole trace.
+        """
+        return self.analyze(trace)
+
+    def _hasher(self, n_sketches: int, seed: int):
+        """Memoized :class:`~repro.detectors.sketch.SketchHasher`.
+
+        Sketch hashers are deterministic in ``(n_sketches, seed)`` but
+        seeding the RNG per call is wasted work when the same detector
+        instance analyzes many windows; the streaming engine keeps
+        detector instances alive across window advances, so the cache
+        makes the hash seeds part of the carried state.
+        """
+        from repro.detectors.sketch import SketchHasher
+
+        cache = self.__dict__.setdefault("_hasher_cache", {})
+        key = (n_sketches, seed)
+        hasher = cache.get(key)
+        if hasher is None:
+            hasher = cache[key] = SketchHasher(n_sketches, seed=seed)
+        return hasher
+
     def _alarm(
         self,
         t0: float,

@@ -29,7 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
-from repro.detectors.sketch import SketchHasher, dominant_keys
+from repro.detectors.sketch import dominant_keys
 from repro.net.filters import FeatureFilter
 from repro.net.trace import Trace
 
@@ -77,7 +77,7 @@ class GammaDetector(Detector):
     ) -> list[Alarm]:
         p = self.params
         seed = p["hash_seed"] + (0 if direction == "src" else 1)
-        hasher = SketchHasher(p["n_sketches"], seed=seed)
+        hasher = self._hasher(p["n_sketches"], seed)
         t_start, t_end = trace.start_time, trace.end_time
         n_windows = max(int(np.ceil((t_end - t_start) / p["base_window"])), 2)
         # Counts per (window, sketch) at the finest scale.

@@ -66,7 +66,44 @@ class KLDetector(Detector):
             return self._analyze_numpy(trace)
         return self._analyze_python(trace)
 
-    def _analyze_python(self, trace: Trace) -> list[Alarm]:
+    def analyze_stream(self, trace: Trace, state: dict) -> list[Alarm]:
+        """Windowed analyze carrying a cross-window histogram baseline.
+
+        Offline, the first time bin of a trace has no predecessor, so
+        its divergence is pinned to 0 and anomalies there are invisible.
+        In a stream the predecessor *exists* — it is the last bin of the
+        previous window.  ``state["baseline"]`` carries those
+        per-feature histograms across window advances: bin 0 of the new
+        window is scored against them (and its grown values ranked
+        against them), then the new window's last-bin histograms replace
+        the baseline.  With an empty state this is exactly
+        :meth:`analyze` — the offline-parity anchor.
+        """
+        if len(trace) < 4:
+            return []
+        baseline = state.get("baseline")
+        baseline_transactions = state.get("baseline_transactions")
+        if self.backend == "numpy":
+            return self._analyze_numpy(
+                trace,
+                baseline=baseline,
+                baseline_transactions=baseline_transactions,
+                carry=state,
+            )
+        return self._analyze_python(
+            trace,
+            baseline=baseline,
+            baseline_transactions=baseline_transactions,
+            carry=state,
+        )
+
+    def _analyze_python(
+        self,
+        trace: Trace,
+        baseline: dict[str, Counter] | None = None,
+        baseline_transactions: list | None = None,
+        carry: dict | None = None,
+    ) -> list[Alarm]:
         """Reference path: Counter histograms, packet-by-packet."""
         p = self.params
         t_start, t_end = trace.start_time, trace.end_time
@@ -90,11 +127,22 @@ class KLDetector(Detector):
             ]
             histograms[feature] = hists
             series = np.zeros(n_bins)
+            base = baseline.get(feature) if baseline else None
+            if base:
+                series[0] = _symmetric_kl(base, hists[0], p["smoothing"])
             for b in range(1, n_bins):
                 series[b] = _symmetric_kl(
                     hists[b - 1], hists[b], p["smoothing"]
                 )
             divergences[feature] = series
+        if carry is not None:
+            carry["baseline"] = {
+                feature: histograms[feature][n_bins - 1]
+                for feature in _FEATURES
+            }
+            carry["baseline_transactions"] = transactions_from_packets(
+                [trace[i] for i in bins[n_bins - 1]]
+            )
 
         alarms: list[Alarm] = []
         bin_width = span / n_bins
@@ -105,8 +153,13 @@ class KLDetector(Detector):
                 b = int(b)
                 if not bins[b]:
                     continue
+                # Bin 0 is only selectable with a carried baseline:
+                # the previous window's last bin plays "bin -1".
+                prev_hist = (
+                    baseline[feature] if b == 0 else histograms[feature][b - 1]
+                )
                 values = _grown_values(
-                    histograms[feature][b - 1],
+                    prev_hist,
                     histograms[feature][b],
                     top=p["top_values"],
                 )
@@ -119,17 +172,35 @@ class KLDetector(Detector):
                 ]
                 if not selected:
                     continue
-                previous = [trace[i] for i in bins[b - 1]]
                 t0 = t_start + b * bin_width
                 t1 = t0 + bin_width
-                alarms.extend(
-                    self._mine_alarms(
-                        selected, previous, t0, t1, float(series[b])
+                if b == 0:
+                    alarms.extend(
+                        self._mine_alarms(
+                            selected,
+                            [],
+                            t0,
+                            t1,
+                            float(series[b]),
+                            previous_transactions=baseline_transactions,
+                        )
                     )
-                )
+                else:
+                    previous = [trace[i] for i in bins[b - 1]]
+                    alarms.extend(
+                        self._mine_alarms(
+                            selected, previous, t0, t1, float(series[b])
+                        )
+                    )
         return _dedupe(alarms)
 
-    def _analyze_numpy(self, trace: Trace) -> list[Alarm]:
+    def _analyze_numpy(
+        self,
+        trace: Trace,
+        baseline: dict[str, Counter] | None = None,
+        baseline_transactions: list | None = None,
+        carry: dict | None = None,
+    ) -> list[Alarm]:
         """Columnar path: dense per-bin histograms over the table.
 
         Bin assignment, histogram counting (``np.add.at`` over
@@ -152,18 +223,35 @@ class KLDetector(Detector):
 
         alarms: list[Alarm] = []
         bin_width = span / n_bins
+        new_baseline: dict[str, Counter] = {}
         for feature in _FEATURES:
             histogram = binned_value_histogram(table, feature, bin_idx, n_bins)
             series = _divergence_series(histogram.counts, p["smoothing"])
+            base = baseline.get(feature) if baseline else None
+            if base:
+                series[0] = _symmetric_kl(
+                    base, _dense_bin_counter(histogram, 0), p["smoothing"]
+                )
+            if carry is not None:
+                new_baseline[feature] = _dense_bin_counter(
+                    histogram, n_bins - 1
+                )
             cut = _robust_cut(series, p["threshold"])
             for b in np.nonzero(series > cut)[0]:
                 b = int(b)
                 members = np.nonzero(bin_idx == b)[0]
                 if members.size == 0:
                     continue
-                value_set = _grown_values_dense(
-                    histogram, b, members, top=p["top_values"]
-                )
+                if b == 0:
+                    # Only reachable with a carried baseline (see
+                    # analyze_stream): rank growth against it.
+                    value_set = _grown_values_vs_baseline(
+                        histogram, members, base, top=p["top_values"]
+                    )
+                else:
+                    value_set = _grown_values_dense(
+                        histogram, b, members, top=p["top_values"]
+                    )
                 if not value_set.size:
                     continue
                 selected_mask = np.isin(
@@ -172,20 +260,43 @@ class KLDetector(Detector):
                 if not selected_mask.any():
                     continue
                 selected = [trace[int(i)] for i in members[selected_mask]]
-                previous = [
-                    trace[int(i)] for i in np.nonzero(bin_idx == b - 1)[0]
-                ]
                 t0 = t_start + b * bin_width
                 t1 = t0 + bin_width
-                alarms.extend(
-                    self._mine_alarms(
-                        selected, previous, t0, t1, float(series[b])
+                if b == 0:
+                    alarms.extend(
+                        self._mine_alarms(
+                            selected,
+                            [],
+                            t0,
+                            t1,
+                            float(series[b]),
+                            previous_transactions=baseline_transactions,
+                        )
                     )
-                )
+                else:
+                    previous = [
+                        trace[int(i)] for i in np.nonzero(bin_idx == b - 1)[0]
+                    ]
+                    alarms.extend(
+                        self._mine_alarms(
+                            selected, previous, t0, t1, float(series[b])
+                        )
+                    )
+        if carry is not None:
+            carry["baseline"] = new_baseline
+            carry["baseline_transactions"] = _dense_bin_transactions(
+                table, bin_idx, n_bins - 1
+            )
         return _dedupe(alarms)
 
     def _mine_alarms(
-        self, packets, previous_packets, t0: float, t1: float, score: float
+        self,
+        packets,
+        previous_packets,
+        t0: float,
+        t1: float,
+        score: float,
+        previous_transactions=None,
     ) -> list[Alarm]:
         """Run Apriori on the anomalous packets, one alarm per rule.
 
@@ -195,14 +306,20 @@ class KLDetector(Detector):
         histogram-clone filtering of the original method.  Rules whose
         previous-bin coverage is already high (steady-state traffic
         such as port 80) are discarded even when frequent now.
+
+        ``previous_transactions`` overrides the previous bin's encoded
+        4-tuples when its packets are gone — the streamed bin-0 case,
+        where the previous bin lives in the carried detector state.
         """
         p = self.params
         transactions = transactions_from_packets(packets)
         result = apriori(transactions, min_support_pct=p["rule_support_pct"])
         rules = rules_from_result(result, limit=p["max_rules_per_bin"])
-        prev_transactions = [
-            frozenset(t) for t in transactions_from_packets(previous_packets)
-        ]
+        if previous_transactions is None:
+            previous_transactions = transactions_from_packets(
+                previous_packets
+            )
+        prev_transactions = [frozenset(t) for t in previous_transactions]
         n_prev = len(prev_transactions)
         alarms = []
         for rule in rules:
@@ -264,6 +381,68 @@ def _grown_values_dense(
     n_curr = max(int(counts[b].sum()), 1)
     uniq_codes, first_pos = first_appearance_order(histogram.codes[members])
     delta = counts[b, uniq_codes] / n_curr - counts[b - 1, uniq_codes] / n_prev
+    order = np.lexsort((first_pos, -delta))[:top]
+    return uniq_codes[order][delta[order] > 0]
+
+
+def _dense_bin_transactions(table, bin_idx: np.ndarray, b: int) -> list[tuple]:
+    """One bin's encoded 4-tuple transactions, read off the columns.
+
+    Element-identical to ``transactions_from_packets`` over the bin's
+    packets (same ints, same order) without materializing objects —
+    this runs once per window to carry the last bin into the next
+    window's lift filter.
+    """
+    idx = np.nonzero(bin_idx == b)[0]
+    return [
+        (
+            ("src", int(src)),
+            ("sport", int(sport)),
+            ("dst", int(dst)),
+            ("dport", int(dport)),
+        )
+        for src, sport, dst, dport in zip(
+            table.src[idx], table.sport[idx], table.dst[idx], table.dport[idx]
+        )
+    ]
+
+
+def _dense_bin_counter(histogram: BinnedHistogram, b: int) -> Counter:
+    """One dense histogram row as a Counter (for baseline carry).
+
+    Content-equal to the python backend's per-bin Counter, which is all
+    the baseline consumers (:func:`_symmetric_kl`,
+    :func:`_grown_values`) depend on — neither reads insertion order of
+    the *previous* histogram.
+    """
+    row = histogram.counts[b]
+    present = np.nonzero(row)[0]
+    return Counter(
+        {int(histogram.values[c]): int(row[c]) for c in present}
+    )
+
+
+def _grown_values_vs_baseline(
+    histogram: BinnedHistogram,
+    members: np.ndarray,
+    baseline: Counter,
+    top: int,
+) -> np.ndarray:
+    """Value codes of bin 0 whose probability grew over the baseline.
+
+    Cross-window twin of :func:`_grown_values_dense`: the "previous
+    bin" is the carried baseline Counter instead of a dense row.  Same
+    deltas, same (delta descending, first-appearance) ranking.
+    """
+    counts = histogram.counts
+    n_prev = max(sum(baseline.values()), 1)
+    n_curr = max(int(counts[0].sum()), 1)
+    uniq_codes, first_pos = first_appearance_order(histogram.codes[members])
+    prev_counts = np.array(
+        [baseline.get(int(histogram.values[c]), 0) for c in uniq_codes],
+        dtype=np.int64,
+    )
+    delta = counts[0, uniq_codes] / n_curr - prev_counts / n_prev
     order = np.lexsort((first_pos, -delta))[:top]
     return uniq_codes[order][delta[order] > 0]
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
-from repro.detectors.sketch import SketchHasher, dominant_keys, sketch_time_matrix
+from repro.detectors.sketch import dominant_keys, sketch_time_matrix
 from repro.net.filters import FeatureFilter
 from repro.net.trace import Trace
 
@@ -64,7 +64,7 @@ class PCADetector(Detector):
         else:
             times = np.array([pkt.time for pkt in trace])
             srcs = np.array([pkt.src for pkt in trace], dtype=np.uint64)
-        hasher = SketchHasher(p["n_sketches"], seed=p["hash_seed"])
+        hasher = self._hasher(p["n_sketches"], p["hash_seed"])
         t_start, t_end = trace.start_time, trace.end_time
         matrix = sketch_time_matrix(
             times, srcs, hasher, t_start, t_end, p["n_bins"]

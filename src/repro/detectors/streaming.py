@@ -1,0 +1,70 @@
+"""Stateful detector wrappers for the streaming engine.
+
+Offline detectors are deliberately stateless across traces (that is
+what parallelizes archive sweeps).  A sliding-window stream, however,
+analyzes many overlapping windows of the *same* traffic, and
+recomputing everything from scratch per window throws away two kinds
+of state the detectors could carry:
+
+* deterministic per-configuration state that never changes — sketch
+  hash seeds (memoized on the detector instance by
+  ``Detector._hasher``, which this wrapper keeps alive across window
+  advances);
+* rolling statistical state — e.g. the KL detector's per-feature
+  histogram of the previous window's last time bin, which gives the
+  new window's first bin a real predecessor instead of a pinned-zero
+  divergence (``KLDetector.analyze_stream``).
+
+:class:`StreamingDetector` owns the carried ``state`` dict for one
+configuration and delegates each window to the wrapped detector's
+``analyze_stream``.  On the first window the state is empty and every
+detector's output is byte-identical to its offline ``analyze`` — the
+streaming/offline parity anchor.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.detectors.base import Alarm, Detector
+from repro.net.trace import Trace
+
+
+class StreamingDetector:
+    """One detector configuration plus its carried cross-window state."""
+
+    def __init__(self, detector: Detector) -> None:
+        self.detector = detector
+        #: Per-configuration carried state; detectors read what the
+        #: previous window wrote (see ``Detector.analyze_stream``).
+        self.state: dict = {}
+        #: Number of windows analyzed so far.
+        self.windows_seen = 0
+
+    @property
+    def config_name(self) -> str:
+        return self.detector.config_name
+
+    def analyze_window(self, trace: Trace) -> list[Alarm]:
+        """Analyze one window, advancing the carried state."""
+        alarms = self.detector.analyze_stream(trace, self.state)
+        self.windows_seen += 1
+        return alarms
+
+    def reset(self) -> None:
+        """Forget all carried state (start of a new stream)."""
+        self.state = {}
+        self.windows_seen = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingDetector({self.config_name}, "
+            f"windows={self.windows_seen})"
+        )
+
+
+def wrap_ensemble(
+    ensemble: Sequence[Detector],
+) -> list[StreamingDetector]:
+    """Wrap every configuration of an ensemble for streaming."""
+    return [StreamingDetector(detector) for detector in ensemble]

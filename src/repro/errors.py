@@ -18,6 +18,22 @@ class PcapError(ReproError):
     """A pcap file could not be parsed or written."""
 
 
+class PcapFormatError(PcapError):
+    """A pcap file is malformed (truncated or corrupt).
+
+    Carries the byte ``offset`` at which parsing failed, so operators
+    can locate the corruption in an archive file; ``str()`` renders it.
+    """
+
+    def __init__(self, message: str, offset: int = 0) -> None:
+        super().__init__(f"{message} (at byte offset {offset})")
+        self.offset = offset
+
+
+class StreamError(ReproError):
+    """The streaming engine was misconfigured or fed invalid input."""
+
+
 class DetectorError(ReproError):
     """An anomaly detector was misconfigured or failed to run."""
 

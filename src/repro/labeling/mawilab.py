@@ -325,6 +325,13 @@ def labels_to_xml(labels: Sequence[LabelRecord], trace_name: str = "trace") -> s
     The real MAWILab database uses the ADMD schema; this writer keeps
     the same structure (anomaly elements carrying filter descriptions)
     without claiming byte compatibility.
+
+    Every free-form string — filter/rule renderings (the canonical
+    4-tuple form is ``<ip, port, ip, port>``, all angle brackets),
+    heuristic details, annotation tags — passes through
+    ``xml.sax.saxutils`` escaping, so ``&``, ``<`` and ``>`` in any of
+    them cannot produce invalid XML; a round-trip test parses the
+    output back and recovers the strings verbatim.
     """
     from repro.net.addresses import ip_to_str
 
@@ -349,8 +356,13 @@ def labels_to_xml(labels: Sequence[LabelRecord], trace_name: str = "trace") -> s
             if rule.dport is not None:
                 parts.append(f"dst_port={rule.dport}")
             out.write(
-                f"    <filter support=\"{rule.support:.3f}\">"
+                f'    <filter support="{rule.support:.3f}" '
+                f"rule={quoteattr(rule.describe())}>"
                 f"{escape(' '.join(parts))}</filter>\n"
+            )
+        for tag in record.annotations:
+            out.write(
+                f"    <annotation>{escape(str(tag))}</annotation>\n"
             )
         out.write("  </anomaly>\n")
     out.write("</admd>\n")

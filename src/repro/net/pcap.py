@@ -7,6 +7,19 @@ IPv4, and TCP/UDP/ICMP transport headers.  Packets the parser cannot
 interpret (non-IPv4, truncated captures) are skipped and counted, which
 matches how header-only MAWI traces are typically consumed.
 
+Two entry points share one parser:
+
+* :func:`read_pcap` materializes a whole file as a
+  :class:`~repro.net.trace.Trace` (the offline pipeline's input);
+* :func:`iter_pcap` yields :class:`~repro.net.table.PacketTable`
+  batches of bounded size without ever holding the file in memory —
+  the ingestion layer of the streaming engine
+  (:mod:`repro.stream`).
+
+Malformed input raises the typed
+:class:`~repro.errors.PcapFormatError` carrying the byte offset of the
+corruption, never a bare ``struct.error`` and never a silent stop.
+
 Only header fields used by the pipeline are decoded; payload bytes are
 never retained.
 """
@@ -15,15 +28,16 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import BinaryIO, Union
+from typing import BinaryIO, Iterator, Union
 
-from repro.errors import PcapError
+from repro.errors import PcapError, PcapFormatError
 from repro.net.packet import (
     PROTO_ICMP,
     PROTO_TCP,
     PROTO_UDP,
     Packet,
 )
+from repro.net.table import PacketTable
 from repro.net.trace import Trace, TraceMetadata
 
 _MAGIC_LE = 0xA1B2C3D4
@@ -33,6 +47,12 @@ _DLT_RAW = 101
 
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")
 _RECORD_HEADER = struct.Struct("<IIII")
+
+#: Largest per-record capture length accepted before the file is
+#: declared corrupt.  The classic pcap snaplen ceiling is 65535; MAWI
+#: header traces are far below it.  A caplen beyond this bound is a
+#: corrupted record header, not a giant packet.
+MAX_CAPLEN = 1 << 18
 
 
 @dataclass
@@ -88,6 +108,74 @@ def _parse_ipv4(data: bytes, time: float) -> Union[Packet, None]:
     )
 
 
+def _read_global_header(fh: BinaryIO) -> tuple[struct.Struct, int]:
+    """Parse the pcap global header; return (record struct, linktype).
+
+    Raises :class:`PcapFormatError` (with byte offset) for truncation
+    or a bad magic, :class:`PcapError` for an unsupported link type.
+    """
+    header = fh.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapFormatError(
+            f"truncated pcap global header ({len(header)} of "
+            f"{_GLOBAL_HEADER.size} bytes)",
+            offset=0,
+        )
+    magic = struct.unpack("<I", header[:4])[0]
+    if magic == _MAGIC_LE:
+        endian = "<"
+    elif magic == _MAGIC_BE:
+        endian = ">"
+    else:
+        raise PcapFormatError(f"bad pcap magic {magic:#x}", offset=0)
+    fields = struct.unpack(endian + "IHHiIII", header)
+    linktype = fields[6]
+    if linktype not in (_DLT_EN10MB, _DLT_RAW):
+        raise PcapError(f"unsupported link type {linktype}")
+    return struct.Struct(endian + "IIII"), linktype
+
+
+def _iter_packets(fh: BinaryIO) -> Iterator[Packet]:
+    """Parse packets one at a time, tracking byte offsets for errors."""
+    record, linktype = _read_global_header(fh)
+    offset = _GLOBAL_HEADER.size
+    while True:
+        rec = fh.read(record.size)
+        if not rec:
+            break
+        if len(rec) < record.size:
+            raise PcapFormatError(
+                f"truncated pcap record header ({len(rec)} of "
+                f"{record.size} bytes)",
+                offset=offset,
+            )
+        ts_sec, ts_usec, caplen, _wirelen = record.unpack(rec)
+        if caplen > MAX_CAPLEN:
+            raise PcapFormatError(
+                f"corrupt pcap record header: caplen {caplen} exceeds "
+                f"{MAX_CAPLEN}",
+                offset=offset,
+            )
+        data = fh.read(caplen)
+        if len(data) < caplen:
+            raise PcapFormatError(
+                f"truncated pcap record body ({len(data)} of {caplen} "
+                "bytes)",
+                offset=offset + record.size,
+            )
+        offset += record.size + caplen
+        if linktype == _DLT_EN10MB:
+            if len(data) < 14:
+                continue
+            ethertype = struct.unpack_from(">H", data, 12)[0]
+            if ethertype != 0x0800:
+                continue
+            data = data[14:]
+        packet = _parse_ipv4(data, ts_sec + ts_usec / 1e6)
+        if packet is not None:
+            yield packet
+
+
 def read_pcap(path_or_file: Union[str, BinaryIO], name: str = "") -> Trace:
     """Read a classic pcap file into a :class:`Trace`.
 
@@ -100,50 +188,51 @@ def read_pcap(path_or_file: Union[str, BinaryIO], name: str = "") -> Trace:
 
     Raises
     ------
+    PcapFormatError
+        If the file is truncated or corrupt (global header, record
+        header or record body); the exception carries the byte offset.
     PcapError
-        If the global header is malformed or the link type unsupported.
+        If the link type is unsupported.
     """
     if isinstance(path_or_file, str):
         with open(path_or_file, "rb") as handle:
             return read_pcap(handle, name=name or path_or_file)
-    fh = path_or_file
-    header = fh.read(_GLOBAL_HEADER.size)
-    if len(header) < _GLOBAL_HEADER.size:
-        raise PcapError("truncated pcap global header")
-    magic = struct.unpack("<I", header[:4])[0]
-    if magic == _MAGIC_LE:
-        endian = "<"
-    elif magic == _MAGIC_BE:
-        endian = ">"
-    else:
-        raise PcapError(f"bad pcap magic {magic:#x}")
-    fields = struct.unpack(endian + "IHHiIII", header)
-    linktype = fields[6]
-    if linktype not in (_DLT_EN10MB, _DLT_RAW):
-        raise PcapError(f"unsupported link type {linktype}")
-    record = struct.Struct(endian + "IIII")
-    packets: list[Packet] = []
-    while True:
-        rec = fh.read(record.size)
-        if not rec:
-            break
-        if len(rec) < record.size:
-            raise PcapError("truncated pcap record header")
-        ts_sec, ts_usec, caplen, _wirelen = record.unpack(rec)
-        data = fh.read(caplen)
-        if len(data) < caplen:
-            raise PcapError("truncated pcap record body")
-        if linktype == _DLT_EN10MB:
-            if len(data) < 14:
-                continue
-            ethertype = struct.unpack_from(">H", data, 12)[0]
-            if ethertype != 0x0800:
-                continue
-            data = data[14:]
-        packet = _parse_ipv4(data, ts_sec + ts_usec / 1e6)
-        if packet is not None:
-            packets.append(packet)
+    packets = list(_iter_packets(path_or_file))
     return Trace(packets, TraceMetadata(name=name or "pcap"))
+
+
+def iter_pcap(
+    path_or_file: Union[str, BinaryIO],
+    chunk_packets: int = 8192,
+) -> Iterator[PacketTable]:
+    """Stream a classic pcap file as bounded :class:`PacketTable` batches.
+
+    The file is parsed incrementally: at most ``chunk_packets`` decoded
+    packets are held at a time, so arbitrarily large captures can be
+    consumed in constant memory.  Batches preserve file order (they are
+    *not* re-sorted by time — the streaming window handles ordering).
+    Concatenating every yielded table gives exactly the packets
+    :func:`read_pcap` would return.
+
+    Raises the same typed errors as :func:`read_pcap`; a corrupt tail
+    raises only after the preceding complete batches were yielded,
+    which is what lets a streaming consumer label everything up to the
+    corruption point.
+    """
+    if chunk_packets <= 0:
+        raise ValueError("chunk_packets must be positive")
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "rb") as handle:
+            yield from iter_pcap(handle, chunk_packets=chunk_packets)
+            return
+    batch: list[Packet] = []
+    for packet in _iter_packets(path_or_file):
+        batch.append(packet)
+        if len(batch) >= chunk_packets:
+            yield PacketTable.from_packets(batch)
+            batch = []
+    if batch:
+        yield PacketTable.from_packets(batch)
 
 
 def _ipv4_bytes(packet: Packet) -> bytes:

@@ -1,0 +1,36 @@
+"""Streaming labeling engine: the online face of the 4-step method.
+
+Where the offline pipeline (:mod:`repro.labeling.mawilab`) labels one
+closed trace at a time, this package labels traffic *as it arrives*,
+in bounded memory, emitting results per sliding window:
+
+* :class:`~repro.stream.window.TraceWindow` — the columnar ring buffer
+  (chunk ingestion, O(1) whole-chunk eviction);
+* :class:`~repro.stream.pipeline.StreamingPipeline` — windowed
+  detection with carried detector state, incremental alarm
+  association, warm-started Louvain, and cross-window label
+  deduplication;
+* :class:`~repro.stream.pipeline.WindowResult` /
+  :class:`~repro.stream.pipeline.StreamResult` — per-window and
+  end-of-stream outputs, with throughput and latency accounting.
+
+Parity guarantee: a window covering the whole stream reproduces the
+offline label CSV byte-for-byte, on both engine backends.
+"""
+
+from repro.stream.pipeline import (
+    StreamingPipeline,
+    StreamResult,
+    StreamStats,
+    WindowResult,
+)
+from repro.stream.window import TraceWindow, chunk_table
+
+__all__ = [
+    "StreamingPipeline",
+    "StreamResult",
+    "StreamStats",
+    "WindowResult",
+    "TraceWindow",
+    "chunk_table",
+]

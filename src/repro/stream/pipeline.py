@@ -1,0 +1,475 @@
+"""The streaming labeling pipeline: windows in, labels out.
+
+:class:`StreamingPipeline` runs the paper's 4-step method continuously
+over a sliding window of a packet stream:
+
+1. **ingest** — packet batches (from
+   :func:`~repro.net.pcap.iter_pcap` or any generator of
+   :class:`~repro.net.table.PacketTable`) land in a
+   :class:`~repro.stream.window.TraceWindow` ring; expired packets are
+   evicted columnarly, so memory is bounded by the window span;
+2. **detect** — the ensemble runs as
+   :class:`~repro.detectors.streaming.StreamingDetector` wrappers,
+   carrying per-configuration state (sketch hashers, KL histogram
+   baselines) across window advances;
+3. **associate** — new alarms join a
+   :class:`~repro.core.dynamic.DynamicSimilarityGraph` incrementally
+   (expired alarms leave it), and Louvain is *warm-started* from the
+   previous window's partition (``louvain(..., seed_partition=...)``)
+   so each window refines the clustering instead of recomputing it;
+4. **classify + label** — the offline combiner and Step 4 machinery
+   run unchanged on the live communities, and re-accepted communities
+   from overlapping windows are merged into one label with an extended
+   time span.
+
+Parity anchor: when one window covers the whole trace, every stage
+degenerates to its offline twin (empty detector state, cold Louvain
+start, single-window label merge), and :meth:`StreamResult.to_csv` is
+byte-identical to ``labels_to_csv(MAWILabPipeline.run(trace).labels)``
+on both backends.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.community import CommunitySet
+from repro.core.dynamic import DynamicSimilarityGraph
+from repro.core.estimator import SimilarityEstimator
+from repro.core.extractor import TrafficExtractor
+from repro.core.louvain import louvain
+from repro.detectors.base import Alarm, Detector
+from repro.detectors.streaming import StreamingDetector, wrap_ensemble
+from repro.errors import StreamError
+from repro.labeling.mawilab import LabelRecord, MAWILabPipeline, labels_to_csv
+from repro.net.flow import Granularity
+from repro.net.table import PacketTable
+from repro.net.trace import Trace, TraceMetadata
+from repro.stream.window import TraceWindow
+
+
+@dataclass
+class WindowResult:
+    """Everything one window emission produced."""
+
+    index: int
+    t0: float
+    t1: float
+    n_packets: int
+    n_new_alarms: int
+    n_live_alarms: int
+    n_communities: int
+    labels: list[LabelRecord]
+    #: Wall seconds spent labeling this window (detect -> label).
+    latency: float
+
+    def describe(self) -> str:
+        return (
+            f"window#{self.index} {self.t0:.1f}-{self.t1:.1f}s "
+            f"packets={self.n_packets} alarms={self.n_live_alarms} "
+            f"(+{self.n_new_alarms}) communities={self.n_communities} "
+            f"labels={len(self.labels)} latency={self.latency * 1e3:.1f}ms"
+        )
+
+
+@dataclass
+class _MergedLabel:
+    """One deduplicated stream label under construction."""
+
+    record: LabelRecord
+    t0: float
+    t1: float
+    windows: int = 1
+    #: Index of the last window that contributed; merging only spans
+    #: *different* windows — two same-key communities inside one window
+    #: are genuinely distinct labels and stay separate.
+    last_window: int = -1
+
+
+@dataclass
+class StreamStats:
+    """Throughput / latency / memory accounting for one stream run."""
+
+    n_windows: int = 0
+    total_packets: int = 0
+    processing_seconds: float = 0.0
+    peak_ring_packets: int = 0
+    window_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def packets_per_sec(self) -> float:
+        if self.processing_seconds <= 0:
+            return 0.0
+        return self.total_packets / self.processing_seconds
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile window latency in seconds (0 when empty)."""
+        if not self.window_latencies:
+            return 0.0
+        ordered = sorted(self.window_latencies)
+        rank = max(int(np.ceil(0.95 * len(ordered))) - 1, 0)
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "n_windows": self.n_windows,
+            "total_packets": self.total_packets,
+            "processing_seconds": round(self.processing_seconds, 6),
+            "packets_per_sec": round(self.packets_per_sec, 1),
+            "p95_window_latency": round(self.p95_latency, 6),
+            "peak_ring_packets": self.peak_ring_packets,
+        }
+
+
+@dataclass
+class StreamResult:
+    """Final output of one stream run."""
+
+    windows: list[WindowResult]
+    #: Cross-window deduplicated labels, renumbered ``0..n-1`` in first
+    #: appearance order, spans extended over merged re-acceptances.
+    labels: list[LabelRecord]
+    stats: StreamStats
+
+    def to_csv(self) -> str:
+        """The merged labels in the offline database CSV format."""
+        return labels_to_csv(self.labels)
+
+
+def _label_key(record: LabelRecord) -> tuple:
+    """Identity of a label for cross-window deduplication.
+
+    Two windows re-accepting the same community produce records with
+    the same taxonomy, heuristic, detector set and concise rules; time
+    spans and alarm counts differ, so they are excluded.
+    """
+    return (
+        record.taxonomy,
+        record.heuristic.category,
+        record.heuristic.detail,
+        record.detectors,
+        frozenset(
+            (rule.src, rule.sport, rule.dst, rule.dport)
+            for rule in record.summary.rules
+        ),
+    )
+
+
+class StreamingPipeline:
+    """The 4-step MAWILab method over a sliding packet window.
+
+    Parameters
+    ----------
+    window:
+        Window span in seconds; each emitted labeling covers the last
+        ``window`` seconds of traffic.
+    hop:
+        Advance between emissions in seconds; defaults to ``window``
+        (tumbling windows).  ``hop < window`` makes windows overlap —
+        alarms re-detected in the overlap are deduplicated, and their
+        communities merge into labels with extended spans.
+    ensemble:
+        Detector configurations (wrapped for streaming); defaults to
+        the paper's 12.
+    granularity:
+        Traffic granularity of the association step.  Packet
+        granularity is rejected: packet indices are not stable across
+        window advances (flows are).
+    backend:
+        "auto" / "numpy" / "python", as everywhere.
+
+    Remaining parameters mirror
+    :class:`~repro.labeling.mawilab.MAWILabPipeline` exactly, which is
+    what makes full-coverage streaming output byte-identical.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        hop: Optional[float] = None,
+        ensemble: Optional[Sequence[Detector]] = None,
+        granularity: Granularity = Granularity.UNIFLOW,
+        strategy=None,
+        measure: str = "simpson",
+        edge_threshold: float = 0.1,
+        rule_support_pct: float = 20.0,
+        seed: int = 0,
+        backend: str = "auto",
+    ) -> None:
+        if window <= 0:
+            raise StreamError(f"window must be positive, got {window}")
+        hop = window if hop is None else hop
+        if not 0 < hop <= window:
+            raise StreamError(
+                f"hop must be in (0, window], got hop={hop} window={window}"
+            )
+        if granularity is Granularity.PACKET:
+            raise StreamError(
+                "packet granularity is not streamable: packet indices are "
+                "window-local; use uniflow or biflow"
+            )
+        self.window = float(window)
+        self.hop = float(hop)
+        self.granularity = granularity
+        self.seed = seed
+        self.backend = backend
+        self.pipeline = MAWILabPipeline(
+            ensemble=ensemble,
+            granularity=granularity,
+            strategy=strategy,
+            measure=measure,
+            edge_threshold=edge_threshold,
+            rule_support_pct=rule_support_pct,
+            seed=seed,
+            backend=backend,
+        )
+        self.detectors: list[StreamingDetector] = wrap_ensemble(
+            self.pipeline.ensemble
+        )
+        self.ring = TraceWindow()
+        self._graph = DynamicSimilarityGraph(
+            measure=measure, edge_threshold=edge_threshold
+        )
+        self._alarms: dict[int, Alarm] = {}
+        #: Alarm identity -> live alarm ids carrying it.  A detector
+        #: may legitimately emit identical alarms within one window
+        #: (they are distinct graph nodes offline too), so identities
+        #: map to id *lists*, not single ids.
+        self._alarm_keys: dict[tuple, list[int]] = {}
+        self._partition: dict[int, int] = {}
+        #: Merge index: label identity -> its entries (latest last).
+        self._merged: dict[tuple, list[_MergedLabel]] = {}
+        #: The same entries in emission order — the output order, so a
+        #: single-window run reproduces the offline label order exactly
+        #: even when same-key labels interleave with others.
+        self._merged_order: list[_MergedLabel] = []
+        self._window_index = 0
+        self._latencies: list[float] = []
+        self._metadata: Optional[TraceMetadata] = None
+
+    # -- streaming loop ------------------------------------------------
+
+    def process(
+        self,
+        chunks: Iterable[PacketTable],
+        metadata: Optional[TraceMetadata] = None,
+    ) -> Iterator[WindowResult]:
+        """Consume packet batches; yield one result per emitted window.
+
+        Emission is driven by packet timestamps: a window ``[e - w, e)``
+        is labeled as soon as a packet at or past ``e`` arrives.  When
+        the stream ends, the remaining buffered packets form one final
+        window (closed at the last timestamp) — for a stream shorter
+        than ``window`` that final window is the only one, covering the
+        whole stream.
+        """
+        self._metadata = metadata
+        next_emit: Optional[float] = None
+        last_emitted_end: Optional[float] = None
+        for chunk in chunks:
+            if len(chunk) == 0:
+                continue
+            self.ring.extend(chunk)
+            if next_emit is None:
+                next_emit = self.ring.t_min + self.window
+            while self.ring.t_max >= next_emit:
+                yield self._emit(next_emit, inclusive=False)
+                last_emitted_end = next_emit
+                next_emit += self.hop
+        if len(self.ring) and (
+            last_emitted_end is None or self.ring.t_max >= last_emitted_end
+        ):
+            yield self._emit(self.ring.t_max, inclusive=True)
+
+    def run(
+        self,
+        chunks: Iterable[PacketTable],
+        metadata: Optional[TraceMetadata] = None,
+    ) -> StreamResult:
+        """Consume the whole stream; return the merged result."""
+        windows = list(self.process(chunks, metadata=metadata))
+        return StreamResult(
+            windows=windows,
+            labels=self.merged_labels(),
+            stats=self.stats(),
+        )
+
+    # -- one window ----------------------------------------------------
+
+    def _emit(self, window_end: float, inclusive: bool) -> WindowResult:
+        started = _time.perf_counter()
+        window_t0 = window_end - self.window
+        self.ring.evict_before(window_t0)
+        table = self.ring.table()
+        in_window = (
+            table.time <= window_end if inclusive else table.time < window_end
+        )
+        trace = Trace.from_table(
+            table.take(np.nonzero(in_window)[0]), self._metadata
+        )
+
+        # Retire alarms that slid out of the window entirely.
+        expired = [
+            alarm_id
+            for alarm_id, alarm in self._alarms.items()
+            if alarm.t1 <= window_t0
+        ]
+        if expired:
+            self._graph.expire_alarms(expired)
+            for alarm_id in expired:
+                del self._alarms[alarm_id]
+                self._partition.pop(alarm_id, None)
+            dead = set(expired)
+            self._alarm_keys = {
+                key: kept
+                for key, ids in self._alarm_keys.items()
+                if (kept := [i for i in ids if i not in dead])
+            }
+
+        labels: list[LabelRecord] = []
+        n_communities = 0
+        fresh: list[tuple[tuple, Alarm]] = []
+        if len(trace):
+            # Step 1, stateful: every configuration sees the window.
+            # Cross-window alarm dedup: a re-detection in an
+            # overlapping window is absorbed by a live copy from a
+            # previous window, but duplicates *beyond* the live count
+            # are kept — the offline pipeline keeps same-window
+            # duplicates as distinct graph nodes, and so must we.
+            seen_this_window: dict[tuple, int] = {}
+            for detector in self.detectors:
+                for alarm in detector.analyze_window(trace):
+                    key = (
+                        alarm.config,
+                        alarm.t0,
+                        alarm.t1,
+                        alarm.filters,
+                        alarm.flow_keys,
+                    )
+                    seen = seen_this_window.get(key, 0)
+                    seen_this_window[key] = seen + 1
+                    if seen < len(self._alarm_keys.get(key, ())):
+                        continue
+                    fresh.append((key, alarm))
+            extractor = TrafficExtractor(
+                trace, self.granularity, backend=self.backend
+            )
+            # Step 2, incremental: deltas into the live graph.
+            traffic_sets = extractor.extract_all(
+                [alarm for _, alarm in fresh]
+            )
+            for (key, alarm), alarm_id in zip(
+                fresh, self._graph.add_alarms(traffic_sets)
+            ):
+                self._alarms[alarm_id] = alarm
+                self._alarm_keys.setdefault(key, []).append(alarm_id)
+            graph, node_of = self._graph.build()
+            live_ids = self._graph.live_ids()
+            seed_partition = {
+                node_of[alarm_id]: self._partition[alarm_id]
+                for alarm_id in live_ids
+                if alarm_id in self._partition
+            }
+            partition = louvain(
+                graph,
+                seed=self.seed,
+                seed_partition=seed_partition or None,
+            )
+            for alarm_id in live_ids:
+                self._partition[alarm_id] = partition[node_of[alarm_id]]
+            # Steps 3-4: the offline machinery, unchanged.
+            alarm_list = [self._alarms[alarm_id] for alarm_id in live_ids]
+            traffic_list = [
+                self._graph.traffic_of(alarm_id) for alarm_id in live_ids
+            ]
+            communities = SimilarityEstimator._materialize(
+                alarm_list, traffic_list, partition
+            )
+            n_communities = len(communities)
+            community_set = CommunitySet(
+                communities=communities,
+                alarms=alarm_list,
+                traffic_sets=traffic_list,
+                granularity=self.granularity,
+                graph=graph,
+                extractor=extractor,
+            )
+            decisions = self.pipeline.strategy.classify(
+                community_set, self.pipeline.config_names
+            )
+            labels = [
+                self.pipeline._label_one(community_set, community, decision)
+                for community, decision in zip(communities, decisions)
+            ]
+
+        self._merge_labels(labels)
+        latency = _time.perf_counter() - started
+        result = WindowResult(
+            index=self._window_index,
+            t0=window_t0,
+            t1=window_end,
+            n_packets=len(trace),
+            n_new_alarms=len(fresh),
+            n_live_alarms=self._graph.n_live,
+            n_communities=n_communities,
+            labels=labels,
+            latency=latency,
+        )
+        self._window_index += 1
+        self._latencies.append(latency)
+        return result
+
+    # -- cross-window label merging ------------------------------------
+
+    def _merge_labels(self, labels: Sequence[LabelRecord]) -> None:
+        for record in labels:
+            key = _label_key(record)
+            entries = self._merged.setdefault(key, [])
+            if (
+                entries
+                and entries[-1].last_window != self._window_index
+                and record.t0 <= entries[-1].t1
+            ):
+                # Same community re-accepted in an overlapping window:
+                # one label, extended span.
+                entry = entries[-1]
+                entry.t0 = min(entry.t0, record.t0)
+                entry.t1 = max(entry.t1, record.t1)
+                entry.record = record
+                entry.windows += 1
+                entry.last_window = self._window_index
+            else:
+                entry = _MergedLabel(
+                    record=record,
+                    t0=record.t0,
+                    t1=record.t1,
+                    last_window=self._window_index,
+                )
+                entries.append(entry)
+                self._merged_order.append(entry)
+
+    def merged_labels(self) -> list[LabelRecord]:
+        """Deduplicated labels, renumbered in first-appearance order."""
+        return [
+            replace(
+                entry.record,
+                community_id=community_id,
+                t0=entry.t0,
+                t1=entry.t1,
+            )
+            for community_id, entry in enumerate(self._merged_order)
+        ]
+
+    def stats(self) -> StreamStats:
+        return StreamStats(
+            n_windows=self._window_index,
+            total_packets=self.ring.total_ingested,
+            processing_seconds=sum(self._latencies),
+            peak_ring_packets=self.ring.peak_packets,
+            window_latencies=list(self._latencies),
+        )

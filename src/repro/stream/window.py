@@ -1,0 +1,123 @@
+"""The sliding trace window: a columnar ring over packet batches.
+
+:class:`TraceWindow` buffers the live portion of a packet stream as a
+deque of :class:`~repro.net.table.PacketTable` chunks (exactly as they
+arrive from :func:`~repro.net.pcap.iter_pcap` or a generator).
+Eviction is columnar: advancing the window start drops whole expired
+chunks in O(1) and slices the one boundary chunk with a binary search —
+no per-packet Python work, no object materialization.
+
+Memory is therefore bounded by the window span (plus one chunk of
+slack), not by the stream length; :attr:`TraceWindow.peak_packets`
+records the high-water mark so benchmarks can assert the bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.net.table import PacketTable
+from repro.net.trace import Trace, TraceMetadata
+
+
+class TraceWindow:
+    """Ring buffer of packet batches covering the live time window.
+
+    Chunks may arrive unsorted *within* a batch (they are sorted on
+    ingest); across batches, timestamps are expected to be roughly
+    monotone — the normal shape of a capture stream.  Eviction treats
+    each chunk independently, so mild cross-chunk overlap (out-of-order
+    delivery) is handled correctly; :meth:`trace` re-sorts globally.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: Deque[PacketTable] = deque()
+        self._n_packets = 0
+        #: High-water mark of buffered packets (bounded-memory proof).
+        self.peak_packets = 0
+        #: Total packets ever ingested (throughput accounting).
+        self.total_ingested = 0
+
+    # -- ingest --------------------------------------------------------
+
+    def extend(self, table: PacketTable) -> None:
+        """Append one batch of packets (sorted on ingest if needed)."""
+        if len(table) == 0:
+            return
+        self._chunks.append(table.sorted_by_time())
+        self._n_packets += len(table)
+        self.total_ingested += len(table)
+        self.peak_packets = max(self.peak_packets, self._n_packets)
+
+    # -- eviction ------------------------------------------------------
+
+    def evict_before(self, cutoff: float) -> int:
+        """Drop packets with ``time < cutoff``; return how many.
+
+        Whole chunks older than the cutoff are dropped without looking
+        at their rows; the boundary chunk is sliced with one
+        ``searchsorted``.
+        """
+        evicted = 0
+        while self._chunks and float(self._chunks[0].time[-1]) < cutoff:
+            evicted += len(self._chunks[0])
+            self._chunks.popleft()
+        # Boundary chunks: any remaining chunk may start before the
+        # cutoff when batches overlap in time.  A chunk the slice
+        # empties is dropped outright — a zero-length chunk would
+        # poison t_min/t_max and later evictions.
+        kept: Deque[PacketTable] = deque()
+        for chunk in self._chunks:
+            if float(chunk.time[0]) >= cutoff:
+                kept.append(chunk)
+                continue
+            lo = int(np.searchsorted(chunk.time, cutoff, side="left"))
+            evicted += lo
+            if lo < len(chunk):
+                kept.append(chunk.take(np.arange(lo, len(chunk))))
+        self._chunks = kept
+        self._n_packets -= evicted
+        return evicted
+
+    # -- views ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_packets
+
+    @property
+    def t_min(self) -> float:
+        if not self._chunks:
+            raise StreamError("empty window has no start time")
+        return min(float(chunk.time[0]) for chunk in self._chunks)
+
+    @property
+    def t_max(self) -> float:
+        if not self._chunks:
+            raise StreamError("empty window has no end time")
+        return max(float(chunk.time[-1]) for chunk in self._chunks)
+
+    def table(self) -> PacketTable:
+        """The buffered packets as one table (stream order)."""
+        return PacketTable.concatenate(self._chunks)
+
+    def trace(self, metadata: Optional[TraceMetadata] = None) -> Trace:
+        """Materialize the live window as a time-sorted :class:`Trace`."""
+        return Trace.from_table(self.table(), metadata)
+
+
+def chunk_table(table: PacketTable, chunk_packets: int):
+    """Split one table into bounded batches (stream-shaped input).
+
+    Turns an in-memory table (e.g. a synthetic archive day) into the
+    batch iterator the streaming pipeline consumes — the testing and
+    benchmarking twin of :func:`~repro.net.pcap.iter_pcap`.
+    """
+    if chunk_packets <= 0:
+        raise StreamError("chunk_packets must be positive")
+    for start in range(0, len(table), chunk_packets):
+        stop = min(start + chunk_packets, len(table))
+        yield table.take(np.arange(start, stop))

@@ -21,6 +21,42 @@ class TestBenchCommand:
         assert payload["total"] >= max(payload["stages"].values())
         assert payload["n_packets"] > 0
 
+    def test_records_streaming_throughput(self, capsys):
+        """The bench artifact carries the streaming leg's metrics, so
+        CI artifacts stay comparable across PRs."""
+        assert main(["bench", "--duration", "6", "--seed", "7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        streaming = payload["streaming"]
+        assert streaming["window"] == 2.0  # duration / 3 default
+        assert streaming["hop"] == 1.0
+        assert streaming["n_windows"] >= 2
+        assert streaming["total_packets"] == payload["n_packets"]
+        assert streaming["packets_per_sec"] > 0
+        assert streaming["p95_window_latency"] > 0
+        assert 0 < streaming["peak_ring_packets"] <= payload["n_packets"]
+
+    def test_streaming_options(self, capsys):
+        assert (
+            main(
+                [
+                    "bench",
+                    "--duration",
+                    "6",
+                    "--stream-window",
+                    "3",
+                    "--stream-hop",
+                    "3",
+                    "--stream-chunk",
+                    "512",
+                ]
+            )
+            == 0
+        )
+        streaming = json.loads(capsys.readouterr().out)["streaming"]
+        assert streaming["window"] == 3.0
+        assert streaming["hop"] == 3.0
+        assert streaming["chunk_packets"] == 512
+
     def test_writes_json_file(self, tmp_path):
         out = tmp_path / "bench.json"
         assert (

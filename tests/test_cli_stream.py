@@ -1,0 +1,120 @@
+"""CLI tests for the `stream` subcommand.
+
+The acceptance anchor lives here: `repro stream` with a window
+covering the whole trace writes a byte-identical label CSV to
+`repro label` on the same pcap, for both engine backends.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def day_pcap(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("stream") / "day.pcap")
+    assert (
+        main(
+            [
+                "generate",
+                "--seed",
+                "7",
+                "--duration",
+                "12",
+                "--anomaly",
+                "sasser",
+                "--out",
+                path,
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestStreamCommand:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_full_window_byte_matches_label(
+        self, day_pcap, tmp_path, backend
+    ):
+        ref = tmp_path / f"ref-{backend}.csv"
+        got = tmp_path / f"stream-{backend}.csv"
+        assert (
+            main(
+                ["label", day_pcap, "--backend", backend, "--out", str(ref)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "stream",
+                    day_pcap,
+                    "--window",
+                    "1000000",
+                    "--backend",
+                    backend,
+                    "--out",
+                    str(got),
+                ]
+            )
+            == 0
+        )
+        assert got.read_bytes() == ref.read_bytes()
+
+    def test_windowed_run_reports_progress(self, day_pcap, capsys):
+        assert (
+            main(
+                ["stream", day_pcap, "--window", "4", "--hop", "2"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "window#0" in captured.err
+        assert "pkt/s" in captured.err
+        assert captured.out.startswith("community,taxonomy")
+
+    def test_xml_output_well_formed(self, day_pcap, capsys):
+        import xml.etree.ElementTree as ET
+
+        assert (
+            main(
+                [
+                    "stream",
+                    day_pcap,
+                    "--window",
+                    "1000000",
+                    "--format",
+                    "xml",
+                ]
+            )
+            == 0
+        )
+        root = ET.fromstring(capsys.readouterr().out)
+        assert root.tag == "admd"
+
+    def test_rejects_bad_hop_cleanly(self, day_pcap, capsys):
+        assert (
+            main(
+                ["stream", day_pcap, "--window", "4", "--hop", "8"]
+            )
+            == 2
+        )
+        assert "error: hop" in capsys.readouterr().err
+
+    def test_rejects_packet_granularity(self, day_pcap, capsys):
+        assert (
+            main(
+                ["stream", day_pcap, "--granularity", "packet"]
+            )
+            == 2
+        )
+        assert "not streamable" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["stream", "x.pcap"])
+        assert args.window == 60.0
+        assert args.hop is None
+        assert args.chunk == 8192
+        assert args.backend == "auto"

@@ -32,7 +32,8 @@ from repro.labeling.heuristics import label_packets, label_packets_table
 from repro.net.filters import FeatureFilter, match_mask, match_packet
 from repro.net.flow import Granularity, aggregate_flows, uniflow_key
 from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Packet
-from repro.net.trace import Trace
+from repro.net.table import COLUMNS
+from repro.net.trace import Trace, merge_traces
 
 # -- strategies -------------------------------------------------------
 #
@@ -184,6 +185,51 @@ def test_trace_flows_match_reference_aggregation(packet_list):
         assert trace.flows(granularity) == aggregate_flows(
             trace.packets, granularity
         )
+
+
+# -- merge / slice composition -----------------------------------------
+
+
+@given(
+    packet_lists,
+    packet_lists,
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_slicing_a_merge_equals_merging_slices(list_a, list_b, t_lo, t_hi):
+    """``time_slice(merge(A, B)) == merge(time_slice(A), time_slice(B))``.
+
+    The streaming engine relies on this algebra: chunks are merged
+    into windows and windows are sliced at hop boundaries, in either
+    order.  Compared column-for-column on the numpy backend.
+    """
+    t0, t1 = min(t_lo, t_hi), max(t_lo, t_hi)
+    trace_a, trace_b = Trace(list_a), Trace(list_b)
+
+    merged = merge_traces([trace_a, trace_b])
+    window = merged.time_slice(t0, t1)
+    sliced_merge = merged.table.take(
+        np.arange(window.start, window.stop)
+    )
+
+    def slice_one(trace):
+        part = trace.time_slice(t0, t1)
+        return Trace.from_table(
+            trace.table.take(np.arange(part.start, part.stop))
+        )
+
+    if len(slice_one(trace_a)) + len(slice_one(trace_b)) == 0:
+        assert len(sliced_merge) == 0
+        return
+    merged_slices = merge_traces(
+        [slice_one(trace_a), slice_one(trace_b)]
+    ).table
+    assert len(sliced_merge) == len(merged_slices)
+    for column in COLUMNS:
+        assert np.array_equal(
+            getattr(sliced_merge, column), getattr(merged_slices, column)
+        ), column
 
 
 # -- detector feature histograms ---------------------------------------

@@ -113,3 +113,57 @@ class TestExports:
     def test_label_describe(self, pipeline_result):
         text = pipeline_result.labels[0].describe()
         assert "alarms=" in text
+
+    def test_xml_escapes_hostile_strings_round_trip(self):
+        """&, <, > in filter/rule strings survive a parse round trip.
+
+        The canonical rule rendering is ``<ip, port, ip, port>`` — all
+        angle brackets — and heuristic details / annotation tags are
+        free-form; none of them may break the XML.
+        """
+        import xml.etree.ElementTree as ET
+
+        from repro.labeling.heuristics import HeuristicLabel
+        from repro.labeling.mawilab import LabelRecord
+        from repro.rules.itemsets import Rule
+        from repro.rules.summarize import CommunitySummary
+
+        rule = Rule(src=0x0A000001, sport=80, support=0.75, count=3)
+        record = LabelRecord(
+            community_id=0,
+            taxonomy="anomalous",
+            heuristic=HeuristicLabel(
+                category="attack", detail='ports<1024 & "odd">'
+            ),
+            summary=CommunitySummary(rules=[rule]),
+            t0=1.0,
+            t1=2.0,
+            n_alarms=4,
+            detectors=("kl",),
+            annotations=("p2p & <tagged>", "plain"),
+        )
+        xml = labels_to_xml(
+            [record], trace_name='trace <&> "quoted"'
+        )
+        root = ET.fromstring(xml)  # raises on any unescaped & < >
+        assert root.get("trace") == 'trace <&> "quoted"'
+        anomaly = root.find("anomaly")
+        assert anomaly.get("heuristic") == 'attack:ports<1024 & "odd">'
+        filter_element = anomaly.find("filter")
+        assert filter_element.get("rule") == rule.describe()
+        assert "<" in rule.describe() and ">" in rule.describe()
+        assert filter_element.text == "src_ip=10.0.0.1 src_port=80"
+        tags = [e.text for e in anomaly.findall("annotation")]
+        assert tags == ["p2p & <tagged>", "plain"]
+
+    def test_xml_round_trip_on_pipeline_output(self, pipeline_result):
+        import xml.etree.ElementTree as ET
+
+        xml = labels_to_xml(pipeline_result.labels, trace_name="t")
+        root = ET.fromstring(xml)
+        for element, record in zip(root, pipeline_result.labels):
+            rules = element.findall("filter")
+            assert len(rules) == len(record.summary.rules)
+            for parsed, rule in zip(rules, record.summary.rules):
+                assert parsed.get("rule") == rule.describe()
+                assert parsed.get("support") == f"{rule.support:.3f}"

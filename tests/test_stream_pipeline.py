@@ -1,0 +1,380 @@
+"""Streaming engine tests: parity, deltas, warm starts, dedup.
+
+The central acceptance property: with one window covering the whole
+trace, the streaming pipeline's CSV is byte-identical to the offline
+:class:`~repro.labeling.mawilab.MAWILabPipeline`'s on both backends.
+Around it, unit tests pin the incremental graph's delta algebra, the
+Louvain warm start and the cross-window label merging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicSimilarityGraph
+from repro.core.graph import SimilarityGraph, build_similarity_graph
+from repro.core.louvain import louvain, modularity
+from repro.errors import GraphError, StreamError
+from repro.labeling.mawilab import labels_to_csv
+from repro.net.flow import Granularity
+from repro.stream import StreamingPipeline, chunk_table
+
+
+# -- incremental similarity graph --------------------------------------
+
+
+class TestDynamicGraph:
+    def test_matches_offline_builder(self):
+        sets = [
+            frozenset({"a", "b", "c"}),
+            frozenset({"b", "c", "d"}),
+            frozenset({"x"}),
+            frozenset({"c", "x"}),
+        ]
+        dynamic = DynamicSimilarityGraph(measure="simpson")
+        dynamic.add_alarms(sets)
+        graph, node_of = dynamic.build()
+        reference = build_similarity_graph(sets, backend="python")
+        assert node_of == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert _ordered(graph) == _ordered(reference)
+
+    def test_expiry_equals_rebuild_without_expired(self):
+        sets = [
+            frozenset({1, 2, 3}),
+            frozenset({2, 3}),
+            frozenset({3, 4}),
+            frozenset({4, 5}),
+        ]
+        dynamic = DynamicSimilarityGraph(measure="jaccard")
+        ids = dynamic.add_alarms(sets)
+        dynamic.expire_alarms([ids[1]])
+        graph, node_of = dynamic.build()
+        survivors = [sets[0], sets[2], sets[3]]
+        reference = build_similarity_graph(
+            survivors, measure="jaccard", backend="python"
+        )
+        assert graph.n_nodes == 3
+        assert _ordered(graph) == _ordered(reference)
+        # Stable ids: survivors keep their original ids, compacted.
+        assert node_of == {ids[0]: 0, ids[2]: 1, ids[3]: 2}
+
+    def test_interleaved_deltas_match_final_population(self):
+        rng = np.random.default_rng(3)
+        dynamic = DynamicSimilarityGraph(measure="simpson")
+        live: dict[int, frozenset] = {}
+        for step in range(60):
+            if live and rng.random() < 0.35:
+                victim = int(rng.choice(sorted(live)))
+                dynamic.expire_alarms([victim])
+                del live[victim]
+            else:
+                traffic = frozenset(
+                    int(v) for v in rng.integers(0, 12, rng.integers(1, 6))
+                )
+                live[dynamic.add_alarm(traffic)] = traffic
+        graph, node_of = dynamic.build()
+        ordered_ids = sorted(live)
+        reference = build_similarity_graph(
+            [live[i] for i in ordered_ids], backend="python"
+        )
+        assert _ordered(graph) == _ordered(reference)
+
+    def test_intersection_accessor(self):
+        dynamic = DynamicSimilarityGraph()
+        a = dynamic.add_alarm({1, 2, 3})
+        b = dynamic.add_alarm({2, 3, 4})
+        assert dynamic.intersection(a, b) == 2
+        assert dynamic.intersection(b, a) == 2
+        dynamic.expire_alarms([a])
+        assert dynamic.intersection(a, b) == 0
+
+    def test_expire_unknown_raises(self):
+        dynamic = DynamicSimilarityGraph()
+        with pytest.raises(GraphError):
+            dynamic.expire_alarms([7])
+
+    def test_unknown_measure_raises(self):
+        with pytest.raises(GraphError):
+            DynamicSimilarityGraph(measure="nope")
+
+
+def _ordered(graph: SimilarityGraph):
+    return {
+        node: list(neighbors.items())
+        for node, neighbors in graph.adjacency.items()
+    }
+
+
+# -- louvain warm start ------------------------------------------------
+
+
+def _ring_of_cliques(n_cliques: int = 4, size: int = 4) -> SimilarityGraph:
+    graph = SimilarityGraph(n_nodes=n_cliques * size)
+    for c in range(n_cliques):
+        base = c * size
+        for i in range(size):
+            for j in range(i + 1, size):
+                graph.add_edge(base + i, base + j, 1.0)
+        graph.add_edge(
+            base + size - 1, ((c + 1) % n_cliques) * size, 0.1
+        )
+    return graph
+
+
+class TestLouvainWarmStart:
+    def test_default_is_cold_start(self):
+        graph = _ring_of_cliques()
+        assert louvain(graph, seed=3) == louvain(
+            graph, seed=3, seed_partition=None
+        )
+
+    def test_seeding_with_result_is_stable(self):
+        graph = _ring_of_cliques()
+        cold = louvain(graph, seed=0)
+        warm = louvain(graph, seed=0, seed_partition=cold)
+        assert modularity(graph, warm) >= modularity(graph, cold) - 1e-12
+
+    def test_warm_start_escapes_glued_seed(self):
+        # All nodes seeded into one mega-community: refinement must
+        # split it back apart instead of keeping the glue.
+        graph = _ring_of_cliques()
+        glued = {node: 0 for node in range(graph.n_nodes)}
+        warm = louvain(graph, seed=0, seed_partition=glued)
+        cold = louvain(graph, seed=0)
+        assert len(set(warm.values())) > 1
+        assert modularity(graph, warm) >= modularity(graph, cold) - 1e-9
+
+    def test_partial_seed_gives_new_nodes_singletons(self):
+        graph = _ring_of_cliques(n_cliques=2, size=3)
+        seed_partition = {0: 0, 1: 0}  # nodes 2..5 unseeded
+        partition = louvain(graph, seed=1, seed_partition=seed_partition)
+        assert set(partition) == set(range(graph.n_nodes))
+        labels = set(partition.values())
+        assert labels == set(range(len(labels)))  # contiguous
+
+    def test_warm_start_deterministic(self):
+        graph = _ring_of_cliques(5, 3)
+        seed_partition = {node: node % 3 for node in range(graph.n_nodes)}
+        first = louvain(graph, seed=9, seed_partition=seed_partition)
+        second = louvain(graph, seed=9, seed_partition=dict(seed_partition))
+        assert first == second
+
+    def test_empty_graph_warm_start(self):
+        graph = SimilarityGraph(n_nodes=3)
+        partition = louvain(graph, seed_partition={0: 0, 1: 0, 2: 1})
+        assert set(partition) == {0, 1, 2}
+
+
+# -- streaming pipeline ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def archive_trace():
+    from repro.mawi.archive import SyntheticArchive
+
+    return SyntheticArchive(seed=2010, trace_duration=20.0).day(
+        "2005-06-01"
+    ).trace
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_full_window_matches_offline_csv(self, archive_trace, backend):
+        from repro.labeling.mawilab import MAWILabPipeline
+
+        offline = labels_to_csv(
+            MAWILabPipeline(backend=backend).run(archive_trace).labels
+        )
+        pipeline = StreamingPipeline(window=1e9, backend=backend)
+        result = pipeline.run(
+            chunk_table(archive_trace.table, 400),
+            metadata=archive_trace.metadata,
+        )
+        assert len(result.windows) == 1
+        assert result.to_csv() == offline
+
+    def test_chunk_size_invariance(self, archive_trace):
+        outputs = {
+            chunk: StreamingPipeline(window=1e9)
+            .run(chunk_table(archive_trace.table, chunk))
+            .to_csv()
+            for chunk in (100, 1000, 10**6)
+        }
+        assert len(set(outputs.values())) == 1
+
+
+class TestStreamingWindows:
+    def test_hop_emits_expected_windows(self, archive_trace):
+        pipeline = StreamingPipeline(window=8.0, hop=4.0)
+        result = pipeline.run(chunk_table(archive_trace.table, 300))
+        assert result.stats.n_windows >= 3
+        # Windows advance by hop.
+        starts = [w.t0 for w in result.windows[:-1]]
+        assert all(
+            b - a == pytest.approx(4.0) for a, b in zip(starts, starts[1:])
+        )
+        # Ring stays bounded below the whole trace.
+        assert result.stats.peak_ring_packets < len(archive_trace)
+        assert result.stats.total_packets == len(archive_trace)
+        assert result.stats.packets_per_sec > 0
+        assert result.stats.p95_latency >= max(
+            w.latency for w in result.windows
+        ) * 0.0  # non-negative, defined
+        assert len(result.stats.window_latencies) == len(result.windows)
+
+    def test_overlap_merges_labels_with_extended_spans(self, archive_trace):
+        pipeline = StreamingPipeline(window=8.0, hop=4.0)
+        result = pipeline.run(chunk_table(archive_trace.table, 300))
+        per_window = sum(len(w.labels) for w in result.windows)
+        assert 0 < len(result.labels) < per_window
+        assert any(
+            label.t1 - label.t0 > 8.0 + 1e-9 for label in result.labels
+        )
+        # Renumbered contiguously.
+        assert [label.community_id for label in result.labels] == list(
+            range(len(result.labels))
+        )
+
+    def test_overlap_dedupes_alarms(self, archive_trace):
+        pipeline = StreamingPipeline(window=8.0, hop=4.0)
+        result = pipeline.run(chunk_table(archive_trace.table, 300))
+        later = result.windows[1:]
+        assert all(w.n_new_alarms <= w.n_live_alarms for w in later)
+        # At least one window carried alarms over instead of
+        # re-detecting everything from scratch.
+        assert any(w.n_new_alarms < w.n_live_alarms for w in later)
+
+    def test_expired_alarms_leave_the_graph(self, archive_trace):
+        pipeline = StreamingPipeline(window=5.0, hop=5.0)
+        result = pipeline.run(chunk_table(archive_trace.table, 300))
+        # Tumbling windows: no alarm survives its window, so the live
+        # population equals each window's own detections.
+        final_live = pipeline._graph.n_live
+        assert final_live == result.windows[-1].n_live_alarms
+        assert final_live < sum(w.n_new_alarms for w in result.windows)
+
+
+class TestLabelMerging:
+    def test_same_key_interleaved_labels_keep_emission_order(self):
+        """Within one window, same-key labels interleaved with others
+        must come out in emission order — the offline CSV order."""
+        from dataclasses import replace as dc_replace
+
+        from repro.labeling.heuristics import HeuristicLabel
+        from repro.labeling.mawilab import LabelRecord
+        from repro.rules.summarize import CommunitySummary
+
+        def record(community_id, detail, t0, t1):
+            return LabelRecord(
+                community_id=community_id,
+                taxonomy="notice",
+                heuristic=HeuristicLabel(category="unknown", detail=detail),
+                summary=CommunitySummary(),
+                t0=t0,
+                t1=t1,
+                n_alarms=1,
+                detectors=("kl",),
+            )
+
+        pipeline = StreamingPipeline(window=10.0)
+        emitted = [
+            record(0, "Unknown", 0.0, 5.0),
+            record(1, "Other", 1.0, 2.0),
+            record(2, "Unknown", 3.0, 6.0),  # same key as the first
+        ]
+        pipeline._merge_labels(emitted)
+        merged = pipeline.merged_labels()
+        assert [r.heuristic.detail for r in merged] == [
+            "Unknown",
+            "Other",
+            "Unknown",
+        ]
+        assert [r.community_id for r in merged] == [0, 1, 2]
+        assert [(r.t0, r.t1) for r in merged] == [
+            (r.t0, r.t1) for r in emitted
+        ]
+        # Across windows the same key *does* merge.
+        pipeline._window_index += 1
+        pipeline._merge_labels([dc_replace(emitted[2], t0=5.0, t1=9.0)])
+        merged = pipeline.merged_labels()
+        assert len(merged) == 3
+        assert (merged[2].t0, merged[2].t1) == (3.0, 9.0)
+
+
+class TestStreamingValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(StreamError):
+            StreamingPipeline(window=0.0)
+
+    def test_rejects_bad_hop(self):
+        with pytest.raises(StreamError):
+            StreamingPipeline(window=10.0, hop=20.0)
+        with pytest.raises(StreamError):
+            StreamingPipeline(window=10.0, hop=0.0)
+
+    def test_rejects_packet_granularity(self):
+        with pytest.raises(StreamError):
+            StreamingPipeline(window=10.0, granularity=Granularity.PACKET)
+
+    def test_empty_stream_yields_nothing(self):
+        pipeline = StreamingPipeline(window=10.0)
+        assert list(pipeline.process(iter(()))) == []
+        assert pipeline.merged_labels() == []
+
+
+class TestKLBaselineCarry:
+    def test_first_window_matches_offline(self, archive_trace):
+        from repro.detectors.kl import KLDetector
+
+        detector = KLDetector()
+        state: dict = {}
+        streamed = detector.analyze_stream(archive_trace, state)
+        assert streamed == detector.analyze(archive_trace)
+        assert "baseline" in state
+        assert set(state["baseline"]) == {"src", "dst", "sport", "dport"}
+        # The last bin's transactions ride along for the lift filter.
+        assert isinstance(state["baseline_transactions"], list)
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_backends_agree_with_baseline(self, archive_trace, backend):
+        """Both backends carry identical baselines and agree on the
+        windows where alarms fire."""
+        from repro.detectors.kl import KLDetector
+
+        half = archive_trace.duration / 2
+        t0 = archive_trace.start_time
+        first = _slice_trace(archive_trace, t0, t0 + half)
+        second = _slice_trace(archive_trace, t0 + half, t0 + 2 * half + 1)
+
+        results = {}
+        baselines = {}
+        transactions = {}
+        for b in ("numpy", "python"):
+            detector = KLDetector(backend=b)
+            state: dict = {}
+            detector.analyze_stream(first, state)
+            baselines[b] = state["baseline"]
+            transactions[b] = state["baseline_transactions"]
+            results[b] = detector.analyze_stream(second, state)
+        assert baselines["numpy"] == baselines["python"]
+        assert transactions["numpy"] == transactions["python"]
+        # Alarm *selections* are identical; scores may differ in the
+        # last float ulp (the backends accumulate divergence in
+        # different orders — the same documented property as offline).
+        assert [
+            (a.config, a.t0, a.t1, a.filters, a.flow_keys)
+            for a in results["numpy"]
+        ] == [
+            (a.config, a.t0, a.t1, a.filters, a.flow_keys)
+            for a in results["python"]
+        ]
+        for fast, reference in zip(results["numpy"], results["python"]):
+            assert fast.score == pytest.approx(reference.score)
+
+
+def _slice_trace(trace, t0, t1):
+    from repro.net.trace import Trace
+
+    window = trace.time_slice(t0, t1)
+    return Trace.from_table(
+        trace.table.take(np.arange(window.start, window.stop))
+    )

@@ -1,0 +1,214 @@
+"""Unit tests for the streaming ingestion layer.
+
+Covers :func:`repro.net.pcap.iter_pcap` (chunked parsing equals
+whole-file parsing; error behaviour on corrupt tails) and
+:class:`repro.stream.window.TraceWindow` (columnar eviction, bounded
+peaks, trace materialization).
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import PcapFormatError, StreamError
+from repro.net.pcap import iter_pcap, read_pcap, write_pcap
+from repro.net.table import COLUMNS, PacketTable
+from repro.net.trace import Trace
+from repro.stream.window import TraceWindow, chunk_table
+from tests.conftest import make_packet
+
+
+def _pcap_bytes(trace: Trace) -> bytes:
+    buffer = io.BytesIO()
+    write_pcap(trace, buffer)
+    return buffer.getvalue()
+
+
+def _many_packets(n: int = 100) -> Trace:
+    return Trace(
+        [
+            make_packet(time=i * 0.1, sport=1000 + (i % 7), dport=80)
+            for i in range(n)
+        ]
+    )
+
+
+class TestIterPcap:
+    @pytest.mark.parametrize("chunk_packets", [1, 3, 17, 1000])
+    def test_chunks_concatenate_to_read_pcap(self, chunk_packets):
+        trace = _many_packets(50)
+        data = _pcap_bytes(trace)
+        chunks = list(
+            iter_pcap(io.BytesIO(data), chunk_packets=chunk_packets)
+        )
+        assert all(len(c) <= chunk_packets for c in chunks)
+        merged = Trace.from_table(PacketTable.concatenate(chunks))
+        reference = read_pcap(io.BytesIO(data))
+        for column in COLUMNS:
+            assert np.array_equal(
+                merged.table.column(column), reference.table.column(column)
+            )
+
+    def test_file_path_round_trip(self, tmp_path):
+        trace = _many_packets(20)
+        path = str(tmp_path / "stream.pcap")
+        write_pcap(trace, path)
+        chunks = list(iter_pcap(path, chunk_packets=6))
+        assert sum(len(c) for c in chunks) == len(trace)
+        assert len(chunks) == 4  # 6+6+6+2
+
+    def test_rejects_nonpositive_chunk(self):
+        with pytest.raises(ValueError):
+            list(iter_pcap(io.BytesIO(b""), chunk_packets=0))
+
+    def test_yields_complete_prefix_before_corrupt_tail(self):
+        trace = _many_packets(10)
+        data = _pcap_bytes(trace)[:-5]  # truncate mid-record
+        batches = []
+        with pytest.raises(PcapFormatError):
+            for batch in iter_pcap(io.BytesIO(data), chunk_packets=4):
+                batches.append(batch)
+        # The complete leading batches arrived before the error.
+        assert sum(len(b) for b in batches) >= 8
+
+
+class TestPcapFormatErrors:
+    def test_truncated_global_header_offset(self):
+        with pytest.raises(PcapFormatError) as excinfo:
+            read_pcap(io.BytesIO(b"\x00" * 10))
+        assert excinfo.value.offset == 0
+        assert "offset 0" in str(excinfo.value)
+
+    def test_bad_magic_offset(self):
+        with pytest.raises(PcapFormatError) as excinfo:
+            read_pcap(io.BytesIO(b"\xde\xad\xbe\xef" + b"\x00" * 20))
+        assert excinfo.value.offset == 0
+
+    def test_truncated_record_header_offset(self):
+        trace = _many_packets(3)
+        data = _pcap_bytes(trace)
+        # Chop into the middle of the second record header.
+        cut = 24 + 16 + 40 + 8  # global + rec1 header + rec1 body + 8
+        with pytest.raises(PcapFormatError) as excinfo:
+            read_pcap(io.BytesIO(data[:cut]))
+        assert excinfo.value.offset == 24 + 16 + 40
+
+    def test_truncated_record_body_offset(self):
+        trace = _many_packets(2)
+        data = _pcap_bytes(trace)
+        with pytest.raises(PcapFormatError) as excinfo:
+            read_pcap(io.BytesIO(data[:-1]))
+        assert excinfo.value.offset == len(data) - 40 - 16 + 16
+
+    def test_absurd_caplen_is_corruption_not_allocation(self):
+        import struct
+
+        header = struct.pack(
+            "<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101
+        )
+        record = struct.pack("<IIII", 0, 0, 0x7FFFFFFF, 0x7FFFFFFF)
+        with pytest.raises(PcapFormatError) as excinfo:
+            read_pcap(io.BytesIO(header + record))
+        assert excinfo.value.offset == 24
+        assert "caplen" in str(excinfo.value)
+
+    def test_random_garbage_never_raises_bare_struct_error(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            blob = rng.integers(0, 256, rng.integers(0, 80)).astype(
+                np.uint8
+            ).tobytes()
+            try:
+                read_pcap(io.BytesIO(blob))
+            except PcapFormatError:
+                pass
+            # Anything else (struct.error, ValueError, ...) propagates
+            # and fails the test.
+
+
+class TestTraceWindow:
+    def test_extend_and_len(self):
+        window = TraceWindow()
+        trace = _many_packets(30)
+        for chunk in chunk_table(trace.table, 10):
+            window.extend(chunk)
+        assert len(window) == 30
+        assert window.total_ingested == 30
+        assert window.peak_packets == 30
+        assert window.t_min == pytest.approx(0.0)
+        assert window.t_max == pytest.approx(2.9)
+
+    def test_evict_matches_naive_filter(self):
+        trace = _many_packets(100)
+        window = TraceWindow()
+        for chunk in chunk_table(trace.table, 7):
+            window.extend(chunk)
+        evicted = window.evict_before(4.05)
+        kept = window.table()
+        reference = trace.table.time[trace.table.time >= 4.05]
+        assert evicted == 100 - len(reference)
+        assert np.array_equal(np.sort(kept.time), np.sort(reference))
+
+    def test_eviction_bounds_memory(self):
+        window = TraceWindow()
+        for i in range(20):
+            table = Trace(
+                [make_packet(time=i * 1.0 + j * 0.1) for j in range(10)]
+            ).table
+            window.extend(table)
+            window.evict_before(i * 1.0 - 2.0)  # keep ~3 seconds
+        assert len(window) <= 40
+        assert window.total_ingested == 200
+        assert window.peak_packets <= 50
+
+    def test_fully_expired_out_of_order_chunk_is_dropped(self):
+        # A late chunk older than the cutoff must vanish entirely;
+        # leaving a zero-length chunk behind poisons t_min/t_max.
+        window = TraceWindow()
+        window.extend(
+            PacketTable.from_packets(
+                [make_packet(time=t) for t in (10.0, 20.0)]
+            )
+        )
+        window.extend(
+            PacketTable.from_packets(
+                [make_packet(time=t) for t in (5.0, 8.0)]
+            )
+        )
+        assert window.evict_before(9.0) == 2
+        assert len(window) == 2
+        assert window.t_min == pytest.approx(10.0)
+        assert window.t_max == pytest.approx(20.0)
+        assert window.evict_before(25.0) == 2
+        assert len(window) == 0
+
+    def test_unsorted_chunk_is_sorted_on_ingest(self):
+        packets = [make_packet(time=t) for t in (3.0, 1.0, 2.0)]
+        table = PacketTable.from_packets(packets)
+        window = TraceWindow()
+        window.extend(table)
+        assert window.evict_before(1.5) == 1
+        assert len(window) == 2
+
+    def test_empty_window_raises(self):
+        window = TraceWindow()
+        with pytest.raises(StreamError):
+            _ = window.t_min
+        with pytest.raises(StreamError):
+            _ = window.t_max
+
+    def test_trace_materialization_sorted(self):
+        window = TraceWindow()
+        window.extend(
+            PacketTable.from_packets([make_packet(time=5.0)])
+        )
+        window.extend(
+            PacketTable.from_packets([make_packet(time=4.0)])
+        )
+        trace = window.trace()
+        assert [p.time for p in trace] == [4.0, 5.0]
+
+    def test_chunk_table_rejects_nonpositive(self):
+        with pytest.raises(StreamError):
+            list(chunk_table(PacketTable.empty(), 0))
