@@ -7,7 +7,7 @@ NumPy array programs.  This benchmark pins both halves of the claim on
 the benchmark synthetic trace:
 
 * end-to-end ``MAWILabPipeline.run`` is at least 3x faster on the
-  ``numpy`` backend than on the pure-Python reference backend, and
+  ``numpy`` engine than on the pure-Python reference engine, and
 * ``labels_to_csv`` output is byte-identical between the two.
 """
 
@@ -24,23 +24,23 @@ BENCH_DATE = "2005-06-01"
 
 
 def _fresh_trace():
-    """A cold trace per run, so neither backend inherits warm caches."""
+    """A cold trace per run, so neither engine inherits warm caches."""
     archive = SyntheticArchive(
         seed=ARCHIVE_SEED, trace_duration=TRACE_DURATION
     )
     return archive.day(BENCH_DATE).trace
 
 
-def _run(backend: str):
+def _run(engine: str):
     trace = _fresh_trace()
-    pipeline = MAWILabPipeline(backend=backend)
+    pipeline = MAWILabPipeline(engine=engine)
     started = time.perf_counter()
     result = pipeline.run(trace)
     elapsed = time.perf_counter() - started
     return labels_to_csv(result.labels), elapsed
 
 
-def test_columnar_backend_3x_and_byte_identical():
+def test_columnar_engine_3x_and_byte_identical():
     csv_numpy, _warmup = _run("numpy")
 
     # Best-of-3 for both sides so one scheduler hiccup cannot decide
@@ -57,17 +57,17 @@ def test_columnar_backend_3x_and_byte_identical():
     )
 
 
-def test_backends_identical_across_granularities():
+def test_engines_identical_across_granularities():
     """CSV parity holds for every similarity granularity, not just the
     default uniflow configuration."""
     from repro.net.flow import Granularity
 
     for granularity in Granularity:
         outputs = {}
-        for backend in ("numpy", "python"):
+        for engine in ("numpy", "python"):
             pipeline = MAWILabPipeline(
-                granularity=granularity, backend=backend
+                granularity=granularity, engine=engine
             )
             result = pipeline.run(_fresh_trace())
-            outputs[backend] = labels_to_csv(result.labels)
+            outputs[engine] = labels_to_csv(result.labels)
         assert outputs["numpy"] == outputs["python"], granularity

@@ -55,7 +55,7 @@ def test_similarity_graph_build_runtime(archive, benchmark):
         build_similarity_graph,
         traffic_sets,
         edge_threshold=0.1,
-        backend="numpy",
+        engine="numpy",
     )
 
     # Best-of-3 for the reference so one slow outlier can't flatter the
@@ -65,7 +65,7 @@ def test_similarity_graph_build_runtime(archive, benchmark):
     for _ in range(3):
         t0 = time.perf_counter()
         reference = build_similarity_graph(
-            traffic_sets, edge_threshold=0.1, backend="python"
+            traffic_sets, edge_threshold=0.1, engine="python"
         )
         reference_elapsed.append(time.perf_counter() - t0)
     assert graph.adjacency == reference.adjacency

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Fail CI when bench throughput regresses against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py bench.json BENCH_baseline.json \
+        [--tolerance 0.2]
+
+Compares the throughput metrics of a fresh ``repro bench`` artifact
+against ``BENCH_baseline.json`` (committed at the repository root) and
+exits non-zero if any tracked metric fell more than ``tolerance``
+(default 20 %) below baseline:
+
+* **batch** — offline pipeline packets/sec (``n_packets / total``);
+* **streaming** — ``streaming.packets_per_sec``.
+
+Higher-is-better only: faster-than-baseline runs always pass, and CI
+hardware faster than the baseline host can only add headroom.  The
+fan-out transport comparison is additionally required to keep the
+shared-memory path at least as fast as pickle (``shm_speedup >= 1``
+within tolerance) so the zero-copy transport cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def batch_packets_per_sec(payload: dict) -> float:
+    return payload["n_packets"] / max(payload["total"], 1e-9)
+
+
+def collect_metrics(payload: dict) -> dict[str, float]:
+    metrics = {
+        "batch_packets_per_sec": batch_packets_per_sec(payload),
+        "streaming_packets_per_sec": payload["streaming"][
+            "packets_per_sec"
+        ],
+    }
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate", help="fresh repro bench JSON")
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional regression (0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.candidate) as handle:
+        candidate = json.load(handle)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    failures = []
+    candidate_metrics = collect_metrics(candidate)
+    baseline_metrics = collect_metrics(baseline)
+    for name, base_value in baseline_metrics.items():
+        got = candidate_metrics[name]
+        floor = base_value * (1.0 - args.tolerance)
+        status = "ok" if got >= floor else "REGRESSED"
+        print(
+            f"{name}: {got:,.0f} vs baseline {base_value:,.0f} "
+            f"(floor {floor:,.0f}) {status}"
+        )
+        if got < floor:
+            failures.append(name)
+
+    speedup = candidate.get("fanout", {}).get("shm_speedup")
+    if speedup is not None:
+        floor = 1.0 - args.tolerance
+        status = "ok" if speedup >= floor else "REGRESSED"
+        print(f"fanout shm_speedup: {speedup:.2f}x (floor {floor:.2f}x) {status}")
+        if speedup < floor:
+            failures.append("fanout_shm_speedup")
+
+    if failures:
+        print(
+            f"bench regression >{args.tolerance:.0%} in: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("bench within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,14 @@ Subpackages
 ``repro.eval``
     Attack-ratio metrics, gain/cost accounting and detector
     benchmarking against the produced labels.
+``repro.engine``
+    The execution-engine layer: per-engine kernel registries
+    (vectorized NumPy vs pure-Python reference), capability flags and
+    scratch allocators, replacing ad-hoc backend switches.
+``repro.session``
+    :class:`~repro.session.LabelingSession` — the single orchestrator
+    exposing offline, archive/batch (shared-memory fan-out) and
+    streaming labeling as run modes of one configuration.
 
 Quickstart
 ----------

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands expose the library to non-Python users::
+Nine subcommands expose the library to non-Python users::
 
     mawilab generate      --seed 7 --duration 30 --anomaly sasser \
                           --anomaly ping_flood --out day.pcap --truth truth.json
@@ -8,7 +8,8 @@ Eight subcommands expose the library to non-Python users::
     mawilab detect        day.pcap --config kl/sensitive
     mawilab label         day.pcap --format csv --out labels.csv
     mawilab stream        day.pcap --window 60 --hop 30 --out labels.csv
-    mawilab bench         --backend auto --out bench.json
+    mawilab engines
+    mawilab bench         --engine auto --out bench.json
     mawilab archive       --start 2004-01-01 --months 6
     mawilab label-archive --start 2004-01-01 --months 6 --workers 4 \
                           --out-dir labels/ --cache-dir .mawilab-cache --resume
@@ -17,19 +18,21 @@ Eight subcommands expose the library to non-Python users::
 runs the same method *online* over a sliding window — the pcap is read
 in bounded batches, each window is labeled as its end passes, and
 per-window progress (packets, alarms, latency) goes to stderr while
-the final cross-window-deduplicated CSV goes to stdout; `bench` runs
+the final cross-window-deduplicated CSV goes to stdout; `engines`
+lists the registered execution engines and their kernels; `bench` runs
 the offline pipeline once on a synthetic archive day plus a streaming
-leg, and prints per-stage wall times and streaming throughput
-(packets/sec, p95 window latency) as JSON — the perf artifact CI
-archives on every PR; `archive` sweeps synthetic archive days and
-prints the SCANN attack-ratio series (the Fig. 7 workflow);
-`label-archive` shards archive days across a process pool, writes one
-label CSV per day plus a JSON batch report, and can resume an
-interrupted run.  All commands are deterministic given their seeds.
+leg and a worker fan-out leg, and prints per-stage wall times,
+streaming throughput and per-transport fan-out throughput as JSON —
+the perf artifact CI archives on every PR; `archive` sweeps synthetic
+archive days and prints the SCANN attack-ratio series (the Fig. 7
+workflow); `label-archive` shards archive days across a process pool,
+writes one label CSV per day plus a JSON batch report, and can resume
+an interrupted run.  All commands are deterministic given their seeds.
 
-The pipeline commands accept ``--backend {auto,numpy,python}``: the
+The pipeline commands accept ``--engine {auto,numpy,python}``: the
 columnar NumPy engine (default) or the pure-Python reference
-implementations; both label identically.
+implementations; all engines label identically.  Every pipeline
+command is a run mode of one :class:`repro.session.LabelingSession`.
 """
 
 from __future__ import annotations
@@ -99,6 +102,20 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    """List registered engines, their kernels and the "auto" choice."""
+    from repro.engine import auto_engine, available_engines
+
+    auto = auto_engine()
+    for engine in available_engines():
+        selected = "  <- auto selects this engine on this host" if engine is auto else ""
+        flags = "vectorized" if engine.vectorized else "reference"
+        print(f"{engine.name} ({flags}): {engine.description}{selected}")
+        for op in engine.kernels():
+            print(f"    {op}")
+    return 0
+
+
 def _pipeline_config(args: argparse.Namespace):
     from repro.runner.config import PipelineConfig
 
@@ -106,21 +123,22 @@ def _pipeline_config(args: argparse.Namespace):
         strategy=args.strategy,
         granularity=args.granularity,
         measure=args.measure,
-        backend=args.backend,
+        engine=args.engine,
     )
 
 
-def _build_pipeline(args: argparse.Namespace):
-    return _pipeline_config(args).build_pipeline()
+def _session(args: argparse.Namespace, **kwargs):
+    from repro.session import LabelingSession
+
+    return LabelingSession(config=_pipeline_config(args), **kwargs)
 
 
 def _cmd_label(args: argparse.Namespace) -> int:
-    from repro.labeling.mawilab import labels_to_csv, labels_to_xml
     from repro.net.pcap import read_pcap
 
     trace = read_pcap(args.pcap)
-    pipeline = _build_pipeline(args)
-    result = pipeline.run(trace)
+    session = _session(args)
+    result = session.label_trace(trace)
     print(
         f"{len(result.alarms)} alarms -> "
         f"{len(result.community_set.communities)} communities -> "
@@ -129,10 +147,9 @@ def _cmd_label(args: argparse.Namespace) -> int:
         f"{len(result.notice())} notice",
         file=sys.stderr,
     )
-    if args.format == "csv":
-        rendered = labels_to_csv(result.labels)
-    else:
-        rendered = labels_to_xml(result.labels, trace_name=args.pcap)
+    rendered = session.export(
+        result.labels, fmt=args.format, trace_name=args.pcap
+    )
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(rendered)
@@ -144,13 +161,8 @@ def _cmd_label(args: argparse.Namespace) -> int:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     """Label a pcap online, window by window, in bounded memory."""
-    from repro.labeling.mawilab import labels_to_xml
-    from repro.net.flow import Granularity
-    from repro.net.pcap import iter_pcap
-    from repro.runner.config import _strategy_for
-    from repro.stream import StreamingPipeline
-
     from repro.errors import StreamError
+    from repro.net.pcap import iter_pcap
 
     if args.granularity == "packet":
         print(
@@ -159,15 +171,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    session = _session(args)
     try:
-        pipeline = StreamingPipeline(
-            window=args.window,
-            hop=args.hop,
-            granularity=Granularity(args.granularity),
-            strategy=_strategy_for(args.strategy),
-            measure=args.measure,
-            backend=args.backend,
-        )
+        pipeline = session.streaming_pipeline(args.window, args.hop)
     except StreamError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -185,12 +191,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"{len(labels)} labels",
         file=sys.stderr,
     )
-    if args.format == "csv":
-        from repro.labeling.mawilab import labels_to_csv
-
-        rendered = labels_to_csv(labels)
-    else:
-        rendered = labels_to_xml(labels, trace_name=args.pcap)
+    rendered = session.export(labels, fmt=args.format, trace_name=args.pcap)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(rendered)
@@ -206,7 +207,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     Prints a JSON document so CI can archive comparable perf artifacts
     across PRs: generation parameters, per-stage seconds
     (detect / extract / graph / combine / label), totals and output
-    shape (alarm/community/label counts).
+    shape (alarm/community/label counts), a streaming leg, and a
+    worker fan-out leg comparing the shared-memory and pickle
+    transports.
     """
     import time
 
@@ -215,7 +218,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     archive = SyntheticArchive(seed=args.seed, trace_duration=args.duration)
     trace = archive.day(args.date).trace
-    pipeline = MAWILabPipeline(backend=args.backend)
+    pipeline = MAWILabPipeline(engine=args.engine)
 
     timings: dict = {}
     started = time.perf_counter()
@@ -227,15 +230,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # Streaming leg: the same trace consumed as a chunked stream with
     # overlapping windows, so the artifact tracks online throughput
     # (packets/sec) and window latency alongside the offline stages.
-    from repro.stream import StreamingPipeline, chunk_table
-
     from repro.errors import StreamError
+    from repro.stream import StreamingPipeline, chunk_table
 
     stream_window = args.stream_window or args.duration / 3.0
     stream_hop = args.stream_hop or stream_window / 2.0
     try:
         streamer = StreamingPipeline(
-            window=stream_window, hop=stream_hop, backend=args.backend
+            window=stream_window, hop=stream_hop, engine=args.engine
         )
     except StreamError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -245,7 +247,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     payload = {
-        "backend": args.backend,
+        "engine": args.engine,
         "seed": args.seed,
         "date": args.date,
         "duration": args.duration,
@@ -266,6 +268,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             **stream_result.stats.to_dict(),
         },
     }
+    if args.fanout_workers > 0:
+        payload["fanout"] = _bench_fanout(args, archive)
     rendered = json.dumps(payload, indent=2) + "\n"
     if args.out:
         with open(args.out, "w") as handle:
@@ -274,6 +278,116 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(rendered, end="")
     return 0
+
+
+def _bench_fanout(args: argparse.Namespace, archive) -> dict:
+    """Fan-out leg: pool transports compared two ways.
+
+    *Labeling*: ``--fanout-traces`` archive days labeled across
+    ``--fanout-workers`` pool workers twice — once shipping each packet
+    table through the task pipe (pickle), once exporting it to a
+    shared-memory segment workers attach zero-copy — reporting
+    end-to-end packets/sec per transport.
+
+    *Transport microbench*: the bench trace tiled to
+    ``--fanout-packets`` rows and shipped to every worker with a
+    trivial touch on the far side, isolating raw transport throughput
+    (this is where zero-copy shows up undiluted by labeling compute).
+    """
+    import time
+
+    from repro.runner.config import PipelineConfig
+    from repro.session import LabelingSession
+
+    dates = _month_dates("2005-01-01", args.fanout_traces)
+    traces = [archive.day(date).trace for date in dates]
+    total_packets = sum(len(t) for t in traces)
+    leg = {
+        "workers": args.fanout_workers,
+        "n_traces": len(traces),
+        "total_packets": total_packets,
+        "labeling": {},
+    }
+    for transport in ("pickle", "shm"):
+        session = LabelingSession(
+            config=PipelineConfig(engine=args.engine),
+            workers=args.fanout_workers,
+            transport=transport,
+        )
+        started = time.perf_counter()
+        report = session.label_traces(traces)
+        elapsed = time.perf_counter() - started
+        if report.failures():
+            raise RuntimeError(
+                f"fanout leg failed: {[r.error for r in report.failures()]}"
+            )
+        leg["labeling"][transport] = {
+            "seconds": round(elapsed, 6),
+            "packets_per_sec": round(total_packets / elapsed, 1),
+        }
+    leg["transport"] = _bench_transport(args, traces[0])
+    leg["shm_speedup"] = round(
+        leg["transport"]["pickle"]["seconds"]
+        / leg["transport"]["shm"]["seconds"],
+        3,
+    )
+    return leg
+
+
+def _bench_transport(args: argparse.Namespace, trace) -> dict:
+    """Raw transport throughput: one big table to every worker."""
+    import time
+
+    import numpy as np
+
+    from repro.net.table import COLUMNS, PacketTable
+    from repro.runner.pool import parallel_map
+    from repro.runner.shm import (
+        export_table,
+        transport_probe_pickle,
+        transport_probe_shm,
+    )
+
+    reps = max(args.fanout_packets // max(len(trace), 1), 1)
+    big = PacketTable(
+        **{
+            name: np.tile(getattr(trace.table, name), reps)
+            for name in COLUMNS
+        }
+    )
+    workers = args.fanout_workers
+    result = {"n_packets": len(big), "shipments": workers}
+    expected = int(big.size.sum())
+
+    # Zero-copy means the table exists ONCE: every worker attaches the
+    # same segment, while the pickle transport below must serialize
+    # one full copy per shipment.
+    started = time.perf_counter()
+    handle = export_table(big)
+    try:
+        sums = parallel_map(
+            transport_probe_shm, [handle] * workers, workers=workers
+        )
+    finally:
+        handle.unlink()
+    elapsed = time.perf_counter() - started
+    assert sums == [expected] * workers
+    result["shm"] = {
+        "seconds": round(elapsed, 6),
+        "packets_per_sec": round(len(big) * workers / elapsed, 1),
+    }
+
+    started = time.perf_counter()
+    sums = parallel_map(
+        transport_probe_pickle, [big] * workers, workers=workers
+    )
+    elapsed = time.perf_counter() - started
+    assert sums == [expected] * workers
+    result["pickle"] = {
+        "seconds": round(elapsed, 6),
+        "packets_per_sec": round(len(big) * workers / elapsed, 1),
+    }
+    return result
 
 
 def _month_dates(start_iso: str, months: int) -> list[str]:
@@ -328,7 +442,7 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
     import os
 
     from repro.mawi.archive import SyntheticArchive
-    from repro.runner.batch import BatchRunner
+    from repro.net.trace import Trace, TraceMetadata
 
     archive = SyntheticArchive(seed=args.seed, trace_duration=args.duration)
     dates = args.date or _month_dates(args.start, args.months)
@@ -344,12 +458,13 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
             print(f"error: duplicate --date {date!r}", file=sys.stderr)
             return 2
         seen.add(date)
-    runner = BatchRunner(
-        config=_pipeline_config(args),
+    session = _session(
+        args,
         workers=args.workers,
         cache_dir=args.cache_dir,
         out_dir=args.out_dir,
         resume=args.resume,
+        transport=args.transport if args.transport != "regenerate" else "auto",
     )
 
     def progress(done: int, total: int, report) -> None:
@@ -360,7 +475,34 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    batch = runner.run(archive, dates, progress=progress)
+    if args.transport == "regenerate":
+        batch = session.label_archive(archive, dates, progress=progress)
+    else:
+        # Explicit transport: pregenerate the days in this process and
+        # ship the packet tables to workers (shm or pickle), keeping
+        # the per-date output naming of the regenerate path.
+        traces = []
+        for date in dates:
+            day = archive.day(date)
+            metadata = day.trace.metadata
+            traces.append(
+                Trace.from_table(
+                    day.trace.table,
+                    TraceMetadata(
+                        name=date,
+                        samplepoint=metadata.samplepoint,
+                        link_mbps=metadata.link_mbps,
+                        date=date,
+                    ),
+                )
+            )
+        batch = session.label_traces(
+            traces,
+            progress=progress,
+            # Same provenance as the regenerate transport, so alarm
+            # caches warmed under either transport hit under the other.
+            fingerprints=[archive.fingerprint()] * len(traces),
+        )
     print(batch.describe())
     report_path = os.path.join(args.out_dir, "report.json")
     with open(report_path, "w") as handle:
@@ -404,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--limit", type=int, default=20)
     detect.set_defaults(func=_cmd_detect)
 
+    engines = sub.add_parser(
+        "engines",
+        help="list registered execution engines and their kernels",
+    )
+    engines.set_defaults(func=_cmd_engines)
+
     label = sub.add_parser("label", help="run the full labeling pipeline")
     label.add_argument("pcap")
     label.add_argument("--format", choices=("csv", "xml"), default="csv")
@@ -419,9 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=2010)
     bench.add_argument("--duration", type=float, default=30.0)
     bench.add_argument("--date", default="2005-06-01")
-    bench.add_argument(
-        "--backend", choices=("auto", "numpy", "python"), default="auto"
-    )
+    _add_engine_option(bench)
     bench.add_argument(
         "--stream-window",
         type=float,
@@ -437,6 +583,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2048,
         help="streaming-leg ingestion batch size in packets",
+    )
+    bench.add_argument(
+        "--fanout-workers",
+        type=int,
+        default=4,
+        help="fan-out-leg pool size (0 skips the fan-out leg)",
+    )
+    bench.add_argument(
+        "--fanout-traces",
+        type=int,
+        default=4,
+        help="fan-out-leg batch size in archive days",
+    )
+    bench.add_argument(
+        "--fanout-packets",
+        type=int,
+        default=2_000_000,
+        help="transport-microbench table size in packets",
     )
     bench.add_argument("--out", help="output path (stdout if omitted)")
     bench.set_defaults(func=_cmd_bench)
@@ -500,6 +664,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size (1 = serial)",
     )
     label_archive.add_argument(
+        "--transport",
+        choices=("regenerate", "shm", "pickle"),
+        default="regenerate",
+        help="how traces reach workers: regenerate each day in the "
+        "worker (default), or pregenerate here and ship tables over "
+        "zero-copy shared memory / the pickle pipe",
+    )
+    label_archive.add_argument(
         "--cache-dir",
         help="directory caching Step 1 alarms keyed by (trace, ensemble)",
     )
@@ -519,8 +691,21 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine choice (``--backend`` kept as an alias)."""
+    parser.add_argument(
+        "--engine",
+        "--backend",  # pre-engine-layer alias, resolves identically
+        dest="engine",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        help="execution engine: numpy = columnar fast paths (default), "
+        "python = pure-Python reference kernels",
+    )
+
+
 def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
-    """Pipeline options shared by `label` and `label-archive`."""
+    """Pipeline options shared by `label`, `stream` and `label-archive`."""
     parser.add_argument(
         "--strategy",
         choices=("scann", "average", "minimum", "maximum", "majority"),
@@ -536,13 +721,7 @@ def _add_pipeline_options(parser: argparse.ArgumentParser) -> None:
         choices=("simpson", "jaccard", "constant"),
         default="simpson",
     )
-    parser.add_argument(
-        "--backend",
-        choices=("auto", "numpy", "python"),
-        default="auto",
-        help="engine backend: numpy = columnar fast paths (default), "
-        "python = pure-Python reference implementations",
-    )
+    _add_engine_option(parser)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

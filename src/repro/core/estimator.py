@@ -21,6 +21,7 @@ from repro.core.extractor import TrafficExtractor
 from repro.core.graph import build_similarity_graph
 from repro.core.louvain import louvain
 from repro.detectors.base import Alarm
+from repro.engine import EngineSpec, resolve_engine
 from repro.net.flow import Granularity
 from repro.net.trace import Trace
 
@@ -42,15 +43,16 @@ class SimilarityEstimator:
         Louvain shuffle seed (fixes the partition).
     resolution:
         Louvain modularity resolution.
-    backend:
-        Traffic-extraction backend ("auto" / "numpy" / "python").  On
-        the numpy backend, per-alarm traffic flows from the columnar
-        extractor into the graph builder as dense code arrays, and the
-        public ``FrozenSet`` traffic sets are materialized afterwards
-        for the community records.
-    graph_backend:
-        Similarity-graph construction backend ("auto" / "numpy" /
-        "python"); both backends build identical graphs.
+    engine:
+        Traffic-extraction engine spec (resolved through
+        :func:`repro.engine.resolve_engine`).  On a vectorized engine,
+        per-alarm traffic flows from the columnar extractor into the
+        graph kernel as dense code arrays, and the public ``FrozenSet``
+        traffic sets are materialized afterwards for the community
+        records.
+    graph_engine:
+        Similarity-graph construction engine; defaults to ``engine``.
+        All graph kernels build identical graphs.
     """
 
     def __init__(
@@ -60,16 +62,20 @@ class SimilarityEstimator:
         edge_threshold: float = 0.0,
         seed: int = 0,
         resolution: float = 1.0,
-        backend: str = "auto",
-        graph_backend: str = "auto",
+        engine: EngineSpec = "auto",
+        graph_engine: EngineSpec = None,
     ) -> None:
         self.granularity = granularity
         self.measure = measure
         self.edge_threshold = edge_threshold
         self.seed = seed
         self.resolution = resolution
-        self.backend = backend
-        self.graph_backend = graph_backend
+        self.engine = resolve_engine(engine, what="estimator")
+        self.graph_engine = (
+            self.engine
+            if graph_engine is None
+            else resolve_engine(graph_engine, what="graph")
+        )
 
     def build(
         self,
@@ -87,9 +93,9 @@ class SimilarityEstimator:
         alarms = list(alarms)
         started = clock()
         extractor = TrafficExtractor(
-            trace, self.granularity, backend=self.backend
+            trace, self.granularity, engine=self.engine
         )
-        if extractor.backend == "numpy":
+        if extractor.engine.vectorized:
             code_sets = extractor.extract_all_codes(alarms)
             graph_input: Sequence = code_sets
             traffic_sets = [
@@ -105,7 +111,7 @@ class SimilarityEstimator:
             graph_input,
             measure=self.measure,
             edge_threshold=self.edge_threshold,
-            backend=self.graph_backend,
+            engine=self.graph_engine,
         )
         if timings is not None:
             timings["graph"] = timings.get("graph", 0.0) + clock() - started

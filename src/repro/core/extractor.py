@@ -10,19 +10,20 @@ The granularity choice is the estimator's central trade-off (Fig. 1 and
 Fig. 3): packets give precise but fragmented associations, flows relate
 alarms that touch different packets of the same conversation.
 
-Two interchangeable backends implement the retrieval, following the
-same ``backend=`` convention as
-:func:`~repro.core.graph.build_similarity_graph`:
+Two interchangeable strategies implement the retrieval, registered as
+the per-engine ``"traffic_extractor"`` kernels:
 
-* ``"numpy"`` (default) — alarm filters become boolean masks over the
-  trace's :class:`~repro.net.table.PacketTable`, flows are dense
-  integer codes (:func:`~repro.net.table.flow_codes`), and
-  :meth:`TrafficExtractor.extract_all_codes` hands the per-alarm code
-  arrays straight to the vectorized similarity-graph builder without
-  ever constructing Python sets.
-* ``"python"`` — the original per-packet predicate loop, kept as the
-  readable reference; property tests assert both backends extract
-  identical traffic sets.
+* :class:`ColumnarTrafficExtraction` — alarm filters become boolean
+  masks over the trace's :class:`~repro.net.table.PacketTable` (via
+  the ``"filter_mask"`` kernel), flows are dense integer codes
+  (``"flow_codes"``), and :meth:`TrafficExtractor.extract_all_codes`
+  hands the per-alarm code arrays straight to the vectorized
+  similarity-graph kernel without ever constructing Python sets.  The
+  per-alarm mask accumulator comes from the engine's scratch allocator
+  instead of a fresh allocation per alarm.
+* :class:`ReferenceTrafficExtraction` — the original per-packet
+  predicate loop, kept as the readable reference; the engine parity
+  suite asserts both strategies extract identical traffic sets.
 """
 
 from __future__ import annotations
@@ -31,52 +32,25 @@ from typing import FrozenSet, Sequence
 
 import numpy as np
 
-from repro.backends import resolve_backend
 from repro.detectors.base import Alarm
-from repro.errors import TraceError
+from repro.engine import Engine, EngineSpec, resolve_engine
+from repro.errors import EngineError, TraceError
 from repro.net.flow import FlowKey, Granularity, biflow_key, uniflow_key
 from repro.net.trace import Trace
 
 
-class TrafficExtractor:
-    """Extracts, per alarm, the associated traffic set.
-
-    The extractor precomputes per-packet flow keys (or dense flow
-    codes, on the numpy backend) once per trace so that each alarm
-    extraction costs only its own time window.
-
-    Parameters
-    ----------
-    trace:
-        The trace alarms refer to.
-    granularity:
-        Traffic granularity of the extracted sets.
-    backend:
-        ``"numpy"``, ``"python"`` or ``"auto"`` (numpy).  Both produce
-        identical traffic sets.
-    """
+class ReferenceTrafficExtraction:
+    """Pure-Python extraction strategy (the correctness oracle)."""
 
     def __init__(
-        self,
-        trace: Trace,
-        granularity: Granularity = Granularity.UNIFLOW,
-        backend: str = "auto",
+        self, trace: Trace, granularity: Granularity, engine: Engine
     ) -> None:
         self.trace = trace
         self.granularity = granularity
-        self.backend = resolve_backend(backend, what="extractor")
-        if self.backend == "numpy":
-            self._init_numpy()
-        else:
-            self._init_python()
-
-    # -- python (reference) backend ------------------------------------
-
-    def _init_python(self) -> None:
-        trace = self.trace
+        self.engine = engine
         # Per-packet flow keys (lazy by granularity need).
         self._uniflow_of: list[FlowKey] = [uniflow_key(p) for p in trace]
-        if self.granularity is Granularity.BIFLOW:
+        if granularity is Granularity.BIFLOW:
             self._biflow_of: list[FlowKey] = [biflow_key(p) for p in trace]
         else:
             self._biflow_of = []
@@ -104,13 +78,46 @@ class TrafficExtractor:
                         indices.add(i)
         return indices
 
-    # -- numpy backend -------------------------------------------------
+    def extract(self, alarm: Alarm) -> FrozenSet:
+        indices = self._packet_indices(alarm)
+        if self.granularity is Granularity.PACKET:
+            return frozenset(indices)
+        if self.granularity is Granularity.UNIFLOW:
+            return frozenset(self._uniflow_of[i] for i in indices)
+        return frozenset(self._biflow_of[i] for i in indices)
 
-    def _init_numpy(self) -> None:
-        trace = self.trace
+    def extract_all(self, alarms: Sequence[Alarm]) -> list[FrozenSet]:
+        return [self.extract(alarm) for alarm in alarms]
+
+    def packets_of(self, traffic: FrozenSet) -> list[int]:
+        if self.granularity is Granularity.PACKET:
+            return sorted(int(i) for i in traffic)
+        if self.granularity is Granularity.UNIFLOW:
+            result: list[int] = []
+            for key in traffic:
+                result.extend(self._uniflow_index.get(key, ()))
+            return sorted(result)
+        # Biflow: collect both directions via the biflow key map.
+        wanted = set(traffic)
+        return sorted(
+            i for i, key in enumerate(self._biflow_of) if key in wanted
+        )
+
+
+class ColumnarTrafficExtraction:
+    """Vectorized extraction strategy over the trace's packet table."""
+
+    def __init__(
+        self, trace: Trace, granularity: Granularity, engine: Engine
+    ) -> None:
+        self.trace = trace
+        self.granularity = granularity
+        self.engine = engine
+        self._filter_mask = engine.kernel("filter_mask")
+        self._scratch = engine.scratch()
         self._codes, self._keys = trace.flow_code_table(Granularity.UNIFLOW)
         self._key_to_code = {key: c for c, key in enumerate(self._keys)}
-        if self.granularity is Granularity.BIFLOW:
+        if granularity is Granularity.BIFLOW:
             self._bicodes, self._bikeys = trace.flow_code_table(
                 Granularity.BIFLOW
             )
@@ -123,16 +130,21 @@ class TrafficExtractor:
             self._bikey_to_code = {}
 
     def _alarm_mask(self, alarm: Alarm) -> np.ndarray:
-        """Boolean packet mask designated by the alarm."""
+        """Boolean packet mask designated by the alarm.
+
+        The accumulator is a scratch buffer — valid only until the next
+        ``_alarm_mask`` call, which every caller respects by consuming
+        the mask (into codes or indices) before extracting again.
+        """
         table = self.trace.table
-        mask = np.zeros(len(table), dtype=bool)
+        mask = self._scratch.zeros(len(table), dtype=bool)
         for feature_filter in alarm.filters:
             t0 = feature_filter.t0 if feature_filter.t0 is not None else alarm.t0
             t1 = feature_filter.t1 if feature_filter.t1 is not None else alarm.t1
             if t1 < t0:
                 # Mirror Trace.time_slice on the reference path.
                 raise TraceError(f"empty interval [{t0}, {t1})")
-            mask |= feature_filter.mask(table, t0=t0, t1=t1)
+            mask |= self._filter_mask(table, feature_filter, t0=t0, t1=t1)
         if alarm.flow_keys:
             wanted = [
                 self._key_to_code[key]
@@ -167,79 +179,26 @@ class TrafficExtractor:
         )
         return frozenset(keys[int(c)] for c in codes)
 
-    # -- public API ----------------------------------------------------
-
     def extract(self, alarm: Alarm) -> FrozenSet:
-        """Traffic set of one alarm at this extractor's granularity."""
-        if self.backend == "numpy":
-            return self.codes_to_traffic(
-                self._codes_for_mask(self._alarm_mask(alarm))
-            )
-        indices = self._packet_indices(alarm)
-        if self.granularity is Granularity.PACKET:
-            return frozenset(indices)
-        if self.granularity is Granularity.UNIFLOW:
-            return frozenset(self._uniflow_of[i] for i in indices)
-        return frozenset(self._biflow_of[i] for i in indices)
+        return self.codes_to_traffic(
+            self._codes_for_mask(self._alarm_mask(alarm))
+        )
 
     def extract_all(self, alarms: Sequence[Alarm]) -> list[FrozenSet]:
-        """Traffic sets for a list of alarms (index-aligned)."""
-        if self.backend == "numpy":
-            return [
-                self.codes_to_traffic(codes)
-                for codes in self.extract_all_codes(alarms)
-            ]
-        return [self.extract(alarm) for alarm in alarms]
+        return [
+            self.codes_to_traffic(codes)
+            for codes in self.extract_all_codes(alarms)
+        ]
 
     def extract_all_codes(self, alarms: Sequence[Alarm]) -> list[np.ndarray]:
-        """Batched extraction as dense int arrays (numpy backend only).
-
-        Element ``i`` holds the sorted unique traffic codes (flow ids,
-        or packet indices at packet granularity) of alarm ``i`` — the
-        exact integer alphabet
-        :func:`~repro.core.graph.build_similarity_graph` consumes
-        directly, skipping Python set construction entirely.
-        """
-        if self.backend != "numpy":
-            raise ValueError(
-                "extract_all_codes requires the numpy extractor backend"
-            )
         return [
             self._codes_for_mask(self._alarm_mask(alarm)) for alarm in alarms
         ]
 
     def packets_of(self, traffic: FrozenSet) -> list[int]:
-        """Expand a traffic set back to packet indices.
-
-        For packet granularity this is the identity; for flow
-        granularities it returns every packet of every listed flow.
-        Used by the heuristics and the rule miner, which need packets.
-        """
-        if self.backend == "numpy":
-            return [int(i) for i in self.packet_index_array(traffic)]
-        if self.granularity is Granularity.PACKET:
-            return sorted(int(i) for i in traffic)
-        if self.granularity is Granularity.UNIFLOW:
-            result: list[int] = []
-            for key in traffic:
-                result.extend(self._uniflow_index.get(key, ()))
-            return sorted(result)
-        # Biflow: collect both directions via the biflow key map.
-        wanted = set(traffic)
-        return sorted(
-            i for i, key in enumerate(self._biflow_of) if key in wanted
-        )
+        return [int(i) for i in self.packet_index_array(traffic)]
 
     def packet_index_array(self, traffic: FrozenSet) -> np.ndarray:
-        """Vectorized :meth:`packets_of` (sorted int64 array).
-
-        Only available on the numpy backend; the heuristics use it to
-        label community traffic without materializing packet objects.
-        """
-        if self.backend != "numpy":
-            raise ValueError(
-                "packet_index_array requires the numpy extractor backend"
-            )
         if self.granularity is Granularity.PACKET:
             return np.array(sorted(int(i) for i in traffic), dtype=np.int64)
         if self.granularity is Granularity.UNIFLOW:
@@ -253,3 +212,86 @@ class TrafficExtractor:
             return np.empty(0, dtype=np.int64)
         mask = np.isin(codes, np.array(wanted, dtype=np.int64))
         return np.nonzero(mask)[0].astype(np.int64)
+
+
+class TrafficExtractor:
+    """Extracts, per alarm, the associated traffic set.
+
+    The extractor precomputes per-packet flow keys (or dense flow
+    codes, on a vectorized engine) once per trace so that each alarm
+    extraction costs only its own time window.
+
+    Parameters
+    ----------
+    trace:
+        The trace alarms refer to.
+    granularity:
+        Traffic granularity of the extracted sets.
+    engine:
+        Engine spec (see :func:`repro.engine.resolve_engine`); the
+        engine's ``"traffic_extractor"`` kernel picks the strategy.
+        All strategies produce identical traffic sets.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        granularity: Granularity = Granularity.UNIFLOW,
+        engine: EngineSpec = "auto",
+    ) -> None:
+        self.trace = trace
+        self.granularity = granularity
+        self.engine = resolve_engine(engine, what="extractor")
+        self._impl = self.engine.kernel("traffic_extractor")(
+            trace, granularity, self.engine
+        )
+
+    # -- public API ----------------------------------------------------
+
+    def extract(self, alarm: Alarm) -> FrozenSet:
+        """Traffic set of one alarm at this extractor's granularity."""
+        return self._impl.extract(alarm)
+
+    def extract_all(self, alarms: Sequence[Alarm]) -> list[FrozenSet]:
+        """Traffic sets for a list of alarms (index-aligned)."""
+        return self._impl.extract_all(alarms)
+
+    def extract_all_codes(self, alarms: Sequence[Alarm]) -> list[np.ndarray]:
+        """Batched extraction as dense int arrays (vectorized engines).
+
+        Element ``i`` holds the sorted unique traffic codes (flow ids,
+        or packet indices at packet granularity) of alarm ``i`` — the
+        exact integer alphabet the ``"similarity_graph"`` kernel
+        consumes directly, skipping Python set construction entirely.
+        """
+        return self._vectorized("extract_all_codes")(alarms)
+
+    def codes_to_traffic(self, codes: np.ndarray) -> FrozenSet:
+        """Materialize a code array as the public traffic set."""
+        return self._vectorized("codes_to_traffic")(codes)
+
+    def packets_of(self, traffic: FrozenSet) -> list[int]:
+        """Expand a traffic set back to packet indices.
+
+        For packet granularity this is the identity; for flow
+        granularities it returns every packet of every listed flow.
+        Used by the heuristics and the rule miner, which need packets.
+        """
+        return self._impl.packets_of(traffic)
+
+    def packet_index_array(self, traffic: FrozenSet) -> np.ndarray:
+        """Vectorized :meth:`packets_of` (sorted int64 array).
+
+        Only available on vectorized engines; the heuristics use it to
+        label community traffic without materializing packet objects.
+        """
+        return self._vectorized("packet_index_array")(traffic)
+
+    def _vectorized(self, method: str):
+        fn = getattr(self._impl, method, None)
+        if fn is None:
+            raise EngineError(
+                f"{method} requires a vectorized extraction engine "
+                f"(got {self.engine.name!r})"
+            )
+        return fn

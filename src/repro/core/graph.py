@@ -6,15 +6,17 @@ inverted index (traffic element -> alarms containing it), so the cost
 is proportional to the co-occurrence structure rather than to the
 number of alarm pairs.
 
-Two interchangeable backends implement the co-occurrence counting:
+Two interchangeable kernels implement the co-occurrence counting,
+registered per engine under the ``"similarity_graph"`` operation:
 
-* ``"numpy"`` (default for named measures) — co-occurring alarm pairs
-  are generated with array indexing, intersection sizes come from one
-  ``np.unique`` over encoded pairs, and all edge weights for a measure
-  are computed in a single batch division.
-* ``"python"`` — the original Counter-based loop, kept as the
-  readable reference; property tests assert both backends build
-  identical graphs.
+* the ``numpy`` engine's kernel (default for named measures) —
+  co-occurring alarm pairs are generated with array indexing,
+  intersection sizes come from one ``np.unique`` over encoded pairs,
+  and all edge weights for a measure are computed in a single batch
+  division;
+* the ``python`` engine's kernel — the original Counter-based loop,
+  kept as the readable reference; the engine parity suite asserts both
+  kernels build identical graphs.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from repro.core.similarity import (
     SIMILARITY_MEASURES,
     SimilarityMeasure,
 )
+from repro.engine import EngineSpec, resolve_engine
 from repro.errors import GraphError
 
 
@@ -90,7 +93,7 @@ def build_similarity_graph(
     traffic_sets: Sequence[FrozenSet],
     measure: SimilarityMeasure | str = "simpson",
     edge_threshold: float = 0.0,
-    backend: str = "auto",
+    engine: EngineSpec = "auto",
 ) -> SimilarityGraph:
     """Build the similarity graph from per-alarm traffic sets.
 
@@ -100,7 +103,7 @@ def build_similarity_graph(
         One traffic set per alarm (index-aligned with alarm ids).
         Either Python sets of hashable elements or — as produced by
         ``TrafficExtractor.extract_all_codes`` — NumPy arrays of unique
-        integer codes, which the numpy backend ingests without any
+        integer codes, which the vectorized kernel ingests without any
         per-element Python work.  Empty sets yield isolated nodes.
     measure:
         Similarity measure name or callable ``(intersection, |A|, |B|)
@@ -110,11 +113,13 @@ def build_similarity_graph(
         similarity measure "enables to discriminate edges connecting
         dissimilar alarms"; thresholding is how that discrimination is
         applied.
-    backend:
-        ``"numpy"``, ``"python"`` or ``"auto"`` (numpy whenever
-        possible).  Both backends produce identical graphs; custom
-        callable measures are evaluated per-edge either way, but the
-        numpy backend still vectorizes intersection counting.
+    engine:
+        Engine spec resolved through
+        :func:`repro.engine.resolve_engine`; construction dispatches to
+        that engine's ``"similarity_graph"`` kernel.  All kernels
+        produce identical graphs; custom callable measures are
+        evaluated per-edge either way, but the vectorized kernel still
+        batches intersection counting.
 
     Returns
     -------
@@ -133,23 +138,21 @@ def build_similarity_graph(
         measure_fn = measure
         batch_fn = None
 
-    if backend not in ("auto", "numpy", "python"):
-        raise GraphError(f"unknown graph backend {backend!r}")
-    if backend == "python":
-        return _build_similarity_graph_python(
-            traffic_sets, measure_fn, edge_threshold
-        )
-    return _build_similarity_graph_numpy(
-        traffic_sets, measure_fn, batch_fn, edge_threshold
-    )
+    kernel = resolve_engine(engine, what="graph").kernel("similarity_graph")
+    return kernel(traffic_sets, measure_fn, batch_fn, edge_threshold)
 
 
 def _build_similarity_graph_python(
     traffic_sets: Sequence[FrozenSet],
     measure_fn: SimilarityMeasure,
+    batch_fn,
     edge_threshold: float,
 ) -> SimilarityGraph:
-    """Reference implementation: Counter-based co-occurrence loop."""
+    """Reference kernel: Counter-based co-occurrence loop.
+
+    ``batch_fn`` is part of the shared kernel signature but unused — the
+    reference path evaluates the scalar measure per edge.
+    """
     n = len(traffic_sets)
     graph = SimilarityGraph(n_nodes=n)
 
@@ -168,10 +171,10 @@ def _build_similarity_graph_python(
             for v in alarm_ids[i + 1 :]:
                 intersections[(u, v)] += 1
 
-    # Insert edges sorted by (u, v) — the order the numpy backend emits
-    # pairs in.  Louvain iterates adjacency dicts in insertion order
-    # when breaking modularity ties, so both backends must build graphs
-    # that are identical *as ordered dicts*, not merely equal.
+    # Insert edges sorted by (u, v) — the order the vectorized kernel
+    # emits pairs in.  Louvain iterates adjacency dicts in insertion
+    # order when breaking modularity ties, so both kernels must build
+    # graphs that are identical *as ordered dicts*, not merely equal.
     for (u, v) in sorted(intersections):
         count = intersections[(u, v)]
         weight = measure_fn(count, len(traffic_sets[u]), len(traffic_sets[v]))
@@ -255,7 +258,7 @@ def _build_similarity_graph_numpy(
     batch_fn,
     edge_threshold: float,
 ) -> SimilarityGraph:
-    """Vectorized builder: array pair generation + batch weights."""
+    """Vectorized kernel: array pair generation + batch weights."""
     n = len(traffic_sets)
     graph = SimilarityGraph(n_nodes=n)
     if n < 2:

@@ -20,8 +20,8 @@ import abc
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.backends import resolve_backend
-from repro.errors import DetectorError
+from repro.engine import EngineSpec, resolve_engine
+from repro.errors import DetectorError, EngineError
 from repro.net.filters import FeatureFilter
 from repro.net.flow import FlowKey
 from repro.net.trace import Trace
@@ -114,17 +114,17 @@ class Detector(abc.ABC):
     name: str = "base"
 
     def __init__(
-        self, tuning: str = "optimal", backend: str = "auto", **params
+        self, tuning: str = "optimal", engine: EngineSpec = "auto", **params
     ) -> None:
         self.tuning = tuning
-        #: Feature-path backend: ``"numpy"`` reads the trace's columnar
-        #: table, ``"python"`` scans packet objects (the reference
-        #: implementation).  Both emit identical alarms; ``backend`` is
+        #: Feature-path engine: a vectorized engine reads the trace's
+        #: columnar table, the reference engine scans packet objects.
+        #: All engines emit identical alarms; the engine is
         #: deliberately *not* a detector parameter so it never enters
         #: ensemble fingerprints or alarm-cache keys derived from them.
         try:
-            self.backend = resolve_backend(backend, what=self.name)
-        except ValueError as exc:
+            self.engine = resolve_engine(engine, what=self.name)
+        except EngineError as exc:
             raise DetectorError(str(exc)) from None
         self.params = dict(self.default_params())
         unknown = set(params) - set(self.params)

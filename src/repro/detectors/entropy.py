@@ -36,10 +36,7 @@ from collections import Counter
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
-from repro.detectors.features import (
-    binned_value_histogram,
-    first_appearance_order,
-)
+from repro.detectors.features import first_appearance_order
 from repro.net.filters import FeatureFilter
 from repro.net.trace import Trace
 
@@ -96,7 +93,7 @@ class EntropyDetector(Detector):
     def analyze(self, trace: Trace) -> list[Alarm]:
         if len(trace) < 8:
             return []
-        if self.backend == "numpy":
+        if self.engine.vectorized:
             return self._analyze_numpy(trace)
         return self._analyze_python(trace)
 
@@ -154,8 +151,9 @@ class EntropyDetector(Detector):
 
         alarms: list[Alarm] = []
         bin_width = span / n_bins
+        binned_histogram = self.engine.kernel("binned_histogram")
         for feature in _FEATURES:
-            histogram = binned_value_histogram(table, feature, bin_idx, n_bins)
+            histogram = binned_histogram(table, feature, bin_idx, n_bins)
             entropies = _entropy_series(histogram.counts)
             deviations = _entropy_deviations(entropies)
             for b in np.nonzero(np.abs(deviations) > p["threshold"])[0]:
@@ -176,7 +174,7 @@ class EntropyDetector(Detector):
     def _value_alarms(
         self, feature: str, values, t0: float, t1: float, deviation: float
     ) -> list[Alarm]:
-        """One alarm per responsible value (shared by both backends)."""
+        """One alarm per responsible value (shared by both engines)."""
         return [
             self._alarm(
                 t0,

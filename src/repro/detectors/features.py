@@ -1,15 +1,15 @@
 """Dense per-time-bin feature histograms over the columnar table.
 
 The KL and entropy detectors both monitor per-bin value histograms of
-header features (src, dst, sport, dport).  On the numpy backend those
+header features (src, dst, sport, dport).  On the vectorized engine those
 histograms are dense integer matrices computed in one
 ``np.bincount`` pass over ``(time bin, value code)`` instead of one
-``Counter`` per bin — the detector feature-binning path of the columnar
-engine.
+``Counter`` per bin — the detector feature-binning kernel of the
+vectorized engine.
 
 :func:`binned_value_histogram` is property-tested element-for-element
-against the Counter-based reference used by the detectors' python
-backends.
+against the Counter-based reference used by the detectors' reference
+paths.
 """
 
 from __future__ import annotations

@@ -54,17 +54,10 @@ class GammaDetector(Detector):
         if len(trace) == 0:
             return []
         alarms: list[Alarm] = []
-        if self.backend == "numpy":
-            times = trace.table.time
-        else:
-            times = np.array([pkt.time for pkt in trace])
+        column_values = self.engine.kernel("column_values")
+        times = column_values(trace, "time")
         for direction in ("src", "dst"):
-            if self.backend == "numpy":
-                keys = trace.table.column(direction).astype(np.uint64)
-            else:
-                keys = np.array(
-                    [getattr(pkt, direction) for pkt in trace], dtype=np.uint64
-                )
+            keys = column_values(trace, direction, np.uint64)
             alarms.extend(self._analyze_direction(trace, times, keys, direction))
         return alarms
 
@@ -100,7 +93,7 @@ class GammaDetector(Detector):
                 hasher,
                 int(sketch),
                 top=p["max_ips_per_sketch"],
-                backend=self.backend,
+                engine=self.engine,
             )
             for ip in ips:
                 if direction == "src":

@@ -62,10 +62,8 @@ class HoughDetector(Detector):
         if len(trace) == 0:
             return []
         p = self.params
-        if self.backend == "numpy":
-            times = trace.table.time
-        else:
-            times = np.array([pkt.time for pkt in trace])
+        column_values = self.engine.kernel("column_values")
+        times = column_values(trace, "time")
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
         x = np.clip(
@@ -79,12 +77,7 @@ class HoughDetector(Detector):
                 p["y_bins"],
                 seed=p["hash_seed"] + (0 if direction == "src" else 1),
             )
-            if self.backend == "numpy":
-                keys = trace.table.column(direction).astype(np.uint64)
-            else:
-                keys = np.array(
-                    [getattr(pkt, direction) for pkt in trace], dtype=np.uint64
-                )
+            keys = column_values(trace, direction, np.uint64)
             y = hasher.buckets(keys)
             alarms.extend(
                 self._analyze_picture(trace, x, y, t_start, span, direction)
@@ -113,7 +106,7 @@ class HoughDetector(Detector):
         )
         alarms: list[Alarm] = []
         bin_width = span / p["x_bins"]
-        vectorized = self.backend == "numpy"
+        vectorized = self.engine.vectorized
         for line_pixels in lines:
             if vectorized:
                 # Packets whose (y, x) pixel is on the line, via a 2-D
@@ -207,7 +200,7 @@ class HoughDetector(Detector):
         span = max(trace.end_time - trace.start_time, 1e-9)
         window = max(t1 - t0, 1e-9)
         outside = span - window
-        if self.backend == "numpy":
+        if self.engine.vectorized:
             host = trace.table.column(direction) == key
             if outside <= span * 0.1:
                 return (

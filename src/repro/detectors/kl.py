@@ -30,11 +30,7 @@ from collections import Counter
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
-from repro.detectors.features import (
-    BinnedHistogram,
-    binned_value_histogram,
-    first_appearance_order,
-)
+from repro.detectors.features import BinnedHistogram, first_appearance_order
 from repro.net.trace import Trace
 from repro.rules.apriori import apriori
 from repro.rules.itemsets import rules_from_result, transactions_from_packets
@@ -62,7 +58,7 @@ class KLDetector(Detector):
     def analyze(self, trace: Trace) -> list[Alarm]:
         if len(trace) < 4:
             return []
-        if self.backend == "numpy":
+        if self.engine.vectorized:
             return self._analyze_numpy(trace)
         return self._analyze_python(trace)
 
@@ -83,7 +79,7 @@ class KLDetector(Detector):
             return []
         baseline = state.get("baseline")
         baseline_transactions = state.get("baseline_transactions")
-        if self.backend == "numpy":
+        if self.engine.vectorized:
             return self._analyze_numpy(
                 trace,
                 baseline=baseline,
@@ -224,8 +220,9 @@ class KLDetector(Detector):
         alarms: list[Alarm] = []
         bin_width = span / n_bins
         new_baseline: dict[str, Counter] = {}
+        binned_histogram = self.engine.kernel("binned_histogram")
         for feature in _FEATURES:
-            histogram = binned_value_histogram(table, feature, bin_idx, n_bins)
+            histogram = binned_histogram(table, feature, bin_idx, n_bins)
             series = _divergence_series(histogram.counts, p["smoothing"])
             base = baseline.get(feature) if baseline else None
             if base:
@@ -410,7 +407,7 @@ def _dense_bin_transactions(table, bin_idx: np.ndarray, b: int) -> list[tuple]:
 def _dense_bin_counter(histogram: BinnedHistogram, b: int) -> Counter:
     """One dense histogram row as a Counter (for baseline carry).
 
-    Content-equal to the python backend's per-bin Counter, which is all
+    Content-equal to the reference engine's per-bin Counter, which is all
     the baseline consumers (:func:`_symmetric_kl`,
     :func:`_grown_values`) depend on — neither reads insertion order of
     the *previous* histogram.

@@ -58,12 +58,9 @@ class PCADetector(Detector):
         if len(trace) == 0:
             return []
         p = self.params
-        if self.backend == "numpy":
-            times = trace.table.time
-            srcs = trace.table.src.astype(np.uint64)
-        else:
-            times = np.array([pkt.time for pkt in trace])
-            srcs = np.array([pkt.src for pkt in trace], dtype=np.uint64)
+        column_values = self.engine.kernel("column_values")
+        times = column_values(trace, "time")
+        srcs = column_values(trace, "src", np.uint64)
         hasher = self._hasher(p["n_sketches"], p["hash_seed"])
         t_start, t_end = trace.start_time, trace.end_time
         matrix = sketch_time_matrix(
@@ -92,7 +89,7 @@ class PCADetector(Detector):
                     hasher,
                     int(sketch),
                     top=p["max_ips_per_sketch"],
-                    backend=self.backend,
+                    engine=self.engine,
                 )
                 for ip in ips:
                     alarms.append(

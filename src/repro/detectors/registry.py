@@ -16,6 +16,7 @@ from repro.detectors.gamma import GAMMA_TUNINGS, GammaDetector
 from repro.detectors.hough import HOUGH_TUNINGS, HoughDetector
 from repro.detectors.kl import KL_TUNINGS, KLDetector
 from repro.detectors.pca import PCA_TUNINGS, PCADetector
+from repro.engine import EngineSpec
 from repro.errors import DetectorError
 from repro.net.trace import Trace
 
@@ -34,7 +35,7 @@ TUNINGS = ("optimal", "sensitive", "conservative")
 def default_ensemble(
     detectors: Optional[Iterable[str]] = None,
     tunings: Optional[Iterable[str]] = None,
-    backend: str = "auto",
+    engine: EngineSpec = "auto",
 ) -> list[Detector]:
     """Instantiate the detector ensemble.
 
@@ -44,9 +45,10 @@ def default_ensemble(
         Detector family names to include; defaults to all four.
     tunings:
         Tunings per family; defaults to the paper's three.
-    backend:
-        Feature-path backend applied to every configuration
-        ("auto" / "numpy" / "python"); backends emit identical alarms.
+    engine:
+        Feature-path engine applied to every configuration (any spec
+        :func:`repro.engine.resolve_engine` accepts); all engines emit
+        identical alarms.
 
     Returns
     -------
@@ -66,13 +68,21 @@ def default_ensemble(
                     f"detector {name!r} has no tuning {tuning!r}"
                 )
             ensemble.append(
-                cls(tuning=tuning, backend=backend, **tuning_table[tuning])
+                cls(tuning=tuning, engine=engine, **tuning_table[tuning])
             )
     return ensemble
 
 
-def detector_for_config(config_name: str, backend: str = "auto") -> Detector:
-    """Instantiate the detector for a ``"family/tuning"`` config name."""
+def detector_for_config(
+    config_name: str, engine: EngineSpec = "auto", **params
+) -> Detector:
+    """Instantiate the detector for a ``"family/tuning"`` config name.
+
+    ``params`` override individual parameters of the tuning's set (a
+    parameter unknown to the detector raises
+    :class:`~repro.errors.DetectorError`, exactly as direct
+    construction would).
+    """
     try:
         family, tuning = config_name.split("/", 1)
     except ValueError as exc:
@@ -84,7 +94,9 @@ def detector_for_config(config_name: str, backend: str = "auto") -> Detector:
     cls, tuning_table = _CLASSES[family]
     if tuning not in tuning_table:
         raise DetectorError(f"detector {family!r} has no tuning {tuning!r}")
-    return cls(tuning=tuning, backend=backend, **tuning_table[tuning])
+    return cls(
+        tuning=tuning, engine=engine, **{**tuning_table[tuning], **params}
+    )
 
 
 def run_ensemble(

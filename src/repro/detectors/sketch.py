@@ -24,7 +24,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro.backends import resolve_backend
+from repro.engine import EngineSpec, resolve_engine
 from repro.errors import DetectorError
 
 _MERSENNE_PRIME = (1 << 61) - 1
@@ -119,45 +119,74 @@ def dominant_keys(
     sketch: int,
     top: int = 3,
     min_fraction: float = 0.1,
-    backend: str = "auto",
+    engine: EngineSpec = "auto",
 ) -> list[int]:
     """Most frequent keys hashing to ``sketch`` among masked packets.
 
     Used to invert a sketch-level detection back to concrete addresses:
     return up to ``top`` keys, each accounting for at least
-    ``min_fraction`` of the sketch's packets.  The ``"numpy"`` backend
-    (default) counts with one ``np.unique`` pass; ``"python"`` is the
-    Counter-based reference.  Both return identical key lists,
-    including ``most_common``-style tie-breaking by first appearance.
+    ``min_fraction`` of the sketch's packets.  Dispatches to the
+    engine's ``"dominant_keys"`` kernel: the vectorized kernel counts
+    with one ``np.unique`` pass, the reference kernel is Counter-based.
+    Both return identical key lists, including ``most_common``-style
+    tie-breaking by first appearance.
     """
-    backend = resolve_backend(backend, what="dominant_keys")
+    kernel = resolve_engine(engine, what="dominant_keys").kernel(
+        "dominant_keys"
+    )
+    return kernel(
+        keys, mask, hasher, sketch, top=top, min_fraction=min_fraction
+    )
+
+
+def _dominant_keys_numpy(
+    keys: np.ndarray,
+    mask: np.ndarray,
+    hasher: SketchHasher,
+    sketch: int,
+    top: int = 3,
+    min_fraction: float = 0.1,
+) -> list[int]:
+    """Vectorized kernel: one ``np.unique`` pass over the sketch."""
     selected = keys[mask]
     if selected.size == 0:
         return []
-    if backend == "numpy":
-        in_sketch = selected[hasher.buckets(selected) == sketch]
-        if in_sketch.size == 0:
-            return []
-        uniq, first_index, counts = np.unique(
-            in_sketch, return_index=True, return_counts=True
-        )
-        # Counter.most_common order: count descending, ties by first
-        # appearance (sorted() is stable over dict insertion order).
-        order = np.lexsort((first_index, -counts))
-        total = int(in_sketch.size)
-        return [
-            int(uniq[i])
-            for i in order[:top]
-            if int(counts[i]) / total >= min_fraction
-        ]
+    in_sketch = selected[hasher.buckets(selected) == sketch]
+    if in_sketch.size == 0:
+        return []
+    uniq, first_index, counts = np.unique(
+        in_sketch, return_index=True, return_counts=True
+    )
+    # Counter.most_common order: count descending, ties by first
+    # appearance (sorted() is stable over dict insertion order).
+    order = np.lexsort((first_index, -counts))
+    total = int(in_sketch.size)
+    return [
+        int(uniq[i])
+        for i in order[:top]
+        if int(counts[i]) / total >= min_fraction
+    ]
+
+
+def _dominant_keys_python(
+    keys: np.ndarray,
+    mask: np.ndarray,
+    hasher: SketchHasher,
+    sketch: int,
+    top: int = 3,
+    min_fraction: float = 0.1,
+) -> list[int]:
+    """Reference kernel: scalar hashing into a ``Counter``."""
+    selected = keys[mask]
+    if selected.size == 0:
+        return []
     in_sketch = [int(k) for k in selected if hasher.bucket(int(k)) == sketch]
     if not in_sketch:
         return []
     counts = Counter(in_sketch)
     total = len(in_sketch)
-    result = [
+    return [
         key
         for key, count in counts.most_common(top)
         if count / total >= min_fraction
     ]
-    return result

@@ -1,0 +1,227 @@
+"""The built-in kernel table: one implementation per (engine, op).
+
+Registered lazily on first :meth:`~repro.engine.core.Engine.kernel`
+call.  Production implementations live next to the code they serve
+(:mod:`repro.core.graph`, :mod:`repro.core.extractor`,
+:mod:`repro.detectors.sketch`, ...) and are imported here; the pure
+reference twins that exist *only* as correctness oracles (per-packet
+flow coding, Counter feature binning, scalar sketch hashing) are
+defined inline.  ``tests/test_engine_parity.py`` drives every pair
+through one table-driven hypothesis suite.
+
+Kernel signatures
+-----------------
+``filter_mask(table, feature_filter, t0=None, t1=None)``
+    Boolean per-row mask of packets the filter designates; ``t0``/``t1``
+    override wildcard time bounds (the alarm window).
+``flow_codes(table, granularity)``
+    ``(codes, keys)``: dense int64 per-packet flow ids numbered by
+    first appearance, plus the code -> FlowKey table.
+``binned_histogram(table, feature, bin_idx, n_bins)``
+    :class:`~repro.detectors.features.BinnedHistogram` of one feature
+    column per time bin.
+``sketch_buckets(hasher, keys)``
+    int64 bucket per key under a
+    :class:`~repro.detectors.sketch.SketchHasher`.
+``dominant_keys(keys, mask, hasher, sketch, top, min_fraction)``
+    Most frequent keys hashing to ``sketch`` among masked packets.
+``similarity_graph(traffic_sets, measure_fn, batch_fn, edge_threshold)``
+    The alarm similarity graph (Step 2).
+``community_label(extractor, community)``
+    Table-1 heuristic label of one community's traffic.
+``column_values(trace, field, dtype=None)``
+    One packet field as an array (the detectors' feature columns).
+``traffic_extractor(trace, granularity, engine)``
+    Factory for the per-engine traffic-extraction strategy object.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.engine.core import NUMPY_ENGINE, PYTHON_ENGINE
+
+# -- filter-mask -------------------------------------------------------
+
+
+@NUMPY_ENGINE.register("filter_mask")
+def _filter_mask_numpy(table, feature_filter, t0=None, t1=None):
+    return feature_filter.mask(table, t0=t0, t1=t1)
+
+
+@PYTHON_ENGINE.register("filter_mask")
+def _filter_mask_python(table, feature_filter, t0=None, t1=None):
+    """Per-packet ``matches`` loop, with the same window override."""
+    import dataclasses
+
+    if t0 is not None and feature_filter.t0 is None:
+        feature_filter = dataclasses.replace(feature_filter, t0=t0)
+    if t1 is not None and feature_filter.t1 is None:
+        feature_filter = dataclasses.replace(feature_filter, t1=t1)
+    return np.fromiter(
+        (
+            feature_filter.matches(table.packet(i))
+            for i in range(len(table))
+        ),
+        dtype=bool,
+        count=len(table),
+    )
+
+
+# -- flow coding -------------------------------------------------------
+
+
+@NUMPY_ENGINE.register("flow_codes")
+def _flow_codes_numpy(table, granularity):
+    from repro.net.table import flow_codes
+
+    return flow_codes(table, granularity)
+
+
+@PYTHON_ENGINE.register("flow_codes")
+def _flow_codes_python(table, granularity):
+    """Dict-based first-appearance numbering over packet objects."""
+    from repro.net.flow import Granularity, key_for
+
+    if granularity is Granularity.PACKET:
+        raise ValueError("packets have no flow key; use packet indices instead")
+    code_of: dict = {}
+    keys = []
+    codes = np.empty(len(table), dtype=np.int64)
+    for i in range(len(table)):
+        key = key_for(table.packet(i), granularity)
+        code = code_of.get(key)
+        if code is None:
+            code = code_of[key] = len(keys)
+            keys.append(key)
+        codes[i] = code
+    return codes, keys
+
+
+# -- feature binning ---------------------------------------------------
+
+
+@NUMPY_ENGINE.register("binned_histogram")
+def _binned_histogram_numpy(table, feature, bin_idx, n_bins):
+    from repro.detectors.features import binned_value_histogram
+
+    return binned_value_histogram(table, feature, bin_idx, n_bins)
+
+
+@PYTHON_ENGINE.register("binned_histogram")
+def _binned_histogram_python(table, feature, bin_idx, n_bins):
+    """Counter-per-bin reference assembling the same dense struct."""
+    from repro.detectors.features import BinnedHistogram
+
+    column = [getattr(table.packet(i), feature) for i in range(len(table))]
+    values = sorted(set(column))
+    code_of = {value: c for c, value in enumerate(values)}
+    codes = np.array([code_of[v] for v in column], dtype=np.int64)
+    counts = np.zeros((n_bins, len(values)), dtype=np.int64)
+    for b in range(n_bins):
+        histogram = Counter(
+            value for value, in_bin in zip(column, bin_idx == b) if in_bin
+        )
+        for value, count in histogram.items():
+            counts[b, code_of[value]] = count
+    return BinnedHistogram(
+        feature=feature,
+        values=np.array(values, dtype=table.column(feature).dtype),
+        codes=codes,
+        counts=counts,
+    )
+
+
+# -- sketch hashing ----------------------------------------------------
+
+
+@NUMPY_ENGINE.register("sketch_buckets")
+def _sketch_buckets_numpy(hasher, keys):
+    return hasher.buckets(keys)
+
+
+@PYTHON_ENGINE.register("sketch_buckets")
+def _sketch_buckets_python(hasher, keys):
+    """Scalar ``bucket`` loop (the uint64-limb arithmetic oracle)."""
+    return np.array(
+        [hasher.bucket(int(key)) for key in np.asarray(keys)], dtype=np.int64
+    )
+
+
+def _register_sketch_kernels() -> None:
+    from repro.detectors.sketch import (
+        _dominant_keys_numpy,
+        _dominant_keys_python,
+    )
+
+    NUMPY_ENGINE.register("dominant_keys", _dominant_keys_numpy)
+    PYTHON_ENGINE.register("dominant_keys", _dominant_keys_python)
+
+
+# -- similarity graph --------------------------------------------------
+
+
+def _register_graph_kernels() -> None:
+    from repro.core.graph import (
+        _build_similarity_graph_numpy,
+        _build_similarity_graph_python,
+    )
+
+    NUMPY_ENGINE.register("similarity_graph", _build_similarity_graph_numpy)
+    PYTHON_ENGINE.register("similarity_graph", _build_similarity_graph_python)
+
+
+# -- community heuristics ----------------------------------------------
+
+
+@NUMPY_ENGINE.register("community_label")
+def _community_label_numpy(extractor, community):
+    from repro.labeling.heuristics import label_packets_table
+
+    indices = extractor.packet_index_array(community.traffic)
+    return label_packets_table(extractor.trace.table, indices)
+
+
+@PYTHON_ENGINE.register("community_label")
+def _community_label_python(extractor, community):
+    from repro.labeling.heuristics import label_packets
+
+    indices = extractor.packets_of(community.traffic)
+    return label_packets([extractor.trace[i] for i in indices])
+
+
+# -- feature columns ---------------------------------------------------
+
+
+@NUMPY_ENGINE.register("column_values")
+def _column_values_numpy(trace, field, dtype=None):
+    column = trace.table.column(field)
+    return column.astype(dtype) if dtype is not None else column
+
+
+@PYTHON_ENGINE.register("column_values")
+def _column_values_python(trace, field, dtype=None):
+    return np.array(
+        [getattr(packet, field) for packet in trace],
+        dtype=dtype if dtype is not None else np.float64,
+    )
+
+
+# -- traffic extraction ------------------------------------------------
+
+
+def _register_extractor_kernels() -> None:
+    from repro.core.extractor import (
+        ColumnarTrafficExtraction,
+        ReferenceTrafficExtraction,
+    )
+
+    NUMPY_ENGINE.register("traffic_extractor", ColumnarTrafficExtraction)
+    PYTHON_ENGINE.register("traffic_extractor", ReferenceTrafficExtraction)
+
+
+_register_sketch_kernels()
+_register_graph_kernels()
+_register_extractor_kernels()

@@ -34,6 +34,10 @@ class StreamError(ReproError):
     """The streaming engine was misconfigured or fed invalid input."""
 
 
+class EngineError(ReproError):
+    """An execution engine or kernel was requested that does not exist."""
+
+
 class DetectorError(ReproError):
     """An anomaly detector was misconfigured or failed to run."""
 

@@ -62,46 +62,65 @@ class SweepResult:
 def _score_grid_chunk(payload: tuple) -> list[SweepPoint]:
     """Score a chunk of grid values (module-level for pool workers).
 
-    Chunking keeps payload serialization at O(workers x corpus): the
-    workload traces are pickled once per chunk rather than once per
-    grid value.
+    Chunking keeps per-chunk payloads small; pooled sweeps additionally
+    ship each workload trace as a zero-copy shared-memory handle
+    (attached here, once per chunk) instead of pickling the packet
+    arrays into every chunk's task.
     """
     (
         detector_cls,
         parameter,
         values,
         fixed_params,
+        engine,
         workloads,
+        shipped,
         granularity,
         min_overlap,
     ) = payload
-    points = []
-    for value in values:
-        params = dict(fixed_params)
-        params[parameter] = value
-        detector = detector_cls(**params)
-        recalls, precisions, alarms = [], [], 0
-        for trace, events in workloads:
-            score = score_detector(
-                detector,
-                trace,
-                events,
-                granularity=granularity,
-                min_overlap=min_overlap,
+    attachments = []
+    if shipped is not None:
+        from repro.net.trace import Trace
+
+        workloads = []
+        for handle, metadata, events in shipped:
+            attached = handle.attach()
+            attachments.append(attached)
+            workloads.append(
+                (Trace.from_table(attached.table, metadata), events)
             )
-            recalls.append(score.recall)
-            precisions.append(score.precision)
-            alarms += score.n_objects
-        n = max(len(workloads), 1)
-        points.append(
-            SweepPoint(
-                value=float(value),
-                recall=sum(recalls) / n,
-                precision=sum(precisions) / n,
-                n_alarms=alarms,
+    try:
+        points = []
+        for value in values:
+            params = dict(fixed_params)
+            params[parameter] = value
+            detector = detector_cls(engine=engine, **params)
+            recalls, precisions, alarms = [], [], 0
+            for trace, events in workloads:
+                score = score_detector(
+                    detector,
+                    trace,
+                    events,
+                    granularity=granularity,
+                    min_overlap=min_overlap,
+                )
+                recalls.append(score.recall)
+                precisions.append(score.precision)
+                alarms += score.n_objects
+            n = max(len(workloads), 1)
+            points.append(
+                SweepPoint(
+                    value=float(value),
+                    recall=sum(recalls) / n,
+                    precision=sum(precisions) / n,
+                    n_alarms=alarms,
+                )
             )
-        )
-    return points
+        return points
+    finally:
+        del workloads
+        for attached in attachments:
+            attached.close()
 
 
 def sweep_parameter(
@@ -112,6 +131,7 @@ def sweep_parameter(
     granularity: Granularity = Granularity.UNIFLOW,
     min_overlap: float = 0.2,
     workers: int = 1,
+    engine: str = "auto",
     **fixed_params,
 ) -> SweepResult:
     """Sweep ``parameter`` of ``detector_cls`` over ``values``.
@@ -130,7 +150,12 @@ def sweep_parameter(
     workers:
         Process-pool size for scoring grid values concurrently
         (``<= 1`` keeps the sweep in-process).  Grid points are
-        independent, so results are identical at any pool size.
+        independent, so results are identical at any pool size.  With
+        a pool, each workload trace is exported once to a shared-memory
+        segment and every chunk attaches it zero-copy — chunk payloads
+        stay O(grid), not O(grid x corpus).
+    engine:
+        Execution-engine spec applied to every swept detector.
     fixed_params:
         Other parameter overrides held constant during the sweep.
 
@@ -145,19 +170,38 @@ def sweep_parameter(
     values = list(values)
     n_chunks = min(max(workers, 1), len(values)) or 1
     chunks = [values[i::n_chunks] for i in range(n_chunks)]
+
+    shipped = None
+    handles = []
+    if workers > 1:
+        from repro.runner.shm import export_table
+
+        shipped = []
+        for trace, events in workloads:
+            handle = export_table(trace.table)
+            handles.append(handle)
+            shipped.append((handle, trace.metadata, events))
     payloads = [
         (
             detector_cls,
             parameter,
             chunk,
             fixed_params,
-            workloads,
+            engine,
+            None if shipped is not None else workloads,
+            shipped,
             granularity,
             min_overlap,
         )
         for chunk in chunks
     ]
-    chunk_points = parallel_map(_score_grid_chunk, payloads, workers=workers)
+    try:
+        chunk_points = parallel_map(
+            _score_grid_chunk, payloads, workers=workers
+        )
+    finally:
+        for handle in handles:
+            handle.unlink()
     # Unstripe back to input order (chunk i holds values[i::n_chunks]).
     points: list[SweepPoint] = [None] * len(values)  # type: ignore[list-item]
     for i, chunk_result in enumerate(chunk_points):

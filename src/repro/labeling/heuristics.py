@@ -230,7 +230,8 @@ def label_packets_table(
 def label_community(community, extractor) -> HeuristicLabel:
     """Label one community via its extracted traffic.
 
-    Follows the extractor's backend: columnar extractors label through
+    Follows the extractor's engine by dispatching its
+    ``"community_label"`` kernel: columnar extractors label through
     :func:`label_packets_table` without materializing packet objects,
     reference extractors through :func:`label_packets`.
 
@@ -242,9 +243,9 @@ def label_community(community, extractor) -> HeuristicLabel:
         The :class:`~repro.core.extractor.TrafficExtractor` of the
         estimator run (needed to expand flow keys back to packets).
     """
-    if getattr(extractor, "backend", "python") == "numpy":
-        indices = extractor.packet_index_array(community.traffic)
-        return label_packets_table(extractor.trace.table, indices)
-    indices = extractor.packets_of(community.traffic)
-    packets = [extractor.trace[i] for i in indices]
-    return label_packets(packets)
+    from repro.engine import resolve_engine
+
+    engine = resolve_engine(
+        getattr(extractor, "engine", "python"), what="heuristics"
+    )
+    return engine.kernel("community_label")(extractor, community)

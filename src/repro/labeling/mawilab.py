@@ -23,13 +23,13 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 from xml.sax.saxutils import escape, quoteattr
 
-from repro.backends import resolve_backend
 from repro.core.community import CommunitySet
 from repro.core.estimator import SimilarityEstimator
 from repro.core.scann import SCANNStrategy
 from repro.core.strategies import CombinationStrategy, Decision
 from repro.detectors.base import Alarm, Detector
 from repro.detectors.registry import default_ensemble
+from repro.engine import EngineSpec, resolve_engine
 from repro.labeling.heuristics import HeuristicLabel, label_community
 from repro.labeling.taxonomy import assign_taxonomy
 from repro.net.flow import Granularity
@@ -106,14 +106,15 @@ class MAWILabPipeline:
         20 %).
     seed:
         Louvain seed.
-    backend:
-        Engine backend ("auto" / "numpy" / "python") applied to every
-        stage that has a columnar fast path: detector feature binning,
+    engine:
+        Execution engine (any spec
+        :func:`repro.engine.resolve_engine` accepts) applied to every
+        stage that has paired kernels: detector feature binning,
         traffic extraction, similarity-graph construction and the
         community heuristics.  ``"python"`` selects the pure-Python
-        reference implementations end-to-end; both backends produce
+        reference implementations end-to-end; all engines produce
         byte-identical label output.  A caller-supplied ``ensemble``
-        keeps its own per-detector backends.
+        keeps its own per-detector engines.
     """
 
     def __init__(
@@ -125,14 +126,13 @@ class MAWILabPipeline:
         edge_threshold: float = 0.1,
         rule_support_pct: float = 20.0,
         seed: int = 0,
-        backend: str = "auto",
+        engine: EngineSpec = "auto",
     ) -> None:
-        resolve_backend(backend, what="pipeline")  # validate early
-        self.backend = backend
+        self.engine = resolve_engine(engine, what="pipeline")
         self.ensemble = (
             list(ensemble)
             if ensemble is not None
-            else default_ensemble(backend=backend)
+            else default_ensemble(engine=self.engine)
         )
         self.strategy = strategy or SCANNStrategy()
         self.estimator = SimilarityEstimator(
@@ -140,8 +140,7 @@ class MAWILabPipeline:
             measure=measure,
             edge_threshold=edge_threshold,
             seed=seed,
-            backend=backend,
-            graph_backend=backend,
+            engine=self.engine,
         )
         self.rule_support_pct = rule_support_pct
 

@@ -1,4 +1,4 @@
-"""Columnar packet storage: the struct-of-arrays backend of every trace.
+"""Columnar packet storage: the struct-of-arrays store behind every trace.
 
 A :class:`PacketTable` holds one NumPy array per packet header field
 (timestamps, addresses, ports, protocol, length, TCP flags, ICMP type).
@@ -11,8 +11,8 @@ Everything downstream of :class:`~repro.net.trace.Trace` that used to
 scan Python objects packet-by-packet — feature-filter matching, traffic
 extraction, flow aggregation, detector feature binning — operates on
 these arrays instead.  The object-based code paths survive as reference
-implementations selected by the ``backend=`` convention; property tests
-assert both produce identical results.
+kernels selected through the engine layer (:mod:`repro.engine`); the
+parity suite asserts both produce identical results.
 
 Column dtypes
 -------------

@@ -11,7 +11,7 @@ Since the columnar engine, a trace is *backed* by a
 the NumPy columns directly via :attr:`Trace.table`, while
 :class:`~repro.net.packet.Packet` objects are materialized lazily and
 cached only where object-level code still needs them (rule mining,
-reference backends, tests).
+reference kernels, tests).
 """
 
 from __future__ import annotations

@@ -8,10 +8,15 @@ the production machinery for that workload:
   description shared by the CLI and pool workers;
 * :class:`~repro.runner.cache.AlarmCache` — an on-disk Step 1 cache so
   re-labeling with a different combiner or granularity skips detection;
-* :class:`~repro.runner.batch.BatchRunner` — shards an archive (or any
-  iterable of traces) across workers, tracks per-shard progress and
-  failures, supports resuming an interrupted run, and aggregates the
-  per-trace label counts into a longitudinal report.
+* :mod:`~repro.runner.shm` — the zero-copy shared-memory transport:
+  packet tables exported once per trace, attached by workers without
+  pickling;
+* :class:`~repro.runner.batch.BatchRunner` — the historical batch
+  facade; orchestration itself lives in
+  :class:`repro.session.LabelingSession`, which shards an archive (or
+  any iterable of traces) across workers, tracks per-shard progress
+  and failures, supports resuming an interrupted run, and aggregates
+  the per-trace label counts into a longitudinal report.
 """
 
 from repro.runner.batch import BatchRunner
@@ -19,6 +24,7 @@ from repro.runner.cache import AlarmCache
 from repro.runner.config import PipelineConfig
 from repro.runner.pool import parallel_map
 from repro.runner.report import BatchReport, TraceReport
+from repro.runner.shm import SharedTableHandle, export_table
 from repro.runner.worker import TraceTask, run_task
 
 __all__ = [
@@ -26,8 +32,10 @@ __all__ = [
     "BatchReport",
     "BatchRunner",
     "PipelineConfig",
+    "SharedTableHandle",
     "TraceReport",
     "TraceTask",
+    "export_table",
     "parallel_map",
     "run_task",
 ]

@@ -1,29 +1,27 @@
 """The batch runner: longitudinal labeling across a process pool.
 
-:class:`BatchRunner` shards a :class:`~repro.mawi.archive.SyntheticArchive`
-(or any iterable of traces) into per-trace tasks, fans them out with
-:func:`~repro.runner.pool.parallel_map`, and aggregates the per-shard
-reports — sorted by date, independent of completion order — into a
-:class:`~repro.runner.report.BatchReport`.
+Historically the archive orchestrator; since the engine layer the
+orchestration itself lives in one place —
+:class:`repro.session.LabelingSession` — and :class:`BatchRunner` is a
+thin, stable facade over its pooled run modes, kept because the batch
+workload is this package's oldest public entry point.
 
-Failure and restart semantics: a crashing shard becomes a
-``status="failed"`` report instead of aborting the batch, and with
-``resume=True`` a re-run skips every date whose label CSV already
-exists in ``out_dir``, so only failed or missing shards are recomputed.
+Failure and restart semantics (provided by the session): a crashing
+shard becomes a ``status="failed"`` report instead of aborting the
+batch, and with ``resume=True`` a re-run skips every date whose label
+CSV already exists in ``out_dir``, so only failed or missing shards
+are recomputed.
 """
 
 from __future__ import annotations
 
-import hashlib
-from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.mawi.archive import SyntheticArchive
 from repro.net.trace import Trace
-from repro.runner import worker
 from repro.runner.config import PipelineConfig
-from repro.runner.pool import ProgressCallback, parallel_map
-from repro.runner.report import BatchReport, TraceReport
+from repro.runner.pool import ProgressCallback
+from repro.runner.report import BatchReport
 
 
 class BatchRunner:
@@ -43,6 +41,10 @@ class BatchRunner:
         trace; required for ``resume``.
     resume:
         Skip dates whose label CSV already exists in ``out_dir``.
+    transport:
+        Trace transport for :meth:`run_traces` — ``"shm"`` (zero-copy
+        shared memory), ``"pickle"``, or ``"auto"`` (shm whenever the
+        pool actually crosses process boundaries).
     """
 
     def __init__(
@@ -52,16 +54,26 @@ class BatchRunner:
         cache_dir: Optional[str] = None,
         out_dir: Optional[str] = None,
         resume: bool = False,
+        transport: str = "auto",
     ) -> None:
-        if resume and not out_dir:
-            raise ValueError("resume=True requires an out_dir")
-        self.config = config or PipelineConfig()
-        self.workers = workers
-        self.cache_dir = cache_dir
-        self.out_dir = out_dir
-        self.resume = resume
-        if out_dir:
-            Path(out_dir).mkdir(parents=True, exist_ok=True)
+        from repro.session import LabelingSession
+
+        self.session = LabelingSession(
+            config=config,
+            workers=workers,
+            cache_dir=cache_dir,
+            out_dir=out_dir,
+            resume=resume,
+            transport=transport,
+        )
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self.session.config
+
+    @property
+    def workers(self) -> int:
+        return self.session.workers
 
     def run(
         self,
@@ -70,83 +82,12 @@ class BatchRunner:
         progress: Optional[ProgressCallback] = None,
     ) -> BatchReport:
         """Label the archive days ``dates``; workers regenerate traces."""
-        tasks = [
-            worker.TraceTask(
-                date=date,
-                config=self.config,
-                archive_seed=archive.seed,
-                trace_duration=archive.trace_duration,
-                cache_dir=self.cache_dir,
-                out_dir=self.out_dir,
-            )
-            for date in dates
-        ]
-        return self._execute(tasks, progress)
+        return self.session.label_archive(archive, dates, progress=progress)
 
     def run_traces(
         self,
         traces: Iterable[Trace],
         progress: Optional[ProgressCallback] = None,
     ) -> BatchReport:
-        """Label arbitrary traces (shipped to workers by pickling).
-
-        Each trace is keyed by its metadata name (falling back to the
-        date field), which names its output CSV and resume marker.
-        """
-        tasks = []
-        for trace in traces:
-            name = trace.metadata.name or trace.metadata.date
-            tasks.append(
-                worker.TraceTask(
-                    date=name,
-                    config=self.config,
-                    trace=trace,
-                    cache_dir=self.cache_dir,
-                    out_dir=self.out_dir,
-                )
-            )
-        return self._execute(tasks, progress)
-
-    def _execute(
-        self,
-        tasks: list[worker.TraceTask],
-        progress: Optional[ProgressCallback],
-    ) -> BatchReport:
-        seen: set[str] = set()
-        for task in tasks:
-            if task.date in seen:
-                raise ValueError(f"duplicate trace name {task.date!r}")
-            seen.add(task.date)
-
-        pending: list[worker.TraceTask] = []
-        reports: list[TraceReport] = []
-        if self.resume:
-            for task in tasks:
-                existing = worker.csv_path_for(self.out_dir, task.date)
-                if existing.is_file():
-                    text = existing.read_text()
-                    reports.append(
-                        TraceReport(
-                            date=task.date,
-                            status="skipped",
-                            csv_path=str(existing),
-                            csv_sha256=hashlib.sha256(
-                                text.encode()
-                            ).hexdigest(),
-                        )
-                    )
-                else:
-                    pending.append(task)
-        else:
-            pending = tasks
-
-        reports.extend(
-            parallel_map(
-                worker.run_task,
-                pending,
-                workers=self.workers,
-                progress=progress,
-            )
-        )
-        reports.sort(key=lambda r: r.date)
-        return BatchReport(reports=reports)
+        """Label arbitrary traces (shipped over the session transport)."""
+        return self.session.label_traces(traces, progress=progress)

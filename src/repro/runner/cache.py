@@ -9,6 +9,14 @@ Step 1 entirely.
 Entries are pickle files written atomically (temp file + ``os.replace``)
 so concurrent pool workers never observe a torn entry; a corrupt or
 unreadable entry is treated as a miss and evicted.
+
+Cache keys are **engine-agnostic**: the columnar and reference kernels
+are asserted byte-identical by the engine parity suite, so an alarm set
+computed under one engine is valid under the other and the key hashes
+only ``(archive, trace, ensemble)``.  Keys written before the engine
+layer additionally hashed the engine name; :meth:`AlarmCache.get`
+accepts those as ``legacy`` keys and migrates a hit to its new key
+once, so old caches keep paying off after an upgrade.
 """
 
 from __future__ import annotations
@@ -18,9 +26,8 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.backends import resolve_backend
 from repro.detectors.base import Alarm
 
 
@@ -38,43 +45,76 @@ class AlarmCache:
         archive_fingerprint: str,
         trace_name: str,
         ensemble_fingerprint: str,
-        backend: str = "auto",
     ) -> str:
-        """Filesystem-safe key for one (archive, trace, ensemble, backend).
+        """Filesystem-safe key for one (archive, trace, ensemble).
 
-        The engine backend is part of the key: the columnar and
-        reference paths emit identical alarms by construction, but
-        keeping their entries separate means a parity bug can never be
-        masked by — or poison — a cache hit from the other backend.
-        ``"auto"`` normalizes to ``"numpy"`` so the spelling of the
-        default does not fragment the cache.
+        Deliberately independent of the execution engine: engines emit
+        identical alarms (enforced by the parity suite), so an entry
+        written under one engine must hit under any other.
         """
-        backend = resolve_backend(backend, what="cache-key")
         digest = hashlib.sha256(
             f"{archive_fingerprint}:{trace_name}:{ensemble_fingerprint}"
-            f":{backend}".encode()
+            .encode()
         ).hexdigest()[:24]
         return f"alarms-{digest}"
+
+    @staticmethod
+    def legacy_keys(
+        archive_fingerprint: str,
+        trace_name: str,
+        ensemble_fingerprint: str,
+    ) -> list[str]:
+        """Pre-engine-layer keys for the same entry.
+
+        Early versions suffixed the resolved engine name into the
+        digest; both historical spellings are candidates for the
+        one-time migration in :meth:`get`.
+        """
+        return [
+            "alarms-"
+            + hashlib.sha256(
+                f"{archive_fingerprint}:{trace_name}:{ensemble_fingerprint}"
+                f":{name}".encode()
+            ).hexdigest()[:24]
+            for name in ("numpy", "python")
+        ]
 
     def path_for(self, key: str) -> Path:
         return self.cache_dir / f"{key}.pkl"
 
-    def get(self, key: str) -> Optional[list[Alarm]]:
-        """Cached alarms for ``key``, or ``None`` on a miss."""
+    def get(
+        self, key: str, legacy: Sequence[str] = ()
+    ) -> Optional[list[Alarm]]:
+        """Cached alarms for ``key``, or ``None`` on a miss.
+
+        ``legacy`` lists older keys that denote the same entry (see
+        :meth:`legacy_keys`); a hit on one is re-written under ``key``
+        so the migration happens exactly once per entry.
+        """
+        alarms = self._read(key)
+        if alarms is not None:
+            self.hits += 1
+            return alarms
+        for old_key in legacy:
+            alarms = self._read(old_key)
+            if alarms is not None:
+                self.put(key, alarms)
+                self.hits += 1
+                return alarms
+        self.misses += 1
+        return None
+
+    def _read(self, key: str) -> Optional[list[Alarm]]:
         path = self.path_for(key)
         try:
             with path.open("rb") as handle:
-                alarms = pickle.load(handle)
+                return pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             # Torn/corrupt entry (e.g. from a killed worker): evict.
             path.unlink(missing_ok=True)
-            self.misses += 1
             return None
-        self.hits += 1
-        return alarms
 
     def put(self, key: str, alarms: list[Alarm]) -> None:
         """Store ``alarms`` under ``key`` atomically."""

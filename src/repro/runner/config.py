@@ -60,9 +60,11 @@ class PipelineConfig:
     seed: int = 0
     detectors: Optional[tuple[str, ...]] = None
     tunings: Optional[tuple[str, ...]] = None
-    #: Engine backend ("auto" / "numpy" / "python"); part of the alarm
-    #: cache key so reference and columnar runs never share entries.
-    backend: str = "auto"
+    #: Execution-engine name ("auto" / "numpy" / "python"), kept as a
+    #: string so the frozen config pickles into pool workers without
+    #: dragging kernel tables along; resolved on build.  Engines emit
+    #: byte-identical output, so it is *not* part of alarm-cache keys.
+    engine: str = "auto"
 
     def build_pipeline(self):
         """Materialize the pipeline this config describes."""
@@ -75,7 +77,7 @@ class PipelineConfig:
             ensemble = default_ensemble(
                 detectors=self.detectors,
                 tunings=self.tunings,
-                backend=self.backend,
+                engine=self.engine,
             )
         return MAWILabPipeline(
             ensemble=ensemble,
@@ -85,12 +87,12 @@ class PipelineConfig:
             edge_threshold=self.edge_threshold,
             rule_support_pct=self.rule_support_pct,
             seed=self.seed,
-            backend=self.backend,
+            engine=self.engine,
         )
 
     def describe(self) -> str:
         return (
             f"{self.strategy}/{self.granularity}/{self.measure}"
             f" thr={self.edge_threshold} support={self.rule_support_pct}%"
-            f" backend={self.backend}"
+            f" engine={self.engine}"
         )

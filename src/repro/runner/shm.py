@@ -1,0 +1,175 @@
+"""Zero-copy packet-table transport over ``multiprocessing.shared_memory``.
+
+The pickle transport serializes every :class:`~repro.net.table.PacketTable`
+column into the pool's task pipe and deserializes it in the worker —
+two full copies plus pickle framing, per task.  This module replaces
+that with one named shared-memory segment per table:
+
+* the parent **exports** the table once (:func:`export_table`): columns
+  are packed back-to-back into one segment, and a tiny picklable
+  :class:`SharedTableHandle` (segment name + per-column layout) rides
+  the task pipe instead of the data;
+* the worker **attaches** (:meth:`SharedTableHandle.attach`): each
+  column becomes a NumPy view directly over the mapped segment — no
+  copy, no deserialization — wrapped in an immutable
+  :class:`~repro.net.table.PacketTable`;
+* the parent **unlinks** the segment after the shard's report arrives
+  (:meth:`SharedTableHandle.unlink`), returning the memory to the OS.
+
+Archive labeling therefore scales with cores, not with pickle
+bandwidth; ``repro bench`` measures both transports side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.net.table import COLUMN_DTYPES, COLUMNS, PacketTable
+
+
+def _unregister_attached(name: str) -> None:
+    """Opt an attached (not owned) segment out of resource tracking.
+
+    Before Python 3.13 (``track=False``), merely attaching registers
+    the segment with the process's resource tracker, which then
+    "cleans up" — unlinks — segments the parent still owns when the
+    worker exits, and warns about leaks it never owned.  Attach-side
+    unregistration is the documented workaround.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing.resource_tracker import unregister
+
+        unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+class AttachedTable:
+    """A :class:`PacketTable` view over a mapped shared segment.
+
+    Keeps the segment mapped for as long as the table is in use; call
+    :meth:`close` (or use as a context manager) after dropping every
+    reference to the table and arrays derived from its columns.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, table: PacketTable) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.table: Optional[PacketTable] = table
+
+    def __enter__(self) -> PacketTable:
+        assert self.table is not None
+        return self.table
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the table and unmap the segment (idempotent).
+
+        A still-referenced column view makes the unmap raise
+        ``BufferError``; the mapping then simply lives until process
+        exit, which is safe — only :meth:`SharedTableHandle.unlink`
+        frees the backing memory, and that stays the parent's job.
+        """
+        self.table = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+            self._shm = None
+
+
+@dataclass(frozen=True)
+class SharedTableHandle:
+    """Picklable description of one exported table segment."""
+
+    name: str
+    n_rows: int
+
+    def attach(self) -> AttachedTable:
+        """Map the segment and view it as a :class:`PacketTable`."""
+        shm = shared_memory.SharedMemory(name=self.name)
+        _unregister_attached(self.name)
+        columns = {}
+        offset = 0
+        for column, dtype in COLUMN_DTYPES.items():
+            columns[column] = np.ndarray(
+                (self.n_rows,), dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            offset += _column_bytes(self.n_rows, dtype)
+        return AttachedTable(shm, PacketTable(**columns))
+
+    def unlink(self) -> None:
+        """Free the backing segment (owner-side, after workers finish)."""
+        try:
+            segment = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            return
+        segment.unlink()
+        segment.close()
+
+
+def _column_bytes(n_rows: int, dtype: np.dtype) -> int:
+    """Segment bytes reserved per column, 8-byte aligned."""
+    return -(-n_rows * dtype.itemsize // 8) * 8
+
+
+def segment_bytes(n_rows: int) -> int:
+    """Total segment size for an ``n_rows`` table (≥ 1 byte)."""
+    return max(
+        sum(_column_bytes(n_rows, dtype) for dtype in COLUMN_DTYPES.values()),
+        1,
+    )
+
+
+def transport_probe_shm(handle: SharedTableHandle) -> int:
+    """Pool worker for the transport microbench: attach + touch.
+
+    Returns the table's total byte count, forcing a real read of the
+    mapped columns; the work is deliberately trivial so the measured
+    time is the transport, not the compute.
+    """
+    attached = handle.attach()
+    try:
+        return int(attached.table.size.sum())
+    finally:
+        attached.close()
+
+
+def transport_probe_pickle(table: PacketTable) -> int:
+    """Pickle-transport twin of :func:`transport_probe_shm`."""
+    return int(table.size.sum())
+
+
+def export_table(table: PacketTable) -> SharedTableHandle:
+    """Copy ``table`` into a fresh shared segment; return its handle.
+
+    The caller owns the segment and must eventually call
+    :meth:`SharedTableHandle.unlink` (normally after every worker
+    labeled against it) — segments outlive the creating process
+    otherwise.
+    """
+    n_rows = len(table)
+    shm = shared_memory.SharedMemory(create=True, size=segment_bytes(n_rows))
+    try:
+        offset = 0
+        for column in COLUMNS:
+            dtype = COLUMN_DTYPES[column]
+            view = np.ndarray(
+                (n_rows,), dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            view[:] = getattr(table, column)
+            offset += _column_bytes(n_rows, dtype)
+        handle = SharedTableHandle(name=shm.name, n_rows=n_rows)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    del view
+    shm.close()
+    return handle

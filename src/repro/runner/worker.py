@@ -4,6 +4,16 @@
 reference into pool workers) and must never raise: every failure is
 folded into a ``status="failed"`` :class:`TraceReport` so one bad
 shard cannot take down a batch.
+
+A task's packets reach the worker over one of three transports:
+
+* **regenerate** — the worker rebuilds the archive day from
+  ``(archive_seed, trace_duration, date)``; nothing but a date string
+  crosses the process boundary;
+* **pickle** — an embedded :class:`~repro.net.trace.Trace` rides the
+  task pipe (two copies + pickle framing);
+* **shm** — a :class:`~repro.runner.shm.SharedTableHandle` names a
+  shared-memory segment the worker attaches zero-copy.
 """
 
 from __future__ import annotations
@@ -16,19 +26,21 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
-from repro.net.trace import Trace
+from repro.net.trace import Trace, TraceMetadata
 from repro.runner.config import PipelineConfig
 from repro.runner.report import TraceReport
+from repro.runner.shm import SharedTableHandle
 
 
 @dataclass(frozen=True)
 class TraceTask:
-    """One shard: label one trace (generated or embedded).
+    """One shard: label one trace (generated, embedded, or shared).
 
-    When ``trace`` is ``None`` the worker regenerates the archive day
-    from ``(archive_seed, trace_duration, date)`` — pickling a date
-    string is far cheaper than pickling a packet trace.  An embedded
-    ``trace`` supports labeling arbitrary traces (e.g. loaded pcaps).
+    When both ``trace`` and ``shm`` are ``None`` the worker regenerates
+    the archive day from ``(archive_seed, trace_duration, date)`` —
+    pickling a date string is far cheaper than pickling a packet trace.
+    An embedded ``trace`` or a shared-memory ``shm`` handle supports
+    labeling arbitrary traces (e.g. loaded pcaps).
     """
 
     date: str
@@ -36,6 +48,13 @@ class TraceTask:
     archive_seed: int = 2010
     trace_duration: float = 60.0
     trace: Optional[Trace] = None
+    shm: Optional[SharedTableHandle] = None
+    metadata: Optional[TraceMetadata] = None
+    #: Trace-source fingerprint for alarm-cache keys.  Callers that
+    #: know the provenance (e.g. an archive day shipped over shm) pass
+    #: it so the cache key is transport-independent; ``None`` falls
+    #: back to a content digest of the packets.
+    fingerprint: Optional[str] = None
     cache_dir: Optional[str] = None
     out_dir: Optional[str] = None
 
@@ -94,19 +113,36 @@ def run_task(task: TraceTask) -> TraceReport:
 
 
 def _run_task_inner(task: TraceTask) -> TraceReport:
-    from repro.labeling.mawilab import labels_to_csv
-    from repro.mawi.archive import SyntheticArchive
-    from repro.runner.cache import AlarmCache
-
+    if task.shm is not None:
+        attached = task.shm.attach()
+        try:
+            trace = Trace.from_table(attached.table, task.metadata)
+            return _label_trace(task, trace, fingerprint=task.fingerprint)
+        finally:
+            attached.close()
     if task.trace is not None:
-        trace = task.trace
-        trace_fingerprint = fingerprint_trace(trace)
-    else:
-        archive = SyntheticArchive(
-            seed=task.archive_seed, trace_duration=task.trace_duration
-        )
-        trace = archive.day(task.date).trace
-        trace_fingerprint = archive.fingerprint()
+        return _label_trace(task, task.trace, fingerprint=task.fingerprint)
+    from repro.mawi.archive import SyntheticArchive
+
+    archive = SyntheticArchive(
+        seed=task.archive_seed, trace_duration=task.trace_duration
+    )
+    trace = archive.day(task.date).trace
+    return _label_trace(task, trace, fingerprint=archive.fingerprint())
+
+
+def _label_trace(
+    task: TraceTask, trace: Trace, fingerprint: Optional[str]
+) -> TraceReport:
+    """Shared Step 1-4 body behind every transport.
+
+    ``fingerprint`` identifies the trace source for the alarm cache;
+    ``None`` means content-derived (embedded/shared traces), computed
+    only when a cache is actually configured — it costs a full packet
+    scan.
+    """
+    from repro.labeling.mawilab import labels_to_csv
+    from repro.runner.cache import AlarmCache
 
     pipeline = task.config.build_pipeline()
 
@@ -114,13 +150,15 @@ def _run_task_inner(task: TraceTask) -> TraceReport:
     alarms = None
     key = ""
     if cache is not None:
-        key = AlarmCache.make_key(
-            trace_fingerprint,
+        if fingerprint is None:
+            fingerprint = fingerprint_trace(trace)
+        key_parts = (
+            fingerprint,
             task.date,
             pipeline.ensemble_fingerprint(),
-            backend=task.config.backend,
         )
-        alarms = cache.get(key)
+        key = AlarmCache.make_key(*key_parts)
+        alarms = cache.get(key, legacy=AlarmCache.legacy_keys(*key_parts))
     cache_hit = alarms is not None
     if alarms is None:
         alarms = pipeline.detect(trace)

@@ -1,0 +1,313 @@
+"""The single labeling orchestrator: one configuration, three run modes.
+
+Before this module, the repository had three separate pipeline entry
+points — ``MAWILabPipeline.run`` for one closed trace,
+``BatchRunner`` for archive fan-out, and ``StreamingPipeline`` for
+sliding-window labeling — each wiring Step 1-4 on its own.
+:class:`LabelingSession` unifies them: one session owns one
+:class:`~repro.runner.config.PipelineConfig` (and therefore one
+execution engine, one strategy, one granularity, one similarity
+measure) and exposes every workload as a *run mode* of that single
+configuration:
+
+``label_trace``
+    The offline 4-step method on one trace (Step 1-4, annotations
+    welcome).
+``label_archive``
+    Archive days sharded across a process pool; workers regenerate
+    each day locally, Step 1 alarms go through the shared
+    :class:`~repro.runner.cache.AlarmCache`.
+``label_traces``
+    Arbitrary traces fanned out across the pool, shipped over the
+    zero-copy shared-memory transport
+    (:mod:`repro.runner.shm`) by default, or pickled on request.
+``label_stream``
+    The same configuration run online over a sliding window, with
+    cross-window alarm dedup and label merging.
+
+All modes share label export (:meth:`export`), and a full-coverage
+stream or a one-day archive run reproduces ``label_trace`` output
+byte-for-byte — the parity anchors the test suite pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace as _dc_replace
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.engine import Engine, EngineSpec, resolve_engine
+from repro.net.table import PacketTable
+from repro.net.trace import Trace, TraceMetadata
+from repro.runner import worker
+from repro.runner.config import PipelineConfig, _strategy_for
+from repro.runner.pool import ProgressCallback, parallel_map
+from repro.runner.report import BatchReport, TraceReport
+from repro.runner.shm import export_table
+
+#: Accepted trace transports for pooled modes.  ``"auto"`` picks the
+#: shared-memory transport whenever tasks actually cross a process
+#: boundary (``workers > 1``) and in-process pickling-free hand-off
+#: otherwise.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+
+class LabelingSession:
+    """One labeling configuration, runnable in every mode.
+
+    Parameters
+    ----------
+    config:
+        The pipeline description shared by all modes; defaults to the
+        paper's configuration.
+    engine:
+        Optional engine override (any
+        :func:`repro.engine.resolve_engine` spec); replaces
+        ``config.engine``.
+    workers:
+        Process-pool size for the pooled modes; ``<= 1`` labels
+        serially in-process.
+    cache_dir:
+        Optional directory for the Step 1 alarm cache shared by all
+        workers (and by later runs with other combiners).  Keys are
+        engine-agnostic — see :class:`~repro.runner.cache.AlarmCache`.
+    out_dir:
+        Optional directory receiving one ``labels-<date>.csv`` per
+        trace in pooled modes; required for ``resume``.
+    resume:
+        Skip dates whose label CSV already exists in ``out_dir``.
+    transport:
+        How pooled traces reach workers: ``"shm"`` (zero-copy shared
+        memory), ``"pickle"``, or ``"auto"``.  Archive days always use
+        the cheaper regenerate-in-worker path.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        *,
+        engine: EngineSpec = None,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        out_dir: Optional[str] = None,
+        resume: bool = False,
+        transport: str = "auto",
+    ) -> None:
+        if resume and not out_dir:
+            raise ValueError("resume=True requires an out_dir")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; known: {list(TRANSPORTS)}"
+            )
+        config = config or PipelineConfig()
+        if engine is not None:
+            name = engine.name if isinstance(engine, Engine) else engine
+            config = _dc_replace(config, engine=name)
+        self.config = config
+        #: The resolved execution engine every mode runs on.
+        self.engine = resolve_engine(config.engine, what="session")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.out_dir = out_dir
+        self.resume = resume
+        self.transport = transport
+        self._pipeline = None
+        if out_dir:
+            Path(out_dir).mkdir(parents=True, exist_ok=True)
+
+    # -- shared wiring -------------------------------------------------
+
+    @property
+    def pipeline(self):
+        """The in-process :class:`~repro.labeling.mawilab.MAWILabPipeline`.
+
+        Built once from :attr:`config` and reused across
+        :meth:`label_trace` calls; pooled modes rebuild the identical
+        pipeline inside each worker from the same config.
+        """
+        if self._pipeline is None:
+            self._pipeline = self.config.build_pipeline()
+        return self._pipeline
+
+    def streaming_pipeline(
+        self, window: float, hop: Optional[float] = None
+    ):
+        """A streaming twin of :attr:`pipeline` (same Step 1-4 wiring)."""
+        from repro.net.flow import Granularity
+        from repro.stream import StreamingPipeline
+
+        return StreamingPipeline(
+            window=window,
+            hop=hop,
+            granularity=Granularity(self.config.granularity),
+            strategy=_strategy_for(self.config.strategy),
+            measure=self.config.measure,
+            edge_threshold=self.config.edge_threshold,
+            rule_support_pct=self.config.rule_support_pct,
+            seed=self.config.seed,
+            engine=self.engine,
+        )
+
+    # -- run modes -----------------------------------------------------
+
+    def label_trace(self, trace: Trace, annotations: Sequence = ()):
+        """Offline mode: the 4-step method on one closed trace."""
+        return self.pipeline.run(trace, annotations=annotations)
+
+    def label_archive(
+        self,
+        archive,
+        dates: Sequence[str],
+        progress: Optional[ProgressCallback] = None,
+    ) -> BatchReport:
+        """Archive mode: pool workers regenerate and label each day."""
+        tasks = [
+            worker.TraceTask(
+                date=date,
+                config=self.config,
+                archive_seed=archive.seed,
+                trace_duration=archive.trace_duration,
+                cache_dir=self.cache_dir,
+                out_dir=self.out_dir,
+            )
+            for date in dates
+        ]
+        return self._execute(tasks, progress)
+
+    def label_traces(
+        self,
+        traces: Iterable[Trace],
+        progress: Optional[ProgressCallback] = None,
+        fingerprints: Optional[Sequence[Optional[str]]] = None,
+    ) -> BatchReport:
+        """Batch mode: arbitrary traces fanned out across the pool.
+
+        Each trace is keyed by its metadata name (falling back to the
+        date field), which names its output CSV and resume marker.
+        With the shared-memory transport (the default whenever
+        ``workers > 1``), each trace's packet table is exported to one
+        segment workers attach zero-copy; a segment is freed as soon as
+        its shard's report arrives, so peak shared memory is bounded by
+        the shards in flight, not the corpus.
+
+        ``fingerprints`` optionally names each trace's provenance for
+        the alarm cache (index-aligned; ``None`` entries fall back to a
+        content digest) — pass the archive fingerprint when shipping
+        pregenerated archive days so cache keys stay
+        transport-independent.
+        """
+        traces = list(traces)
+        if fingerprints is None:
+            fingerprints = [None] * len(traces)
+        elif len(fingerprints) != len(traces):
+            raise ValueError("fingerprints must align with traces")
+        transport = self.transport
+        if transport == "auto":
+            transport = "shm" if self.workers > 1 else "pickle"
+        handle_of: dict[str, object] = {}
+        tasks = []
+        try:
+            for trace, fingerprint in zip(traces, fingerprints):
+                name = trace.metadata.name or trace.metadata.date
+                common = dict(
+                    date=name,
+                    config=self.config,
+                    cache_dir=self.cache_dir,
+                    out_dir=self.out_dir,
+                    metadata=trace.metadata,
+                    fingerprint=fingerprint,
+                )
+                if transport == "shm":
+                    if name in handle_of:
+                        raise ValueError(f"duplicate trace name {name!r}")
+                    handle = export_table(trace.table)
+                    handle_of[name] = handle
+                    tasks.append(worker.TraceTask(shm=handle, **common))
+                else:
+                    tasks.append(worker.TraceTask(trace=trace, **common))
+
+            def tracked_progress(done: int, total: int, report) -> None:
+                # Free the shard's segment the moment its report lands.
+                handle = handle_of.pop(getattr(report, "date", None), None)
+                if handle is not None:
+                    handle.unlink()
+                if progress is not None:
+                    progress(done, total, report)
+
+            return self._execute(tasks, tracked_progress)
+        finally:
+            for handle in handle_of.values():
+                handle.unlink()
+
+    def label_stream(
+        self,
+        chunks: Iterable[PacketTable],
+        *,
+        window: float,
+        hop: Optional[float] = None,
+        metadata: Optional[TraceMetadata] = None,
+    ):
+        """Streaming mode: sliding-window labeling of a packet stream."""
+        return self.streaming_pipeline(window, hop).run(
+            chunks, metadata=metadata
+        )
+
+    # -- label export ---------------------------------------------------
+
+    @staticmethod
+    def export(labels, fmt: str = "csv", trace_name: str = "trace") -> str:
+        """Render labels in the public database format (csv / xml)."""
+        from repro.labeling.mawilab import labels_to_csv, labels_to_xml
+
+        if fmt == "csv":
+            return labels_to_csv(labels)
+        if fmt == "xml":
+            return labels_to_xml(labels, trace_name=trace_name)
+        raise ValueError(f"unknown label format {fmt!r}; known: csv, xml")
+
+    # -- pooled execution ----------------------------------------------
+
+    def _execute(
+        self,
+        tasks: list[worker.TraceTask],
+        progress: Optional[ProgressCallback],
+    ) -> BatchReport:
+        seen: set[str] = set()
+        for task in tasks:
+            if task.date in seen:
+                raise ValueError(f"duplicate trace name {task.date!r}")
+            seen.add(task.date)
+
+        pending: list[worker.TraceTask] = []
+        reports: list[TraceReport] = []
+        if self.resume:
+            for task in tasks:
+                existing = worker.csv_path_for(self.out_dir, task.date)
+                if existing.is_file():
+                    text = existing.read_text()
+                    reports.append(
+                        TraceReport(
+                            date=task.date,
+                            status="skipped",
+                            csv_path=str(existing),
+                            csv_sha256=hashlib.sha256(
+                                text.encode()
+                            ).hexdigest(),
+                        )
+                    )
+                else:
+                    pending.append(task)
+        else:
+            pending = tasks
+
+        reports.extend(
+            parallel_map(
+                worker.run_task,
+                pending,
+                workers=self.workers,
+                progress=progress,
+            )
+        )
+        reports.sort(key=lambda r: r.date)
+        return BatchReport(reports=reports)

@@ -15,7 +15,7 @@ in bounded memory, emitting results per sliding window:
   end-of-stream outputs, with throughput and latency accounting.
 
 Parity guarantee: a window covering the whole stream reproduces the
-offline label CSV byte-for-byte, on both engine backends.
+offline label CSV byte-for-byte, on every engine.
 """
 
 from repro.stream.pipeline import (

@@ -26,7 +26,7 @@ Parity anchor: when one window covers the whole trace, every stage
 degenerates to its offline twin (empty detector state, cold Louvain
 start, single-window label merge), and :meth:`StreamResult.to_csv` is
 byte-identical to ``labels_to_csv(MAWILabPipeline.run(trace).labels)``
-on both backends.
+on every engine.
 """
 
 from __future__ import annotations
@@ -44,6 +44,7 @@ from repro.core.extractor import TrafficExtractor
 from repro.core.louvain import louvain
 from repro.detectors.base import Alarm, Detector
 from repro.detectors.streaming import StreamingDetector, wrap_ensemble
+from repro.engine import EngineSpec, resolve_engine
 from repro.errors import StreamError
 from repro.labeling.mawilab import LabelRecord, MAWILabPipeline, labels_to_csv
 from repro.net.flow import Granularity
@@ -180,8 +181,9 @@ class StreamingPipeline:
         Traffic granularity of the association step.  Packet
         granularity is rejected: packet indices are not stable across
         window advances (flows are).
-    backend:
-        "auto" / "numpy" / "python", as everywhere.
+    engine:
+        Execution-engine spec, as everywhere (see
+        :func:`repro.engine.resolve_engine`).
 
     Remaining parameters mirror
     :class:`~repro.labeling.mawilab.MAWILabPipeline` exactly, which is
@@ -199,7 +201,7 @@ class StreamingPipeline:
         edge_threshold: float = 0.1,
         rule_support_pct: float = 20.0,
         seed: int = 0,
-        backend: str = "auto",
+        engine: EngineSpec = "auto",
     ) -> None:
         if window <= 0:
             raise StreamError(f"window must be positive, got {window}")
@@ -217,7 +219,7 @@ class StreamingPipeline:
         self.hop = float(hop)
         self.granularity = granularity
         self.seed = seed
-        self.backend = backend
+        self.engine = resolve_engine(engine, what="stream")
         self.pipeline = MAWILabPipeline(
             ensemble=ensemble,
             granularity=granularity,
@@ -226,7 +228,7 @@ class StreamingPipeline:
             edge_threshold=edge_threshold,
             rule_support_pct=rule_support_pct,
             seed=seed,
-            backend=backend,
+            engine=self.engine,
         )
         self.detectors: list[StreamingDetector] = wrap_ensemble(
             self.pipeline.ensemble
@@ -357,7 +359,7 @@ class StreamingPipeline:
                         continue
                     fresh.append((key, alarm))
             extractor = TrafficExtractor(
-                trace, self.granularity, backend=self.backend
+                trace, self.granularity, engine=self.engine
             )
             # Step 2, incremental: deltas into the live graph.
             traffic_sets = extractor.extract_all(

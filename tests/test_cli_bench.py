@@ -1,4 +1,4 @@
-"""Tests for the `bench` subcommand and the CLI --backend option."""
+"""Tests for the `bench` subcommand and the CLI --engine option."""
 
 import json
 
@@ -7,9 +7,22 @@ from repro.cli import build_parser, main
 
 class TestBenchCommand:
     def test_prints_stage_json(self, capsys):
-        assert main(["bench", "--duration", "5", "--seed", "7"]) == 0
+        assert (
+            main(
+                [
+                    "bench",
+                    "--duration",
+                    "5",
+                    "--seed",
+                    "7",
+                    "--fanout-workers",
+                    "0",
+                ]
+            )
+            == 0
+        )
         payload = json.loads(capsys.readouterr().out)
-        assert payload["backend"] == "auto"
+        assert payload["engine"] == "auto"
         assert set(payload["stages"]) == {
             "detect",
             "extract",
@@ -20,11 +33,26 @@ class TestBenchCommand:
         assert all(v >= 0 for v in payload["stages"].values())
         assert payload["total"] >= max(payload["stages"].values())
         assert payload["n_packets"] > 0
+        # Fan-out leg explicitly skipped.
+        assert "fanout" not in payload
 
     def test_records_streaming_throughput(self, capsys):
         """The bench artifact carries the streaming leg's metrics, so
         CI artifacts stay comparable across PRs."""
-        assert main(["bench", "--duration", "6", "--seed", "7"]) == 0
+        assert (
+            main(
+                [
+                    "bench",
+                    "--duration",
+                    "6",
+                    "--seed",
+                    "7",
+                    "--fanout-workers",
+                    "0",
+                ]
+            )
+            == 0
+        )
         payload = json.loads(capsys.readouterr().out)
         streaming = payload["streaming"]
         assert streaming["window"] == 2.0  # duration / 3 default
@@ -48,6 +76,8 @@ class TestBenchCommand:
                     "3",
                     "--stream-chunk",
                     "512",
+                    "--fanout-workers",
+                    "0",
                 ]
             )
             == 0
@@ -57,6 +87,38 @@ class TestBenchCommand:
         assert streaming["hop"] == 3.0
         assert streaming["chunk_packets"] == 512
 
+    def test_records_fanout_transport_comparison(self, capsys):
+        """The fan-out leg reports packets/sec for both pool
+        transports (zero-copy shared memory vs pickle)."""
+        assert (
+            main(
+                [
+                    "bench",
+                    "--duration",
+                    "4",
+                    "--seed",
+                    "7",
+                    "--fanout-workers",
+                    "2",
+                    "--fanout-traces",
+                    "2",
+                    "--fanout-packets",
+                    "50000",
+                ]
+            )
+            == 0
+        )
+        fanout = json.loads(capsys.readouterr().out)["fanout"]
+        assert fanout["workers"] == 2
+        assert fanout["n_traces"] == 2
+        assert fanout["total_packets"] > 0
+        for leg in ("labeling", "transport"):
+            for transport in ("pickle", "shm"):
+                assert fanout[leg][transport]["seconds"] > 0
+                assert fanout[leg][transport]["packets_per_sec"] > 0
+        assert fanout["transport"]["shipments"] == 2
+        assert fanout["shm_speedup"] > 0
+
     def test_writes_json_file(self, tmp_path):
         out = tmp_path / "bench.json"
         assert (
@@ -65,8 +127,10 @@ class TestBenchCommand:
                     "bench",
                     "--duration",
                     "5",
-                    "--backend",
+                    "--engine",
                     "python",
+                    "--fanout-workers",
+                    "0",
                     "--out",
                     str(out),
                 ]
@@ -74,36 +138,47 @@ class TestBenchCommand:
             == 0
         )
         payload = json.loads(out.read_text())
-        assert payload["backend"] == "python"
+        assert payload["engine"] == "python"
 
-    def test_backend_choices_validated(self):
+    def test_engine_choices_validated(self):
         parser = build_parser()
-        args = parser.parse_args(["bench", "--backend", "numpy"])
-        assert args.backend == "numpy"
+        args = parser.parse_args(["bench", "--engine", "numpy"])
+        assert args.engine == "numpy"
 
 
-class TestBackendOption:
-    def test_label_accepts_backend(self):
+class TestEngineOption:
+    def test_label_accepts_engine(self):
+        parser = build_parser()
+        args = parser.parse_args(["label", "x.pcap", "--engine", "python"])
+        assert args.engine == "python"
+
+    def test_backend_alias_still_parses(self):
+        """The pre-engine-layer spelling resolves to the same option."""
         parser = build_parser()
         args = parser.parse_args(["label", "x.pcap", "--backend", "python"])
-        assert args.backend == "python"
+        assert args.engine == "python"
+        args = parser.parse_args(["bench", "--backend", "numpy"])
+        assert args.engine == "numpy"
 
-    def test_label_archive_backend_reaches_config(self):
+    def test_label_archive_engine_reaches_config(self):
         from repro.cli import _pipeline_config
 
         parser = build_parser()
         args = parser.parse_args(
-            ["label-archive", "--out-dir", "o", "--backend", "python"]
+            ["label-archive", "--out-dir", "o", "--engine", "python"]
         )
-        assert _pipeline_config(args).backend == "python"
+        assert _pipeline_config(args).engine == "python"
 
 
-class TestCacheKeyBackend:
-    def test_backend_in_cache_key(self):
-        from repro.runner.cache import AlarmCache
+class TestEnginesCommand:
+    def test_lists_engines_and_kernels(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy (vectorized)" in out
+        assert "python (reference)" in out
+        assert "auto selects this engine" in out
+        # Every canonical kernel family is listed for both engines.
+        from repro.engine import KERNEL_OPS
 
-        base = AlarmCache.make_key("a", "d", "e", backend="numpy")
-        assert AlarmCache.make_key("a", "d", "e", backend="python") != base
-        # "auto" normalizes to numpy, so defaults share entries.
-        assert AlarmCache.make_key("a", "d", "e", backend="auto") == base
-        assert AlarmCache.make_key("a", "d", "e") == base
+        for op in KERNEL_OPS:
+            assert out.count(op) >= 2

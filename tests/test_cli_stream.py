@@ -2,7 +2,7 @@
 
 The acceptance anchor lives here: `repro stream` with a window
 covering the whole trace writes a byte-identical label CSV to
-`repro label` on the same pcap, for both engine backends.
+`repro label` on the same pcap, for both execution engines.
 """
 
 import pytest
@@ -33,15 +33,15 @@ def day_pcap(tmp_path_factory):
 
 
 class TestStreamCommand:
-    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
     def test_full_window_byte_matches_label(
-        self, day_pcap, tmp_path, backend
+        self, day_pcap, tmp_path, engine
     ):
-        ref = tmp_path / f"ref-{backend}.csv"
-        got = tmp_path / f"stream-{backend}.csv"
+        ref = tmp_path / f"ref-{engine}.csv"
+        got = tmp_path / f"stream-{engine}.csv"
         assert (
             main(
-                ["label", day_pcap, "--backend", backend, "--out", str(ref)]
+                ["label", day_pcap, "--engine", engine, "--out", str(ref)]
             )
             == 0
         )
@@ -52,8 +52,8 @@ class TestStreamCommand:
                     day_pcap,
                     "--window",
                     "1000000",
-                    "--backend",
-                    backend,
+                    "--engine",
+                    engine,
                     "--out",
                     str(got),
                 ]
@@ -117,4 +117,4 @@ class TestStreamCommand:
         assert args.window == 60.0
         assert args.hop is None
         assert args.chunk == 8192
-        assert args.backend == "auto"
+        assert args.engine == "auto"

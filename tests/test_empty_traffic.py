@@ -47,31 +47,31 @@ def matching_alarm(t0=0.0, t1=9.5):
     )
 
 
-@pytest.mark.parametrize("backend", ["numpy", "python"])
+@pytest.mark.parametrize("engine", ["numpy", "python"])
 @pytest.mark.parametrize("granularity", list(Granularity))
-def test_empty_extraction_both_backends(trace, backend, granularity):
+def test_empty_extraction_both_engines(trace, engine, granularity):
     from repro.core.extractor import TrafficExtractor
 
-    extractor = TrafficExtractor(trace, granularity, backend=backend)
+    extractor = TrafficExtractor(trace, granularity, engine=engine)
     assert extractor.extract(empty_alarm()) == frozenset()
     assert extractor.packets_of(frozenset()) == []
 
 
-@pytest.mark.parametrize("graph_backend", ["numpy", "python"])
-def test_empty_set_is_isolated_node_not_simpson_crash(graph_backend):
+@pytest.mark.parametrize("graph_engine", ["numpy", "python"])
+def test_empty_set_is_isolated_node_not_simpson_crash(graph_engine):
     # One empty set among overlapping ones: the Simpson denominator
     # min(|E1|, |E2|) would be 0 for any pair involving it.
     traffic_sets = [frozenset({1, 2}), frozenset(), frozenset({2, 3})]
     graph = build_similarity_graph(
-        traffic_sets, measure="simpson", backend=graph_backend
+        traffic_sets, measure="simpson", engine=graph_engine
     )
     assert graph.isolated_nodes() == [1]
     assert graph.neighbors(0) == {2: 0.5}
 
 
-@pytest.mark.parametrize("backend", ["numpy", "python"])
-def test_pipeline_survives_empty_traffic_alarm(trace, backend):
-    pipeline = MAWILabPipeline(backend=backend)
+@pytest.mark.parametrize("engine", ["numpy", "python"])
+def test_pipeline_survives_empty_traffic_alarm(trace, engine):
+    pipeline = MAWILabPipeline(engine=engine)
     alarms = [matching_alarm(), empty_alarm()]
     result = pipeline.run_with_alarms(trace, alarms)
     # The empty alarm forms its own single community with empty traffic.
@@ -82,19 +82,19 @@ def test_pipeline_survives_empty_traffic_alarm(trace, backend):
     assert empties[0].is_single
     record = result.labels[empties[0].id]
     assert record.heuristic.category == "unknown"
-    # CSV rendering must not blow up either, and both backends agree.
+    # CSV rendering must not blow up either, and both engines agree.
     assert labels_to_csv(result.labels)
 
 
-def test_backends_agree_on_empty_traffic_alarm(trace):
+def test_engines_agree_on_empty_traffic_alarm(trace):
     alarms = [matching_alarm(), empty_alarm()]
     csvs = {
-        backend: labels_to_csv(
-            MAWILabPipeline(backend=backend)
+        engine: labels_to_csv(
+            MAWILabPipeline(engine=engine)
             .run_with_alarms(trace, alarms)
             .labels
         )
-        for backend in ("numpy", "python")
+        for engine in ("numpy", "python")
     }
     assert csvs["numpy"] == csvs["python"]
 

@@ -1,0 +1,269 @@
+"""LabelingSession: one configuration, every run mode, one output.
+
+The unification contract: offline, archive, batch (both transports)
+and full-coverage streaming runs of the same session configuration
+produce byte-identical label CSVs.  Plus the engine-agnostic alarm
+cache: entries written under one engine (or under pre-engine-layer
+legacy keys) hit under any other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.labeling.mawilab import labels_to_csv
+from repro.mawi.archive import SyntheticArchive
+from repro.runner.cache import AlarmCache
+from repro.runner.config import PipelineConfig
+from repro.session import LabelingSession
+
+DATE = "2004-06-01"
+
+
+@pytest.fixture(scope="module")
+def archive() -> SyntheticArchive:
+    return SyntheticArchive(seed=7, trace_duration=12.0)
+
+
+@pytest.fixture(scope="module")
+def day_trace(archive):
+    return archive.day(DATE).trace
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TestModeParity:
+    def test_archive_and_batch_transports_match_offline(
+        self, archive, day_trace
+    ):
+        session = LabelingSession()
+        offline = _sha(labels_to_csv(session.label_trace(day_trace).labels))
+
+        by_archive = session.label_archive(archive, [DATE])
+        assert [r.status for r in by_archive.reports] == ["ok"]
+        assert by_archive.reports[0].csv_sha256 == offline
+
+        for transport in ("pickle", "shm"):
+            shipped = LabelingSession(transport=transport).label_traces(
+                [day_trace]
+            )
+            assert [r.status for r in shipped.reports] == ["ok"]
+            assert shipped.reports[0].csv_sha256 == offline, transport
+
+    def test_full_window_stream_matches_offline(self, day_trace):
+        from repro.stream import chunk_table
+
+        session = LabelingSession()
+        offline = labels_to_csv(session.label_trace(day_trace).labels)
+        streamed = session.label_stream(
+            chunk_table(day_trace.table, 500),
+            window=1e9,
+            metadata=day_trace.metadata,
+        )
+        assert streamed.to_csv() == offline
+
+    def test_engines_agree_through_the_session(self, day_trace):
+        outputs = {
+            engine: labels_to_csv(
+                LabelingSession(engine=engine).label_trace(day_trace).labels
+            )
+            for engine in ("numpy", "python")
+        }
+        assert outputs["numpy"] == outputs["python"]
+
+    def test_pooled_shm_matches_serial(self, archive):
+        dates = [DATE, "2004-06-02"]
+        traces = [archive.day(d).trace for d in dates]
+        serial = LabelingSession(workers=1).label_traces(traces)
+        pooled = LabelingSession(workers=2, transport="shm").label_traces(
+            traces
+        )
+        assert [r.csv_sha256 for r in serial.reports] == [
+            r.csv_sha256 for r in pooled.reports
+        ]
+
+
+class TestSessionConfig:
+    def test_engine_override_replaces_config_engine(self):
+        session = LabelingSession(
+            config=PipelineConfig(engine="numpy"), engine="python"
+        )
+        assert session.engine.name == "python"
+        assert session.config.engine == "python"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            LabelingSession(transport="carrier-pigeon")
+
+    def test_resume_requires_out_dir(self):
+        with pytest.raises(ValueError, match="out_dir"):
+            LabelingSession(resume=True)
+
+    def test_pipeline_is_built_once(self):
+        session = LabelingSession()
+        assert session.pipeline is session.pipeline
+
+    def test_export_formats(self, day_trace):
+        session = LabelingSession()
+        labels = session.label_trace(day_trace).labels
+        assert session.export(labels, fmt="csv").startswith("community,")
+        assert session.export(labels, fmt="xml").startswith("<?xml")
+        with pytest.raises(ValueError, match="format"):
+            session.export(labels, fmt="yaml")
+
+
+class TestEngineAgnosticCache:
+    def test_cache_written_under_one_engine_hits_under_the_other(
+        self, archive, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        first = LabelingSession(
+            config=PipelineConfig(engine="numpy"), cache_dir=cache_dir
+        ).label_archive(archive, [DATE])
+        assert first.cache_hits == 0
+
+        second = LabelingSession(
+            config=PipelineConfig(engine="python"), cache_dir=cache_dir
+        ).label_archive(archive, [DATE])
+        assert second.cache_hits == 1
+        assert (
+            second.reports[0].csv_sha256 == first.reports[0].csv_sha256
+        )
+
+    def test_legacy_engine_suffixed_keys_migrate_once(
+        self, archive, tmp_path
+    ):
+        """An entry cached under the pre-engine-layer key (engine name
+        hashed in) is found, served, and rewritten under the new key."""
+        cache_dir = tmp_path / "cache"
+        config = PipelineConfig()
+        key_parts = (
+            archive.fingerprint(),
+            DATE,
+            config.build_pipeline().ensemble_fingerprint(),
+        )
+
+        # Seed the cache the way the old code would have.
+        seeded = LabelingSession(
+            config=config, cache_dir=str(cache_dir)
+        ).label_archive(archive, [DATE])
+        assert seeded.cache_misses == 1
+        cache = AlarmCache(cache_dir)
+        new_key = AlarmCache.make_key(*key_parts)
+        legacy_key = AlarmCache.legacy_keys(*key_parts)[0]
+        cache.path_for(new_key).rename(cache.path_for(legacy_key))
+
+        # The next run hits through the legacy key...
+        migrated = LabelingSession(
+            config=config, cache_dir=str(cache_dir)
+        ).label_archive(archive, [DATE])
+        assert migrated.cache_hits == 1
+        # ...and the migration rewrote the entry under the new key.
+        assert cache.path_for(new_key).is_file()
+        final = LabelingSession(
+            config=config, cache_dir=str(cache_dir)
+        ).label_archive(archive, [DATE])
+        assert final.cache_hits == 1
+        assert (
+            final.reports[0].csv_sha256 == seeded.reports[0].csv_sha256
+        )
+
+    def test_cache_hits_across_transports(self, archive, tmp_path):
+        """A cache warmed by the regenerate transport hits when the
+        same archive days are shipped as pregenerated traces (given the
+        archive fingerprint), and vice versa."""
+        from repro.net.trace import Trace, TraceMetadata
+
+        cache_dir = str(tmp_path / "cache")
+        warmed = LabelingSession(cache_dir=cache_dir).label_archive(
+            archive, [DATE]
+        )
+        assert warmed.cache_misses == 1
+
+        day = archive.day(DATE).trace
+        shipped_trace = Trace.from_table(
+            day.table, TraceMetadata(name=DATE, date=DATE)
+        )
+        for transport in ("pickle", "shm"):
+            shipped = LabelingSession(
+                cache_dir=cache_dir, transport=transport
+            ).label_traces(
+                [shipped_trace], fingerprints=[archive.fingerprint()]
+            )
+            assert shipped.cache_hits == 1, transport
+            assert (
+                shipped.reports[0].csv_sha256
+                == warmed.reports[0].csv_sha256
+            )
+
+    def test_shm_segments_freed_per_shard(self, archive):
+        """Segments are unlinked as shard reports arrive, not hoarded
+        until the batch ends."""
+        from multiprocessing import shared_memory
+
+        from repro.runner import shm as shm_module
+
+        exported = []
+        real_export = shm_module.export_table
+
+        def spying_export(table):
+            handle = real_export(table)
+            exported.append(handle)
+            return handle
+
+        live_at_progress = []
+
+        def probe(done, total, report):
+            live = 0
+            for handle in exported:
+                try:
+                    segment = shared_memory.SharedMemory(name=handle.name)
+                except FileNotFoundError:
+                    continue
+                segment.close()
+                live += 1
+            live_at_progress.append(live)
+
+        dates = [DATE, "2004-06-02", "2004-06-03"]
+        traces = [archive.day(d).trace for d in dates]
+        import unittest.mock as mock
+
+        with mock.patch.object(
+            shm_module, "export_table", spying_export
+        ), mock.patch(
+            "repro.session.export_table", spying_export
+        ):
+            LabelingSession(transport="shm").label_traces(
+                traces, progress=probe
+            )
+        assert len(exported) == len(dates)
+        # The completed shard's segment is gone by the time its
+        # progress callback fires; by the last shard at most the
+        # still-pending ones remain.
+        assert live_at_progress[-1] == 0
+        assert all(
+            live <= len(dates) - i
+            for i, live in enumerate(live_at_progress, start=1)
+        )
+        # And nothing leaks after the batch.
+        for handle in exported:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=handle.name)
+
+    def test_engines_emit_identical_alarm_sets(self, day_trace):
+        """The premise the shared key rests on, asserted directly."""
+        from repro.labeling.mawilab import MAWILabPipeline
+
+        fast = MAWILabPipeline(engine="numpy")
+        reference = MAWILabPipeline(engine="python")
+        assert [
+            (a.config, a.t0, a.t1, a.filters, a.flow_keys)
+            for a in fast.detect(day_trace)
+        ] == [
+            (a.config, a.t0, a.t1, a.filters, a.flow_keys)
+            for a in reference.detect(day_trace)
+        ]

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.graph import SimilarityGraph, build_similarity_graph
 from repro.core.similarity import constant_measure, jaccard, simpson
-from repro.errors import GraphError
+from repro.errors import EngineError, GraphError
 
 
 class TestMeasures:
@@ -123,9 +123,9 @@ class TestBuildGraph:
         graph = build_similarity_graph(sets)
         assert graph.n_edges == 0
 
-    def test_unknown_backend_rejected(self):
-        with pytest.raises(GraphError):
-            build_similarity_graph([frozenset({1})], backend="cuda")
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EngineError):
+            build_similarity_graph([frozenset({1})], engine="cuda")
 
 
 #: Randomized per-alarm traffic sets over a small element universe, so
@@ -136,8 +136,8 @@ traffic_sets_st = st.lists(
 )
 
 
-class TestBackendEquivalence:
-    """The numpy backend must reproduce the reference graphs exactly."""
+class TestEngineEquivalence:
+    """The vectorized kernel must reproduce the reference graphs exactly."""
 
     @settings(max_examples=150, deadline=None)
     @given(
@@ -147,10 +147,10 @@ class TestBackendEquivalence:
     )
     def test_numpy_matches_python(self, sets, measure, threshold):
         vectorized = build_similarity_graph(
-            sets, measure=measure, edge_threshold=threshold, backend="numpy"
+            sets, measure=measure, edge_threshold=threshold, engine="numpy"
         )
         reference = build_similarity_graph(
-            sets, measure=measure, edge_threshold=threshold, backend="python"
+            sets, measure=measure, edge_threshold=threshold, engine="python"
         )
         assert vectorized.n_nodes == reference.n_nodes
         # Same edges AND bit-identical weights.
@@ -163,9 +163,9 @@ class TestBackendEquivalence:
             return intersection / (2 * max(size_a, size_b, 1))
 
         vectorized = build_similarity_graph(
-            sets, measure=halved_overlap, backend="numpy"
+            sets, measure=halved_overlap, engine="numpy"
         )
         reference = build_similarity_graph(
-            sets, measure=halved_overlap, backend="python"
+            sets, measure=halved_overlap, engine="python"
         )
         assert vectorized.adjacency == reference.adjacency

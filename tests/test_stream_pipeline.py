@@ -2,7 +2,7 @@
 
 The central acceptance property: with one window covering the whole
 trace, the streaming pipeline's CSV is byte-identical to the offline
-:class:`~repro.labeling.mawilab.MAWILabPipeline`'s on both backends.
+:class:`~repro.labeling.mawilab.MAWILabPipeline`'s on both engines.
 Around it, unit tests pin the incremental graph's delta algebra, the
 Louvain warm start and the cross-window label merging.
 """
@@ -33,7 +33,7 @@ class TestDynamicGraph:
         dynamic = DynamicSimilarityGraph(measure="simpson")
         dynamic.add_alarms(sets)
         graph, node_of = dynamic.build()
-        reference = build_similarity_graph(sets, backend="python")
+        reference = build_similarity_graph(sets, engine="python")
         assert node_of == {0: 0, 1: 1, 2: 2, 3: 3}
         assert _ordered(graph) == _ordered(reference)
 
@@ -50,7 +50,7 @@ class TestDynamicGraph:
         graph, node_of = dynamic.build()
         survivors = [sets[0], sets[2], sets[3]]
         reference = build_similarity_graph(
-            survivors, measure="jaccard", backend="python"
+            survivors, measure="jaccard", engine="python"
         )
         assert graph.n_nodes == 3
         assert _ordered(graph) == _ordered(reference)
@@ -74,7 +74,7 @@ class TestDynamicGraph:
         graph, node_of = dynamic.build()
         ordered_ids = sorted(live)
         reference = build_similarity_graph(
-            [live[i] for i in ordered_ids], backend="python"
+            [live[i] for i in ordered_ids], engine="python"
         )
         assert _ordered(graph) == _ordered(reference)
 
@@ -177,14 +177,14 @@ def archive_trace():
 
 
 class TestStreamingParity:
-    @pytest.mark.parametrize("backend", ["numpy", "python"])
-    def test_full_window_matches_offline_csv(self, archive_trace, backend):
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
+    def test_full_window_matches_offline_csv(self, archive_trace, engine):
         from repro.labeling.mawilab import MAWILabPipeline
 
         offline = labels_to_csv(
-            MAWILabPipeline(backend=backend).run(archive_trace).labels
+            MAWILabPipeline(engine=engine).run(archive_trace).labels
         )
-        pipeline = StreamingPipeline(window=1e9, backend=backend)
+        pipeline = StreamingPipeline(window=1e9, engine=engine)
         result = pipeline.run(
             chunk_table(archive_trace.table, 400),
             metadata=archive_trace.metadata,
@@ -334,9 +334,9 @@ class TestKLBaselineCarry:
         # The last bin's transactions ride along for the lift filter.
         assert isinstance(state["baseline_transactions"], list)
 
-    @pytest.mark.parametrize("backend", ["numpy", "python"])
-    def test_backends_agree_with_baseline(self, archive_trace, backend):
-        """Both backends carry identical baselines and agree on the
+    @pytest.mark.parametrize("engine", ["numpy", "python"])
+    def test_engines_agree_with_baseline(self, archive_trace, engine):
+        """Both engines carry identical baselines and agree on the
         windows where alarms fire."""
         from repro.detectors.kl import KLDetector
 
@@ -349,7 +349,7 @@ class TestKLBaselineCarry:
         baselines = {}
         transactions = {}
         for b in ("numpy", "python"):
-            detector = KLDetector(backend=b)
+            detector = KLDetector(engine=b)
             state: dict = {}
             detector.analyze_stream(first, state)
             baselines[b] = state["baseline"]
@@ -358,7 +358,7 @@ class TestKLBaselineCarry:
         assert baselines["numpy"] == baselines["python"]
         assert transactions["numpy"] == transactions["python"]
         # Alarm *selections* are identical; scores may differ in the
-        # last float ulp (the backends accumulate divergence in
+        # last float ulp (the engines accumulate divergence in
         # different orders — the same documented property as offline).
         assert [
             (a.config, a.t0, a.t1, a.filters, a.flow_keys)

@@ -36,6 +36,32 @@ class TestSweep:
         values = [p.value for p in sweep.points]
         assert values == [1.5, 2.5, 4.0]
 
+    def test_pooled_sweep_matches_serial(self, workloads):
+        """Grid points are independent, so a pooled sweep (workload
+        traces shipped over shared memory) equals the serial one."""
+        grid = [1.5, 2.5, 4.0]
+        serial = sweep_parameter(
+            GammaDetector, "threshold", grid, workloads
+        )
+        pooled = sweep_parameter(
+            GammaDetector, "threshold", grid, workloads, workers=3
+        )
+        assert pooled.to_rows() == serial.to_rows()
+
+    def test_engine_choice_does_not_change_scores(self, workloads):
+        grid = [1.5, 4.0]
+        outputs = {
+            engine: sweep_parameter(
+                GammaDetector,
+                "threshold",
+                grid,
+                workloads,
+                engine=engine,
+            ).to_rows()
+            for engine in ("numpy", "python")
+        }
+        assert outputs["numpy"] == outputs["python"]
+
     def test_recall_decreases_with_threshold(self, workloads):
         sweep = sweep_parameter(
             GammaDetector, "threshold", [1.5, 4.5], workloads
