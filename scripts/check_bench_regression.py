@@ -12,13 +12,18 @@ exits non-zero if any tracked metric fell more than ``tolerance``
 (default 20 %) below baseline:
 
 * **batch** — offline pipeline packets/sec (``n_packets / total``);
-* **streaming** — ``streaming.packets_per_sec``.
+* **streaming** — ``streaming.packets_per_sec``;
+* **alarm path** — ``alarm_path.columnar.alarms_per_sec`` (Steps 2-4
+  throughput over the columnar ``AlarmTable`` data path).
 
 Higher-is-better only: faster-than-baseline runs always pass, and CI
-hardware faster than the baseline host can only add headroom.  The
-fan-out transport comparison is additionally required to keep the
+hardware faster than the baseline host can only add headroom.  Two
+host-relative ratios are additionally enforced so the fast paths
+cannot silently rot: the fan-out transport comparison keeps the
 shared-memory path at least as fast as pickle (``shm_speedup >= 1``
-within tolerance) so the zero-copy transport cannot silently rot.
+within tolerance), and the alarm-path comparison keeps the columnar
+data path at least 2x the object path (``columnar_speedup >= 2``
+within tolerance) — the PR's acceptance bar, continuously enforced.
 """
 
 from __future__ import annotations
@@ -39,6 +44,11 @@ def collect_metrics(payload: dict) -> dict[str, float]:
             "packets_per_sec"
         ],
     }
+    alarm_path = payload.get("alarm_path")
+    if alarm_path is not None:
+        metrics["alarm_path_columnar_alarms_per_sec"] = alarm_path[
+            "columnar"
+        ]["alarms_per_sec"]
     return metrics
 
 
@@ -80,6 +90,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"fanout shm_speedup: {speedup:.2f}x (floor {floor:.2f}x) {status}")
         if speedup < floor:
             failures.append("fanout_shm_speedup")
+
+    alarm_speedup = candidate.get("alarm_path", {}).get("columnar_speedup")
+    if alarm_speedup is not None:
+        floor = 2.0 * (1.0 - args.tolerance)
+        status = "ok" if alarm_speedup >= floor else "REGRESSED"
+        print(
+            f"alarm_path columnar_speedup: {alarm_speedup:.2f}x "
+            f"(floor {floor:.2f}x) {status}"
+        )
+        if alarm_speedup < floor:
+            failures.append("alarm_path_columnar_speedup")
 
     if failures:
         print(

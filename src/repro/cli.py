@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands expose the library to non-Python users::
+Ten subcommands expose the library to non-Python users::
 
     mawilab generate      --seed 7 --duration 30 --anomaly sasser \
                           --anomaly ping_flood --out day.pcap --truth truth.json
@@ -13,6 +13,8 @@ Nine subcommands expose the library to non-Python users::
     mawilab archive       --start 2004-01-01 --months 6
     mawilab label-archive --start 2004-01-01 --months 6 --workers 4 \
                           --out-dir labels/ --cache-dir .mawilab-cache --resume
+    mawilab cache prune   --cache-dir .mawilab-cache --max-bytes 500M \
+                          --older-than 30d
 
 `label` runs the full 4-step pipeline on one closed trace; `stream`
 runs the same method *online* over a sliding window — the pcap is read
@@ -268,6 +270,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             **stream_result.stats.to_dict(),
         },
     }
+    if args.alarm_path_reps > 0:
+        payload["alarm_path"] = _bench_alarm_path(
+            trace, reps=args.alarm_path_reps
+        )
     if args.fanout_workers > 0:
         payload["fanout"] = _bench_fanout(args, archive)
     rendered = json.dumps(payload, indent=2) + "\n"
@@ -278,6 +284,54 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(rendered, end="")
     return 0
+
+
+def _bench_alarm_path(trace, reps: int = 3) -> dict:
+    """Alarm-path leg: Steps 2-4 throughput, object vs columnar.
+
+    The same Step 1 alarm set is pushed through similarity estimation,
+    community detection, acceptance and labeling ``reps`` times on both
+    data paths — the reference engine over a plain ``Alarm`` object
+    list, and the columnar engine over the
+    :class:`~repro.core.alarm_table.AlarmTable` — reporting alarms/sec
+    per path.  Both paths must render byte-identical CSV (asserted
+    here), so the speedup is a pure data-path effect.
+    """
+    import time
+
+    from repro.core.alarm_table import AlarmTable
+    from repro.labeling.mawilab import MAWILabPipeline, labels_to_csv
+
+    columnar_pipeline = MAWILabPipeline(engine="numpy")
+    object_pipeline = MAWILabPipeline(engine="python")
+    table = columnar_pipeline.detect_table(trace)
+    alarm_list = table.to_alarms()
+    n_alarms = len(table)
+    leg: dict = {"n_alarms": n_alarms, "reps": reps}
+    outputs = {}
+
+    for name, pipeline, alarms in (
+        ("object", object_pipeline, alarm_list),
+        ("columnar", columnar_pipeline, table),
+    ):
+        started = time.perf_counter()
+        for _ in range(reps):
+            result = pipeline.run_with_alarms(
+                trace,
+                alarms if isinstance(alarms, AlarmTable) else list(alarms),
+            )
+        elapsed = time.perf_counter() - started
+        outputs[name] = labels_to_csv(result.labels)
+        leg[name] = {
+            "seconds": round(elapsed, 6),
+            "alarms_per_sec": round(n_alarms * reps / elapsed, 1),
+        }
+    if outputs["object"] != outputs["columnar"]:
+        raise RuntimeError("alarm-path leg: engines disagree on labels")
+    leg["columnar_speedup"] = round(
+        leg["object"]["seconds"] / leg["columnar"]["seconds"], 3
+    )
+    return leg
 
 
 def _bench_fanout(args: argparse.Namespace, archive) -> dict:
@@ -404,6 +458,52 @@ def _month_dates(start_iso: str, months: int) -> list[str]:
             ).isoformat()
         )
     return dates
+
+
+def _parse_duration(text: str) -> float:
+    """Seconds from a human duration: plain number, or Ns/Nm/Nh/Nd."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    suffix = text[-1:].lower()
+    try:
+        if suffix in units:
+            return float(text[:-1]) * units[suffix]
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {text!r} (want seconds or Ns/Nm/Nh/Nd)"
+        ) from None
+
+
+def _parse_bytes(text: str) -> int:
+    """Bytes from a human size: plain number, or NK/NM/NG."""
+    units = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    suffix = text[-1:].lower()
+    try:
+        if suffix in units:
+            return int(float(text[:-1]) * units[suffix])
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (want bytes or NK/NM/NG)"
+        ) from None
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    """Evict alarm-cache entries by LRU recency and/or age."""
+    from repro.runner.cache import AlarmCache
+
+    if args.max_bytes is None and args.older_than is None:
+        print(
+            "error: nothing to prune; pass --max-bytes and/or --older-than",
+            file=sys.stderr,
+        )
+        return 2
+    cache = AlarmCache(args.cache_dir)
+    stats = cache.prune(
+        max_bytes=args.max_bytes, older_than=args.older_than
+    )
+    print(stats.describe())
+    return 0
 
 
 def _cmd_archive(args: argparse.Namespace) -> int:
@@ -602,6 +702,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2_000_000,
         help="transport-microbench table size in packets",
     )
+    bench.add_argument(
+        "--alarm-path-reps",
+        type=int,
+        default=3,
+        help="alarm-path-leg repetitions of Steps 2-4 per data path "
+        "(0 skips the alarm-path leg)",
+    )
     bench.add_argument("--out", help="output path (stdout if omitted)")
     bench.set_defaults(func=_cmd_bench)
 
@@ -633,6 +740,33 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--out", help="output path (stdout if omitted)")
     _add_pipeline_options(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    cache = sub.add_parser(
+        "cache", help="manage the on-disk Step 1 alarm cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used / stale cache entries",
+    )
+    prune.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the alarm-cache directory (as passed to label-archive)",
+    )
+    prune.add_argument(
+        "--max-bytes",
+        type=_parse_bytes,
+        help="keep the cache under this many bytes, evicting LRU "
+        "entries first (suffixes K/M/G accepted)",
+    )
+    prune.add_argument(
+        "--older-than",
+        type=_parse_duration,
+        help="drop entries not used within this long "
+        "(seconds, or Ns/Nm/Nh/Nd)",
+    )
+    prune.set_defaults(func=_cmd_cache_prune)
 
     archive = sub.add_parser(
         "archive", help="label synthetic archive days and print the series"
@@ -691,12 +825,38 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _EngineOption(argparse.Action):
+    """Store an engine spec, warning when the legacy alias is used."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if option_string == "--backend":
+            import warnings
+
+            # DeprecationWarning is hidden by default filters outside
+            # __main__, so the human typing the old flag also gets a
+            # plain stderr notice.
+            print(
+                f"{parser.prog}: warning: --backend is deprecated; "
+                "use --engine",
+                file=sys.stderr,
+            )
+            warnings.warn(
+                "--backend is deprecated; use --engine "
+                "(same accepted values)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        setattr(namespace, self.dest, values)
+
+
 def _add_engine_option(parser: argparse.ArgumentParser) -> None:
-    """The execution-engine choice (``--backend`` kept as an alias)."""
+    """The execution-engine choice (``--backend`` kept as a
+    deprecated alias that warns)."""
     parser.add_argument(
         "--engine",
         "--backend",  # pre-engine-layer alias, resolves identically
         dest="engine",
+        action=_EngineOption,
         choices=("auto", "numpy", "python"),
         default="auto",
         help="execution engine: numpy = columnar fast paths (default), "

@@ -11,6 +11,7 @@ Step 3 (Section 2.2) — the **combiner** — lives in
 :mod:`repro.core.scann`.
 """
 
+from repro.core.alarm_table import AlarmTable
 from repro.core.extractor import TrafficExtractor
 from repro.core.similarity import (
     SIMILARITY_MEASURES,
@@ -42,6 +43,7 @@ from repro.core.annotations import (
 )
 
 __all__ = [
+    "AlarmTable",
     "TrafficExtractor",
     "SIMILARITY_MEASURES",
     "constant_measure",

@@ -95,6 +95,11 @@ def community_tags(community) -> list[str]:
     the annotation's traffic description; callers wanting the full
     :class:`Annotation` should key communities by alarm id instead.
     """
+    if ANNOTATION_DETECTOR not in community.detectors():
+        # Columnar communities answer detectors() from the table's code
+        # column; skipping here keeps annotation-free runs from ever
+        # materializing member Alarm objects.
+        return []
     tags = []
     for alarm in community.alarms:
         if alarm.detector == ANNOTATION_DETECTOR:

@@ -4,28 +4,41 @@ A community is a set of similar alarms found by Louvain in the
 similarity graph (paper Section 2.1.3).  Isolated alarms form *single
 communities* — the estimator's failure mode the evaluation counts
 (Fig. 3a).
+
+Since the columnar alarm path, a community is primarily an *index
+vector* over the run's :class:`~repro.core.alarm_table.AlarmTable`:
+member ids plus the table reference.  :class:`Alarm` objects are
+materialized lazily through the table only when object-level code
+asks for :attr:`Community.alarms`; the hot consumers —
+:meth:`Community.detectors` / :meth:`Community.configs` feeding the
+combiner vote tables — read the table's dense code columns directly.
+Object-backed construction (``alarms=...``) remains supported for the
+reference engine and hand-built test fixtures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence, Union
 
 from repro.detectors.base import Alarm
 
 
-@dataclass
 class Community:
     """One community of similar alarms.
 
-    Attributes
+    Parameters
     ----------
     id:
         Community label (contiguous ints within one estimator run).
     alarm_ids:
-        Indices of member alarms into the run's alarm list.
+        Indices of member alarms into the run's alarm list / table.
     alarms:
-        The member alarms themselves.
+        The member alarms as objects; optional when ``table`` is given
+        (they are then materialized lazily from the table rows).
+    table:
+        The run's :class:`~repro.core.alarm_table.AlarmTable`;
+        ``alarm_ids`` index its rows.
     traffic:
         Union of the members' extracted traffic sets (packet indices or
         flow keys, per the estimator's granularity).
@@ -33,12 +46,36 @@ class Community:
         Envelope of the member alarms' time windows.
     """
 
-    id: int
-    alarm_ids: tuple[int, ...]
-    alarms: tuple[Alarm, ...]
-    traffic: FrozenSet = frozenset()
-    t0: float = 0.0
-    t1: float = 0.0
+    __slots__ = ("id", "alarm_ids", "traffic", "t0", "t1", "_alarms", "_table")
+
+    def __init__(
+        self,
+        id: int,
+        alarm_ids: tuple[int, ...],
+        alarms: Optional[Sequence[Alarm]] = None,
+        traffic: FrozenSet = frozenset(),
+        t0: float = 0.0,
+        t1: float = 0.0,
+        table=None,
+    ) -> None:
+        if alarms is None and table is None:
+            raise ValueError("community needs alarms or a backing table")
+        self.id = id
+        self.alarm_ids = tuple(alarm_ids)
+        self.traffic = traffic
+        self.t0 = t0
+        self.t1 = t1
+        self._alarms = tuple(alarms) if alarms is not None else None
+        self._table = table
+
+    @property
+    def alarms(self) -> tuple[Alarm, ...]:
+        """Member alarms as objects (lazy when table-backed)."""
+        if self._alarms is None:
+            self._alarms = tuple(
+                self._table.alarm(i) for i in self.alarm_ids
+            )
+        return self._alarms
 
     @property
     def size(self) -> int:
@@ -52,11 +89,15 @@ class Community:
 
     def detectors(self) -> set[str]:
         """Detector families with at least one alarm in the community."""
-        return {alarm.detector for alarm in self.alarms}
+        if self._alarms is None:
+            return self._table.detector_names_at(list(self.alarm_ids))
+        return {alarm.detector for alarm in self._alarms}
 
     def configs(self) -> set[str]:
         """Configurations with at least one alarm in the community."""
-        return {alarm.config for alarm in self.alarms}
+        if self._alarms is None:
+            return self._table.config_names_at(list(self.alarm_ids))
+        return {alarm.config for alarm in self._alarms}
 
     def describe(self) -> str:
         detectors = ",".join(sorted(self.detectors()))
@@ -65,17 +106,32 @@ class Community:
             f"window={self.t0:.1f}-{self.t1:.1f}s traffic={len(self.traffic)}"
         )
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Community(id={self.id}, size={self.size}, "
+            f"window=[{self.t0}, {self.t1}))"
+        )
+
 
 @dataclass
 class CommunitySet:
-    """Output of one similarity-estimator run on one trace."""
+    """Output of one similarity-estimator run on one trace.
+
+    ``alarms`` is the run's alarm population — a plain list on the
+    reference path, or an :class:`~repro.core.alarm_table.AlarmTable`
+    on the columnar path (both support ``len`` / iteration / integer
+    indexing, yielding :class:`Alarm` objects).  ``alarm_table`` names
+    the columnar backing explicitly when one exists.
+    """
 
     communities: list[Community]
-    alarms: list[Alarm]
+    alarms: Union[list[Alarm], object]
     traffic_sets: list[FrozenSet]
     granularity: object = None  # repro.net.flow.Granularity
     graph: Optional[object] = None  # repro.core.graph.SimilarityGraph
     extractor: Optional[object] = None  # repro.core.extractor.TrafficExtractor
+    #: Columnar backing of ``alarms`` (None on the object path).
+    alarm_table: Optional[object] = field(default=None, repr=False)
 
     @property
     def n_single(self) -> int:

@@ -14,14 +14,17 @@ Orchestrates Step 2 of the paper's method:
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+import numpy as np
+
+from repro.core.alarm_table import AlarmTable
 from repro.core.community import Community, CommunitySet
 from repro.core.extractor import TrafficExtractor
 from repro.core.graph import build_similarity_graph
 from repro.core.louvain import louvain
 from repro.detectors.base import Alarm
-from repro.engine import EngineSpec, resolve_engine
+from repro.engine import EngineSpec, resolve_engine, resolve_legacy_backend
 from repro.net.flow import Granularity
 from repro.net.trace import Trace
 
@@ -64,7 +67,9 @@ class SimilarityEstimator:
         resolution: float = 1.0,
         engine: EngineSpec = "auto",
         graph_engine: EngineSpec = None,
+        backend: EngineSpec = None,
     ) -> None:
+        engine = resolve_legacy_backend(engine, backend, what="estimator")
         self.granularity = granularity
         self.measure = measure
         self.edge_threshold = edge_threshold
@@ -80,23 +85,38 @@ class SimilarityEstimator:
     def build(
         self,
         trace: Trace,
-        alarms: Sequence[Alarm],
+        alarms: Union[Sequence[Alarm], AlarmTable],
         timings: Optional[dict] = None,
     ) -> CommunitySet:
         """Run the estimator on one trace's alarms.
 
-        ``timings``, when given, accumulates per-stage wall seconds
-        under the keys ``"extract"``, ``"graph"`` and ``"combine"``
-        (Louvain clustering) — the ``repro bench`` instrumentation.
+        ``alarms`` may be a plain list or an
+        :class:`~repro.core.alarm_table.AlarmTable`; on a vectorized
+        engine the table's encoded designation columns feed extraction
+        directly (no :class:`Alarm` views), and the resulting
+        communities are index vectors over the table.  ``timings``,
+        when given, accumulates per-stage wall seconds under the keys
+        ``"extract"``, ``"graph"`` and ``"combine"`` (Louvain
+        clustering) — the ``repro bench`` instrumentation.
         """
         clock = time.perf_counter
-        alarms = list(alarms)
+        table: Optional[AlarmTable] = None
+        if isinstance(alarms, AlarmTable):
+            if self.engine.vectorized:
+                table = alarms
+            else:
+                alarms = alarms.to_alarms()
+        else:
+            alarms = list(alarms)
         started = clock()
         extractor = TrafficExtractor(
             trace, self.granularity, engine=self.engine
         )
         if extractor.engine.vectorized:
-            code_sets = extractor.extract_all_codes(alarms)
+            if table is not None:
+                code_sets = extractor.extract_table_codes(table)
+            else:
+                code_sets = extractor.extract_all_codes(alarms)
             graph_input: Sequence = code_sets
             traffic_sets = [
                 extractor.codes_to_traffic(codes) for codes in code_sets
@@ -119,35 +139,57 @@ class SimilarityEstimator:
         partition = louvain(
             graph, resolution=self.resolution, seed=self.seed
         )
-        communities = self._materialize(alarms, traffic_sets, partition)
+        communities = self._materialize(
+            table if table is not None else alarms, traffic_sets, partition
+        )
         if timings is not None:
             timings["combine"] = timings.get("combine", 0.0) + clock() - started
         return CommunitySet(
             communities=communities,
-            alarms=alarms,
+            alarms=table if table is not None else alarms,
             traffic_sets=traffic_sets,
             granularity=self.granularity,
             graph=graph,
             extractor=extractor,
+            alarm_table=table,
         )
 
     @staticmethod
     def _materialize(
-        alarms: list[Alarm],
+        alarms: Union[list[Alarm], AlarmTable],
         traffic_sets: list,
         partition: dict[int, int],
     ) -> list[Community]:
-        """Build Community objects from the Louvain partition."""
+        """Build Community objects from the Louvain partition.
+
+        With an :class:`AlarmTable`, communities stay index vectors:
+        their time envelopes come from vectorized column reductions
+        and their member alarms are lazy table views.
+        """
         members: dict[int, list[int]] = {}
         for alarm_id, label in partition.items():
             members.setdefault(label, []).append(alarm_id)
+        table = alarms if isinstance(alarms, AlarmTable) else None
         communities: list[Community] = []
         for new_id, label in enumerate(sorted(members)):
             alarm_ids = tuple(sorted(members[label]))
-            member_alarms = tuple(alarms[i] for i in alarm_ids)
             traffic = frozenset().union(
                 *(traffic_sets[i] for i in alarm_ids)
             )
+            if table is not None:
+                ids = np.fromiter(alarm_ids, np.int64, count=len(alarm_ids))
+                communities.append(
+                    Community(
+                        id=new_id,
+                        alarm_ids=alarm_ids,
+                        table=table,
+                        traffic=traffic,
+                        t0=float(table.t0[ids].min()),
+                        t1=float(table.t1[ids].max()),
+                    )
+                )
+                continue
+            member_alarms = tuple(alarms[i] for i in alarm_ids)
             t0 = min(a.t0 for a in member_alarms)
             t1 = max(a.t1 for a in member_alarms)
             communities.append(

@@ -33,7 +33,12 @@ from typing import FrozenSet, Sequence
 import numpy as np
 
 from repro.detectors.base import Alarm
-from repro.engine import Engine, EngineSpec, resolve_engine
+from repro.engine import (
+    Engine,
+    EngineSpec,
+    resolve_engine,
+    resolve_legacy_backend,
+)
 from repro.errors import EngineError, TraceError
 from repro.net.flow import FlowKey, Granularity, biflow_key, uniflow_key
 from repro.net.trace import Trace
@@ -133,30 +138,38 @@ class ColumnarTrafficExtraction:
         """Boolean packet mask designated by the alarm.
 
         The accumulator is a scratch buffer — valid only until the next
-        ``_alarm_mask`` call, which every caller respects by consuming
+        mask-building call, which every caller respects by consuming
         the mask (into codes or indices) before extracting again.
         """
+        return self._mask_for(
+            alarm.filters, alarm.flow_keys, alarm.t0, alarm.t1
+        )
+
+    def _mask_for(
+        self, filters, flow_keys, alarm_t0: float, alarm_t1: float
+    ) -> np.ndarray:
+        """Mask from an alarm's designation fields (object or table row)."""
         table = self.trace.table
         mask = self._scratch.zeros(len(table), dtype=bool)
-        for feature_filter in alarm.filters:
-            t0 = feature_filter.t0 if feature_filter.t0 is not None else alarm.t0
-            t1 = feature_filter.t1 if feature_filter.t1 is not None else alarm.t1
+        for feature_filter in filters:
+            t0 = feature_filter.t0 if feature_filter.t0 is not None else alarm_t0
+            t1 = feature_filter.t1 if feature_filter.t1 is not None else alarm_t1
             if t1 < t0:
                 # Mirror Trace.time_slice on the reference path.
                 raise TraceError(f"empty interval [{t0}, {t1})")
             mask |= self._filter_mask(table, feature_filter, t0=t0, t1=t1)
-        if alarm.flow_keys:
+        if flow_keys:
             wanted = [
                 self._key_to_code[key]
-                for key in alarm.flow_keys
+                for key in flow_keys
                 if key in self._key_to_code
             ]
             if wanted:
                 in_flows = np.isin(self._codes, np.array(wanted, dtype=np.int64))
                 time = table.time
-                in_window = (time >= alarm.t0) & (time < alarm.t1)
-                if alarm.t1 == self.trace.end_time:
-                    in_window |= time == alarm.t1
+                in_window = (time >= alarm_t0) & (time < alarm_t1)
+                if alarm_t1 == self.trace.end_time:
+                    in_window |= time == alarm_t1
                 mask |= in_flows & in_window
         return mask
 
@@ -194,6 +207,35 @@ class ColumnarTrafficExtraction:
         return [
             self._codes_for_mask(self._alarm_mask(alarm)) for alarm in alarms
         ]
+
+    def extract_table_codes(self, table) -> list[np.ndarray]:
+        """Batched extraction straight off an alarm table's columns.
+
+        Designations are read from the table's pooled filter objects
+        and flow-key rows — no :class:`Alarm` views are materialized —
+        producing exactly the per-alarm code arrays of
+        :meth:`extract_all_codes` on the same rows.
+        """
+        filter_bounds = table.filter_bounds
+        flow_bounds = table.flow_bounds
+        t0s, t1s = table.t0, table.t1
+        results = []
+        for i in range(len(table)):
+            filters = [
+                table.filter_at(j)
+                for j in range(
+                    int(filter_bounds[i]), int(filter_bounds[i + 1])
+                )
+            ]
+            flow_keys = [
+                table.flow_key_at(j)
+                for j in range(int(flow_bounds[i]), int(flow_bounds[i + 1]))
+            ]
+            mask = self._mask_for(
+                filters, flow_keys, float(t0s[i]), float(t1s[i])
+            )
+            results.append(self._codes_for_mask(mask))
+        return results
 
     def packets_of(self, traffic: FrozenSet) -> list[int]:
         return [int(i) for i in self.packet_index_array(traffic)]
@@ -238,7 +280,9 @@ class TrafficExtractor:
         trace: Trace,
         granularity: Granularity = Granularity.UNIFLOW,
         engine: EngineSpec = "auto",
+        backend: EngineSpec = None,
     ) -> None:
+        engine = resolve_legacy_backend(engine, backend, what="extractor")
         self.trace = trace
         self.granularity = granularity
         self.engine = resolve_engine(engine, what="extractor")
@@ -265,6 +309,14 @@ class TrafficExtractor:
         consumes directly, skipping Python set construction entirely.
         """
         return self._vectorized("extract_all_codes")(alarms)
+
+    def extract_table_codes(self, table) -> list[np.ndarray]:
+        """Batched :meth:`extract_all_codes` over an alarm table.
+
+        Reads designations straight from the table's encoded columns —
+        the columnar estimator's fast path, no alarm views involved.
+        """
+        return self._vectorized("extract_table_codes")(table)
 
     def codes_to_traffic(self, codes: np.ndarray) -> FrozenSet:
         """Materialize a code array as the public traffic set."""

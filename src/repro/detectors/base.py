@@ -116,6 +116,12 @@ class Detector(abc.ABC):
     def __init__(
         self, tuning: str = "optimal", engine: EngineSpec = "auto", **params
     ) -> None:
+        if "backend" in params:
+            from repro.engine import resolve_legacy_backend
+
+            engine = resolve_legacy_backend(
+                engine, params.pop("backend"), what=self.name
+            )
         self.tuning = tuning
         #: Feature-path engine: a vectorized engine reads the trace's
         #: columnar table, the reference engine scans packet objects.
@@ -146,6 +152,21 @@ class Detector(abc.ABC):
     @abc.abstractmethod
     def analyze(self, trace: Trace) -> list[Alarm]:
         """Analyze one trace and return the alarms."""
+
+    def analyze_table(self, trace: Trace):
+        """Analyze one trace, batch-emitting into an alarm table.
+
+        The columnar twin of :meth:`analyze`: one
+        :class:`~repro.core.alarm_table.AlarmTable` whose rows are this
+        configuration's alarms in emission order, encoded through the
+        engine's ``"alarm_codes"`` kernel.  The default implementation
+        wraps :meth:`analyze`, so every detector batch-emits without
+        per-detector code; the table's lazy views are the very alarm
+        objects the detector produced.
+        """
+        from repro.core.alarm_table import AlarmTable
+
+        return AlarmTable.from_alarms(self.analyze(trace), engine=self.engine)
 
     def analyze_stream(self, trace: Trace, state: dict) -> list[Alarm]:
         """Analyze one *window* of a stream, carrying ``state`` across.

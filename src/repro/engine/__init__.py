@@ -24,6 +24,7 @@ from repro.engine.core import (
     get_engine,
     register_engine,
     resolve_engine,
+    resolve_legacy_backend,
 )
 from repro.errors import EngineError
 
@@ -42,4 +43,5 @@ __all__ = [
     "get_engine",
     "register_engine",
     "resolve_engine",
+    "resolve_legacy_backend",
 ]

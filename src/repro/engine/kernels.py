@@ -33,6 +33,15 @@ Kernel signatures
     One packet field as an array (the detectors' feature columns).
 ``traffic_extractor(trace, granularity, engine)``
     Factory for the per-engine traffic-extraction strategy object.
+``alarm_codes(names)``
+    ``(codes, pool)``: dense int32 codes for a sequence of detector /
+    configuration names, numbered by first appearance — the coding
+    :meth:`repro.core.alarm_table.AlarmTable.from_alarms` stores.
+``label_assign(accepted, relative_distance, mu, suspicious_distance)``
+    int8 taxonomy codes (0 = anomalous, 1 = suspicious, 2 = notice)
+    for index-aligned decision columns; ``NaN`` relative distance
+    means "no metric, approximate from mu" exactly like
+    :func:`repro.labeling.taxonomy.assign_taxonomy`.
 """
 
 from __future__ import annotations
@@ -207,6 +216,93 @@ def _column_values_python(trace, field, dtype=None):
         [getattr(packet, field) for packet in trace],
         dtype=dtype if dtype is not None else np.float64,
     )
+
+
+# -- alarm coding ------------------------------------------------------
+
+
+@NUMPY_ENGINE.register("alarm_codes")
+def _alarm_codes_numpy(names):
+    """First-appearance dense coding via ``np.unique`` + renumbering."""
+    names = np.asarray(list(names), dtype=object)
+    if names.size == 0:
+        return np.empty(0, dtype=np.int32), ()
+    _uniq, first_index, inverse = np.unique(
+        names, return_index=True, return_inverse=True
+    )
+    appearance = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(first_index), dtype=np.int32)
+    rank[appearance] = np.arange(len(first_index), dtype=np.int32)
+    codes = rank[inverse].astype(np.int32)
+    pool = tuple(names[i] for i in first_index[appearance])
+    return codes, pool
+
+
+@PYTHON_ENGINE.register("alarm_codes")
+def _alarm_codes_python(names):
+    """Dict-based first-appearance numbering (the readable reference)."""
+    code_of: dict = {}
+    pool: list = []
+    names = list(names)
+    codes = np.empty(len(names), dtype=np.int32)
+    for i, name in enumerate(names):
+        code = code_of.get(name)
+        if code is None:
+            code = code_of[name] = len(pool)
+            pool.append(name)
+        codes[i] = code
+    return codes, tuple(pool)
+
+
+# -- taxonomy assignment -----------------------------------------------
+
+
+@NUMPY_ENGINE.register("label_assign")
+def _label_assign_numpy(accepted, relative_distance, mu, suspicious_distance=0.5):
+    """Vectorized Section-5 taxonomy over decision columns."""
+    from repro.errors import LabelingError
+
+    accepted = np.asarray(accepted, dtype=bool)
+    distance = np.asarray(relative_distance, dtype=np.float64).copy()
+    mu = np.asarray(mu, dtype=np.float64)
+    codes = np.zeros(len(accepted), dtype=np.int8)  # anomalous
+    rejected = ~accepted
+    approximate = rejected & np.isnan(distance)
+    if bool((mu[approximate] > 0.5).any()):
+        raise LabelingError("rejected decision with mu above threshold")
+    # Approximate the distance from mu exactly like the scalar
+    # reference: mu <= 0 -> inf, else 0.5 / mu - 1.
+    positive = approximate & (mu > 0)
+    distance[positive] = 0.5 / mu[positive] - 1.0
+    distance[approximate & ~positive] = np.inf
+    codes[rejected & (distance <= suspicious_distance)] = 1  # suspicious
+    codes[rejected & (distance > suspicious_distance)] = 2  # notice
+    return codes
+
+
+@PYTHON_ENGINE.register("label_assign")
+def _label_assign_python(accepted, relative_distance, mu, suspicious_distance=0.5):
+    """Per-decision :func:`assign_taxonomy` loop (the oracle)."""
+    from repro.core.strategies import Decision
+    from repro.labeling.taxonomy import TAXONOMY_ORDER, assign_taxonomy
+
+    code_of = {name: code for code, name in enumerate(TAXONOMY_ORDER)}
+    accepted = np.asarray(accepted, dtype=bool)
+    relative_distance = np.asarray(relative_distance, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    codes = np.empty(len(accepted), dtype=np.int8)
+    for i in range(len(accepted)):
+        distance = float(relative_distance[i])
+        decision = Decision(
+            community_id=i,
+            accepted=bool(accepted[i]),
+            mu=float(mu[i]),
+            relative_distance=None if np.isnan(distance) else distance,
+        )
+        codes[i] = code_of[
+            assign_taxonomy(decision, suspicious_distance=suspicious_distance)
+        ]
+    return codes
 
 
 # -- traffic extraction ------------------------------------------------

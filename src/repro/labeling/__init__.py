@@ -24,10 +24,13 @@ from repro.labeling.taxonomy import (
     TAXONOMY_ANOMALOUS,
     TAXONOMY_BENIGN,
     TAXONOMY_NOTICE,
+    TAXONOMY_ORDER,
     TAXONOMY_SUSPICIOUS,
     assign_taxonomy,
+    assign_taxonomy_batch,
 )
 from repro.labeling.database import LabelDatabase, StoredLabel
+from repro.labeling.store import LabelStore, taxonomy_counts
 from repro.labeling.mawilab import (
     LabelRecord,
     MAWILabPipeline,
@@ -46,10 +49,14 @@ __all__ = [
     "TAXONOMY_ANOMALOUS",
     "TAXONOMY_BENIGN",
     "TAXONOMY_NOTICE",
+    "TAXONOMY_ORDER",
     "TAXONOMY_SUSPICIOUS",
     "assign_taxonomy",
+    "assign_taxonomy_batch",
     "LabelDatabase",
     "StoredLabel",
+    "LabelStore",
+    "taxonomy_counts",
     "LabelRecord",
     "MAWILabPipeline",
     "PipelineResult",

@@ -20,18 +20,19 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 from xml.sax.saxutils import escape, quoteattr
 
+from repro.core.alarm_table import AlarmTable
 from repro.core.community import CommunitySet
 from repro.core.estimator import SimilarityEstimator
 from repro.core.scann import SCANNStrategy
 from repro.core.strategies import CombinationStrategy, Decision
 from repro.detectors.base import Alarm, Detector
 from repro.detectors.registry import default_ensemble
-from repro.engine import EngineSpec, resolve_engine
+from repro.engine import EngineSpec, resolve_engine, resolve_legacy_backend
 from repro.labeling.heuristics import HeuristicLabel, label_community
-from repro.labeling.taxonomy import assign_taxonomy
+from repro.labeling.taxonomy import assign_taxonomy, assign_taxonomy_batch
 from repro.net.flow import Granularity
 from repro.net.trace import Trace
 from repro.rules.itemsets import transactions_from_flows, transactions_from_packets
@@ -67,10 +68,16 @@ class LabelRecord:
 
 @dataclass
 class PipelineResult:
-    """Everything one pipeline run produced."""
+    """Everything one pipeline run produced.
+
+    ``alarms`` is the Step 1 population — an
+    :class:`~repro.core.alarm_table.AlarmTable` on the columnar path,
+    a plain list on the reference path; both support ``len`` /
+    iteration / indexing yielding :class:`Alarm` objects.
+    """
 
     trace: Trace
-    alarms: list[Alarm]
+    alarms: Union[list[Alarm], AlarmTable]
     community_set: CommunitySet
     decisions: list[Decision]
     labels: list[LabelRecord]
@@ -84,6 +91,12 @@ class PipelineResult:
 
     def notice(self) -> list[LabelRecord]:
         return [r for r in self.labels if r.taxonomy == "notice"]
+
+    def label_store(self):
+        """The labels as a columnar :class:`~repro.labeling.store.LabelStore`."""
+        from repro.labeling.store import LabelStore
+
+        return LabelStore.from_records(self.labels)
 
 
 class MAWILabPipeline:
@@ -127,7 +140,9 @@ class MAWILabPipeline:
         rule_support_pct: float = 20.0,
         seed: int = 0,
         engine: EngineSpec = "auto",
+        backend: EngineSpec = None,
     ) -> None:
+        engine = resolve_legacy_backend(engine, backend, what="pipeline")
         self.engine = resolve_engine(engine, what="pipeline")
         self.ensemble = (
             list(ensemble)
@@ -171,6 +186,17 @@ class MAWILabPipeline:
             alarms.extend(detector.analyze(trace))
         return alarms
 
+    def detect_table(self, trace: Trace) -> AlarmTable:
+        """Step 1, batch-emitting: one alarm table for the ensemble.
+
+        Row order equals :meth:`detect`'s list order (per-detector
+        tables concatenated in ensemble order), so both spellings feed
+        Steps 2-4 identically.
+        """
+        return AlarmTable.concatenate(
+            detector.analyze_table(trace) for detector in self.ensemble
+        )
+
     def run(self, trace: Trace, annotations: Sequence = ()) -> PipelineResult:
         """Label one trace.
 
@@ -180,19 +206,26 @@ class MAWILabPipeline:
         not vote in the combiner, and accepted communities report
         their tags (paper Section 6).
         """
-        return self.run_with_alarms(
-            trace, self.detect(trace), annotations=annotations
-        )
+        alarms: Union[list[Alarm], AlarmTable]
+        if self.engine.vectorized:
+            alarms = self.detect_table(trace)
+        else:
+            alarms = self.detect(trace)
+        return self.run_with_alarms(trace, alarms, annotations=annotations)
 
     def run_with_alarms(
         self,
         trace: Trace,
-        alarms: Sequence[Alarm],
+        alarms: Union[Sequence[Alarm], AlarmTable],
         annotations: Sequence = (),
         timings: Optional[dict] = None,
     ) -> PipelineResult:
         """Label one trace from precomputed alarms (Steps 2-4 only).
 
+        ``alarms`` may be a list of :class:`Alarm` objects or an
+        :class:`~repro.core.alarm_table.AlarmTable`; a vectorized
+        engine normalizes to the table (keeping Steps 2-4 columnar),
+        the reference engine to the list — both label byte-identically.
         ``timings``, when given, accumulates per-stage wall seconds
         (``extract`` / ``graph`` / ``combine`` / ``label``) — the
         ``repro bench`` instrumentation.
@@ -212,7 +245,23 @@ class MAWILabPipeline:
             raise ValueError(
                 f"{ANNOTATION_DETECTOR!r} is a reserved detector family"
             )
-        alarms = merge_annotations(list(alarms), list(annotations))
+        if self.engine.vectorized:
+            if not isinstance(alarms, AlarmTable):
+                alarms = AlarmTable.from_alarms(list(alarms), engine=self.engine)
+            if annotations:
+                alarms = AlarmTable.concatenate(
+                    [
+                        alarms,
+                        AlarmTable.from_alarms(
+                            merge_annotations([], list(annotations)),
+                            engine=self.engine,
+                        ),
+                    ]
+                )
+        else:
+            if isinstance(alarms, AlarmTable):
+                alarms = alarms.to_alarms()
+            alarms = merge_annotations(list(alarms), list(annotations))
         # Step 2: similarity estimator (annotations participate).
         community_set = self.estimator.build(trace, alarms, timings=timings)
         # Step 3: combiner (annotations excluded from the vote table).
@@ -224,12 +273,15 @@ class MAWILabPipeline:
             timings["combine"] = (
                 timings.get("combine", 0.0) + _time.perf_counter() - started
             )
-        # Step 4: rules + taxonomy.
+        # Step 4: rules + taxonomy.  Taxonomies are assigned columnarly
+        # — one ``"label_assign"`` kernel call over the decision
+        # columns — before the per-community record assembly.
         started = _time.perf_counter()
+        taxonomies = assign_taxonomy_batch(decisions, engine=self.engine)
         labels = [
-            self._label_one(community_set, community, decision)
-            for community, decision in zip(
-                community_set.communities, decisions
+            self._label_one(community_set, community, decision, taxonomy)
+            for community, decision, taxonomy in zip(
+                community_set.communities, decisions, taxonomies
             )
         ]
         if timings is not None:
@@ -250,6 +302,7 @@ class MAWILabPipeline:
         community_set: CommunitySet,
         community,
         decision: Decision,
+        taxonomy: Optional[str] = None,
     ) -> LabelRecord:
         from repro.core.annotations import ANNOTATION_DETECTOR, community_tags
 
@@ -261,7 +314,7 @@ class MAWILabPipeline:
         )
         return LabelRecord(
             community_id=community.id,
-            taxonomy=assign_taxonomy(decision),
+            taxonomy=taxonomy if taxonomy is not None else assign_taxonomy(decision),
             heuristic=heuristic,
             summary=summary,
             t0=community.t0,

@@ -1,0 +1,342 @@
+"""Columnar label storage: the struct-of-arrays MAWILab database.
+
+A :class:`LabelStore` holds one array per
+:class:`~repro.labeling.mawilab.LabelRecord` field — community ids,
+taxonomy / heuristic codes, time spans, alarm counts, the combiner's
+confidence columns (``mu``, relative distance) — plus small
+first-appearance name pools and ragged per-record detector /
+annotation blocks.  It is the output-side twin of
+:class:`~repro.core.alarm_table.AlarmTable`: records materialize
+lazily (and cache) on indexed access, so the CSV/XML exporters — which
+iterate records — render byte-identical output from a store or a plain
+record list.
+
+The streaming pipeline's cross-window label merging uses
+:meth:`with_columns`: re-accepted labels get their renumbered ids and
+extended spans written as whole-column overrides instead of per-record
+``dataclasses.replace`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.labeling.taxonomy import TAXONOMY_ORDER
+
+#: Per-record numeric columns.
+LABEL_COLUMN_DTYPES: dict[str, np.dtype] = {
+    "community_id": np.dtype(np.int64),
+    "taxonomy_code": np.dtype(np.int8),
+    "category_code": np.dtype(np.int16),
+    "detail_code": np.dtype(np.int16),
+    "t0": np.dtype(np.float64),
+    "t1": np.dtype(np.float64),
+    "n_alarms": np.dtype(np.int64),
+    "relative_distance": np.dtype(np.float64),  # NaN = no metric
+    "mu": np.dtype(np.float64),
+}
+
+LABEL_COLUMNS = tuple(LABEL_COLUMN_DTYPES)
+LABEL_BOUND_COLUMNS = ("detector_bounds", "annotation_bounds")
+
+
+class LabelStore:
+    """Struct-of-arrays label records with lazy views."""
+
+    __slots__ = LABEL_COLUMNS + LABEL_BOUND_COLUMNS + (
+        "categories",
+        "details",
+        "detector_names",
+        "annotation_tags",
+        "summaries",
+        "_record_cache",
+    )
+
+    def __init__(
+        self,
+        community_id,
+        taxonomy_code,
+        category_code,
+        detail_code,
+        t0,
+        t1,
+        n_alarms,
+        relative_distance,
+        mu,
+        detector_bounds,
+        annotation_bounds,
+        categories: Sequence[str] = (),
+        details: Sequence[str] = (),
+        detector_names: Sequence[str] = (),
+        annotation_tags: Sequence[str] = (),
+        summaries: Sequence = (),
+    ) -> None:
+        values = dict(
+            zip(
+                LABEL_COLUMNS + LABEL_BOUND_COLUMNS,
+                (
+                    community_id, taxonomy_code, category_code, detail_code,
+                    t0, t1, n_alarms, relative_distance, mu,
+                    detector_bounds, annotation_bounds,
+                ),
+            )
+        )
+        dtypes = {
+            **LABEL_COLUMN_DTYPES,
+            "detector_bounds": np.dtype(np.int64),
+            "annotation_bounds": np.dtype(np.int64),
+        }
+        for name, value in values.items():
+            column = np.asarray(value, dtype=dtypes[name])
+            if column.ndim != 1:
+                raise ValueError(f"column {name!r} must be one-dimensional")
+            object.__setattr__(self, name, column)
+        object.__setattr__(self, "categories", tuple(categories))
+        object.__setattr__(self, "details", tuple(details))
+        object.__setattr__(self, "detector_names", tuple(detector_names))
+        object.__setattr__(self, "annotation_tags", tuple(annotation_tags))
+        object.__setattr__(self, "summaries", tuple(summaries))
+        n = len(self.community_id)
+        for name in LABEL_COLUMNS:
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name!r} length mismatch")
+        for name, pool in (
+            ("detector_bounds", self.detector_names),
+            ("annotation_bounds", self.annotation_tags),
+        ):
+            bounds = getattr(self, name)
+            if len(bounds) != n + 1 or (n and int(bounds[-1]) != len(pool)):
+                raise ValueError(f"{name} inconsistent with its pool")
+        if len(self.summaries) != n:
+            raise ValueError("one summary object per record required")
+        object.__setattr__(self, "_record_cache", [None] * n)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("LabelStore is immutable")
+
+    def __reduce__(self):
+        return (
+            LabelStore,
+            tuple(
+                getattr(self, name)
+                for name in LABEL_COLUMNS + LABEL_BOUND_COLUMNS
+            )
+            + (
+                self.categories,
+                self.details,
+                self.detector_names,
+                self.annotation_tags,
+                self.summaries,
+            ),
+        )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence, engine="auto") -> "LabelStore":
+        """Columnarize label records (lazy views give them back)."""
+        from repro.engine import resolve_engine
+
+        engine = resolve_engine(engine, what="label-store")
+        records = list(records)
+        n = len(records)
+        alarm_codes = engine.kernel("alarm_codes")
+        taxonomy_of = {name: code for code, name in enumerate(TAXONOMY_ORDER)}
+        category_code, categories = alarm_codes(
+            [r.heuristic.category for r in records]
+        )
+        detail_code, details = alarm_codes(
+            [r.heuristic.detail for r in records]
+        )
+        detector_bounds = np.zeros(n + 1, dtype=np.int64)
+        annotation_bounds = np.zeros(n + 1, dtype=np.int64)
+        for i, record in enumerate(records):
+            detector_bounds[i + 1] = detector_bounds[i] + len(record.detectors)
+            annotation_bounds[i + 1] = (
+                annotation_bounds[i] + len(record.annotations)
+            )
+        store = cls(
+            community_id=np.fromiter(
+                (r.community_id for r in records), np.int64, count=n
+            ),
+            taxonomy_code=np.fromiter(
+                (taxonomy_of[r.taxonomy] for r in records), np.int8, count=n
+            ),
+            category_code=category_code.astype(np.int16),
+            detail_code=detail_code.astype(np.int16),
+            t0=np.fromiter((r.t0 for r in records), np.float64, count=n),
+            t1=np.fromiter((r.t1 for r in records), np.float64, count=n),
+            n_alarms=np.fromiter(
+                (r.n_alarms for r in records), np.int64, count=n
+            ),
+            relative_distance=np.fromiter(
+                (
+                    np.nan if r.relative_distance is None else r.relative_distance
+                    for r in records
+                ),
+                np.float64,
+                count=n,
+            ),
+            mu=np.fromiter((r.mu for r in records), np.float64, count=n),
+            detector_bounds=detector_bounds,
+            annotation_bounds=annotation_bounds,
+            categories=categories,
+            details=details,
+            detector_names=tuple(
+                name for r in records for name in r.detectors
+            ),
+            annotation_tags=tuple(
+                tag for r in records for tag in r.annotations
+            ),
+            summaries=tuple(r.summary for r in records),
+        )
+        object.__setattr__(store, "_record_cache", list(records))
+        return store
+
+    @classmethod
+    def concatenate(cls, stores: Iterable["LabelStore"]) -> "LabelStore":
+        """Stack stores row-wise (records keep their own ids)."""
+        stores = [s for s in stores]
+        if not stores:
+            return cls.from_records([])
+        if len(stores) == 1:
+            return stores[0]
+        records = [record for store in stores for record in store]
+        return cls.from_records(records)
+
+    # -- container protocol --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.community_id)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator:
+        for i in range(len(self)):
+            yield self.record(i)
+
+    def __getitem__(self, index: int):
+        return self.record(index)
+
+    def taxonomy_name(self, index: int) -> str:
+        return TAXONOMY_ORDER[int(self.taxonomy_code[index])]
+
+    def record(self, index: int):
+        """Materialize row ``index`` as a :class:`LabelRecord` (cached)."""
+        cached = self._record_cache[index]
+        if cached is None:
+            from repro.labeling.heuristics import HeuristicLabel
+            from repro.labeling.mawilab import LabelRecord
+
+            distance = float(self.relative_distance[index])
+            lo, hi = (
+                int(self.detector_bounds[index]),
+                int(self.detector_bounds[index + 1]),
+            )
+            alo, ahi = (
+                int(self.annotation_bounds[index]),
+                int(self.annotation_bounds[index + 1]),
+            )
+            cached = self._record_cache[index] = LabelRecord(
+                community_id=int(self.community_id[index]),
+                taxonomy=self.taxonomy_name(index),
+                heuristic=HeuristicLabel(
+                    category=self.categories[int(self.category_code[index])],
+                    detail=self.details[int(self.detail_code[index])],
+                ),
+                summary=self.summaries[index],
+                t0=float(self.t0[index]),
+                t1=float(self.t1[index]),
+                n_alarms=int(self.n_alarms[index]),
+                detectors=self.detector_names[lo:hi],
+                relative_distance=None if np.isnan(distance) else distance,
+                mu=float(self.mu[index]),
+                annotations=self.annotation_tags[alo:ahi],
+            )
+        return cached
+
+    def to_records(self) -> list:
+        return [self.record(i) for i in range(len(self))]
+
+    # -- column algebra -------------------------------------------------
+
+    def with_columns(self, **overrides) -> "LabelStore":
+        """A new store with whole numeric columns replaced.
+
+        Only per-record numeric columns may be overridden; ragged
+        blocks and pools are shared with the source store.  This is the
+        streaming merge's column-slice operation: renumbered ids and
+        extended spans in three vectorized writes.
+        """
+        unknown = set(overrides) - set(LABEL_COLUMNS)
+        if unknown:
+            raise KeyError(f"unknown label columns {sorted(unknown)}")
+        columns = {
+            name: overrides.get(name, getattr(self, name))
+            for name in LABEL_COLUMNS
+        }
+        return LabelStore(
+            **columns,
+            detector_bounds=self.detector_bounds,
+            annotation_bounds=self.annotation_bounds,
+            categories=self.categories,
+            details=self.details,
+            detector_names=self.detector_names,
+            annotation_tags=self.annotation_tags,
+            summaries=self.summaries,
+        )
+
+    def take(self, rows) -> "LabelStore":
+        """Row subset (index array or boolean mask), order preserved.
+
+        A pure column gather — numeric columns slice, ragged blocks
+        re-pack, name pools carry over (codes stay valid); no records
+        are materialized.
+        """
+        from repro.core.alarm_table import _ragged_take
+
+        rows = np.asarray(rows)
+        if rows.dtype == bool:
+            rows = np.nonzero(rows)[0]
+        rows = rows.astype(np.int64)
+        detector_bounds, detector_idx = _ragged_take(
+            self.detector_bounds, rows
+        )
+        annotation_bounds, annotation_idx = _ragged_take(
+            self.annotation_bounds, rows
+        )
+        return LabelStore(
+            **{name: getattr(self, name)[rows] for name in LABEL_COLUMNS},
+            detector_bounds=detector_bounds,
+            annotation_bounds=annotation_bounds,
+            categories=self.categories,
+            details=self.details,
+            detector_names=tuple(
+                self.detector_names[int(i)] for i in detector_idx
+            ),
+            annotation_tags=tuple(
+                self.annotation_tags[int(i)] for i in annotation_idx
+            ),
+            summaries=tuple(self.summaries[int(i)] for i in rows),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LabelStore):
+            return NotImplemented
+        return self.to_records() == other.to_records()
+
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LabelStore(n={len(self)})"
+
+
+def taxonomy_counts(store: LabelStore) -> dict[str, int]:
+    """Per-taxonomy record counts from the code column (no views)."""
+    counts = np.bincount(
+        store.taxonomy_code, minlength=len(TAXONOMY_ORDER)
+    )
+    return {name: int(counts[i]) for i, name in enumerate(TAXONOMY_ORDER)}

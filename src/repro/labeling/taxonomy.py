@@ -25,6 +25,10 @@ TAXONOMY_SUSPICIOUS = "suspicious"
 TAXONOMY_NOTICE = "notice"
 TAXONOMY_BENIGN = "benign"
 
+#: Code order of the ``"label_assign"`` kernels and the columnar
+#: :class:`~repro.labeling.store.LabelStore` taxonomy column.
+TAXONOMY_ORDER = (TAXONOMY_ANOMALOUS, TAXONOMY_SUSPICIOUS, TAXONOMY_NOTICE)
+
 #: The relative-distance threshold between suspicious and notice.
 SUSPICIOUS_DISTANCE = 0.5
 
@@ -56,3 +60,41 @@ def assign_taxonomy(
     if distance <= suspicious_distance:
         return TAXONOMY_SUSPICIOUS
     return TAXONOMY_NOTICE
+
+
+def assign_taxonomy_batch(
+    decisions,
+    engine="auto",
+    suspicious_distance: float = SUSPICIOUS_DISTANCE,
+) -> list[str]:
+    """Taxonomy labels for a whole decision list at once.
+
+    Columnar twin of :func:`assign_taxonomy`: the decisions' fields are
+    packed into three arrays and classified by the engine's
+    ``"label_assign"`` kernel in one call (the reference kernel loops
+    :func:`assign_taxonomy`, so both engines label identically —
+    including raising :class:`~repro.errors.LabelingError` on a
+    rejected decision with ``mu`` above threshold).
+    """
+    import numpy as np
+
+    from repro.engine import resolve_engine
+
+    decisions = list(decisions)
+    n = len(decisions)
+    if n == 0:
+        return []
+    accepted = np.fromiter((d.accepted for d in decisions), bool, count=n)
+    distance = np.fromiter(
+        (
+            np.nan if d.relative_distance is None else d.relative_distance
+            for d in decisions
+        ),
+        np.float64,
+        count=n,
+    )
+    mu = np.fromiter((d.mu for d in decisions), np.float64, count=n)
+    codes = resolve_engine(engine, what="taxonomy").kernel("label_assign")(
+        accepted, distance, mu, suspicious_distance
+    )
+    return [TAXONOMY_ORDER[int(code)] for code in codes]

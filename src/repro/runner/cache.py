@@ -6,9 +6,13 @@ measure.  Caching alarms keyed by ``(archive, trace, ensemble)``
 therefore lets a re-labeling sweep with a different combiner skip
 Step 1 entirely.
 
-Entries are pickle files written atomically (temp file + ``os.replace``)
-so concurrent pool workers never observe a torn entry; a corrupt or
-unreadable entry is treated as a miss and evicted.
+Entries are serialized :class:`~repro.core.alarm_table.AlarmTable`
+columns — a handful of NumPy arrays plus two small name pools —
+written atomically (temp file + ``os.replace``) so concurrent pool
+workers never observe a torn entry; a corrupt or unreadable entry is
+treated as a miss and evicted.  Entries written by the pre-columnar
+cache (pickled ``Alarm`` object lists) still hit: they are re-encoded
+into a table on read.
 
 Cache keys are **engine-agnostic**: the columnar and reference kernels
 are asserted byte-identical by the engine parity suite, so an alarm set
@@ -17,6 +21,12 @@ only ``(archive, trace, ensemble)``.  Keys written before the engine
 layer additionally hashed the engine name; :meth:`AlarmCache.get`
 accepts those as ``legacy`` keys and migrates a hit to its new key
 once, so old caches keep paying off after an upgrade.
+
+The cache is LRU-aware: every hit touches the entry's mtime, and
+:meth:`AlarmCache.prune` evicts least-recently-used entries to keep
+the directory under a byte budget (``repro cache prune --max-bytes``)
+and/or drop entries idle longer than a cutoff (``--older-than``) —
+archive sweeps otherwise grow the directory without bound.
 """
 
 from __future__ import annotations
@@ -25,14 +35,33 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
+from repro.core.alarm_table import AlarmTable
 from repro.detectors.base import Alarm
 
 
+@dataclass(frozen=True)
+class PruneStats:
+    """Outcome of one :meth:`AlarmCache.prune` pass."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+
+    def describe(self) -> str:
+        return (
+            f"removed {self.removed} entries ({self.freed_bytes} bytes), "
+            f"kept {self.kept} ({self.kept_bytes} bytes)"
+        )
+
+
 class AlarmCache:
-    """Pickle-per-entry alarm cache rooted at ``cache_dir``."""
+    """Table-per-entry alarm cache rooted at ``cache_dir``."""
 
     def __init__(self, cache_dir: str | Path) -> None:
         self.cache_dir = Path(cache_dir)
@@ -84,8 +113,8 @@ class AlarmCache:
 
     def get(
         self, key: str, legacy: Sequence[str] = ()
-    ) -> Optional[list[Alarm]]:
-        """Cached alarms for ``key``, or ``None`` on a miss.
+    ) -> Optional[AlarmTable]:
+        """Cached alarm table for ``key``, or ``None`` on a miss.
 
         ``legacy`` lists older keys that denote the same entry (see
         :meth:`legacy_keys`); a hit on one is re-written under ``key``
@@ -104,20 +133,45 @@ class AlarmCache:
         self.misses += 1
         return None
 
-    def _read(self, key: str) -> Optional[list[Alarm]]:
+    def _read(self, key: str) -> Optional[AlarmTable]:
         path = self.path_for(key)
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                payload = pickle.load(handle)
         except FileNotFoundError:
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             # Torn/corrupt entry (e.g. from a killed worker): evict.
             path.unlink(missing_ok=True)
             return None
+        # Touch on hit: prune() evicts by mtime, making this an LRU.
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away
+            pass
+        if isinstance(payload, AlarmTable):
+            return payload
+        if isinstance(payload, list):
+            # Pre-columnar entry: a pickled list of Alarm objects.
+            # Re-encode and rewrite in place so the conversion cost is
+            # paid once; a list that does not encode (corrupt items) is
+            # a corrupt entry like any other — evict, report a miss.
+            try:
+                table = AlarmTable.from_alarms(payload)
+            except Exception:
+                path.unlink(missing_ok=True)
+                return None
+            self.put(key, table)
+            return table
+        path.unlink(missing_ok=True)
+        return None
 
-    def put(self, key: str, alarms: list[Alarm]) -> None:
-        """Store ``alarms`` under ``key`` atomically."""
+    def put(
+        self, key: str, alarms: Union[AlarmTable, Sequence[Alarm]]
+    ) -> None:
+        """Store an alarm set under ``key`` atomically (as a table)."""
+        if not isinstance(alarms, AlarmTable):
+            alarms = AlarmTable.from_alarms(list(alarms))
         path = self.path_for(key)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.cache_dir, prefix=f".{key}.", suffix=".tmp"
@@ -143,3 +197,58 @@ class AlarmCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+    # -- pruning --------------------------------------------------------
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, bytes, path) per entry, least recently used first."""
+        entries = []
+        for path in self.cache_dir.glob("alarms-*.pkl"):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:  # pragma: no cover - racing worker
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        older_than: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> PruneStats:
+        """Evict entries by recency.
+
+        ``older_than`` drops entries not used (created/hit) within the
+        last ``older_than`` seconds; ``max_bytes`` then evicts least
+        recently used entries until the directory's entry bytes fit the
+        budget.  Either may be ``None``; with both ``None`` this is a
+        no-op inventory pass.
+        """
+        now = time.time() if now is None else now
+        entries = self._entries()
+        removed = 0
+        freed = 0
+        kept: list[tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if older_than is not None and mtime < now - older_than:
+                path.unlink(missing_ok=True)
+                removed += 1
+                freed += size
+            else:
+                kept.append((mtime, size, path))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in kept)
+            while kept and total > max_bytes:
+                _, size, path = kept.pop(0)  # oldest mtime = LRU victim
+                path.unlink(missing_ok=True)
+                removed += 1
+                freed += size
+                total -= size
+        return PruneStats(
+            removed=removed,
+            freed_bytes=freed,
+            kept=len(kept),
+            kept_bytes=sum(size for _, size, _ in kept),
+        )

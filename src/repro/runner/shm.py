@@ -28,6 +28,21 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.alarm_table import (
+    ALARM_COLUMNS,
+    FILTER_COLUMNS,
+    FLOW_COLUMNS,
+    AlarmTable,
+)
+from repro.core.alarm_table import (
+    ALARM_COLUMN_DTYPES as _ALARM_DTYPES,
+)
+from repro.core.alarm_table import (
+    FILTER_COLUMN_DTYPES as _FILTER_DTYPES,
+)
+from repro.core.alarm_table import (
+    FLOW_COLUMN_DTYPES as _FLOW_DTYPES,
+)
 from repro.net.table import COLUMN_DTYPES, COLUMNS, PacketTable
 
 
@@ -144,6 +159,184 @@ def transport_probe_shm(handle: SharedTableHandle) -> int:
 def transport_probe_pickle(table: PacketTable) -> int:
     """Pickle-transport twin of :func:`transport_probe_shm`."""
     return int(table.size.sum())
+
+
+# -- alarm tables ------------------------------------------------------
+#
+# The result-side twin of the packet transport: a worker's Step 1
+# alarm table flows back to the parent as one shared segment instead
+# of a pickled object list.  Every numeric column (per-alarm, ragged
+# bounds, encoded per-filter / per-flow-key blocks) lands in the
+# segment; only the two small name pools ride the handle.
+
+
+def _alarm_layout(
+    n_rows: int, n_filters: int, n_flows: int
+) -> list[tuple[str, np.dtype, int]]:
+    """(column, dtype, length) for every numeric alarm-table array."""
+    layout = [(name, _ALARM_DTYPES[name], n_rows) for name in ALARM_COLUMNS]
+    layout.append(("filter_bounds", np.dtype(np.int64), n_rows + 1))
+    layout.append(("flow_bounds", np.dtype(np.int64), n_rows + 1))
+    layout.extend(
+        (name, _FILTER_DTYPES[name], n_filters) for name in FILTER_COLUMNS
+    )
+    layout.extend(
+        (name, _FLOW_DTYPES[name], n_flows) for name in FLOW_COLUMNS
+    )
+    return layout
+
+
+def alarm_segment_bytes(n_rows: int, n_filters: int, n_flows: int) -> int:
+    """Total segment size for an alarm table (≥ 1 byte)."""
+    return max(
+        sum(
+            _column_bytes(length, dtype)
+            for _name, dtype, length in _alarm_layout(n_rows, n_filters, n_flows)
+        ),
+        1,
+    )
+
+
+class AttachedAlarmTable:
+    """An :class:`AlarmTable` view over a mapped shared segment.
+
+    Same contract as :class:`AttachedTable`: keep it open while the
+    table (or arrays derived from its columns) is in use, then
+    :meth:`close`; the exporting side owns the segment's lifetime.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, table: AlarmTable
+    ) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.table: Optional[AlarmTable] = table
+
+    def __enter__(self) -> AlarmTable:
+        assert self.table is not None
+        return self.table
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.table = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+            self._shm = None
+
+
+@dataclass(frozen=True)
+class SharedAlarmTableHandle:
+    """Picklable description of one exported alarm-table segment.
+
+    The numeric columns live in the named segment; the detector /
+    configuration name pools — small by construction — travel with the
+    handle itself.
+    """
+
+    name: str
+    n_rows: int
+    n_filters: int
+    n_flows: int
+    detectors: tuple[str, ...]
+    configs: tuple[str, ...]
+
+    def attach(self) -> AttachedAlarmTable:
+        """Map the segment and view it as an :class:`AlarmTable`."""
+        shm = shared_memory.SharedMemory(name=self.name)
+        _unregister_attached(self.name)
+        columns = {}
+        offset = 0
+        for column, dtype, length in _alarm_layout(
+            self.n_rows, self.n_filters, self.n_flows
+        ):
+            columns[column] = np.ndarray(
+                (length,), dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            offset += _column_bytes(length, dtype)
+        return AttachedAlarmTable(
+            shm,
+            AlarmTable(
+                **columns, detectors=self.detectors, configs=self.configs
+            ),
+        )
+
+    def to_table(self) -> AlarmTable:
+        """Attach, copy out a process-local table, and unmap.
+
+        For consumers that outlive the segment (the parent collects a
+        worker's results, then unlinks); the copy is one memcpy per
+        column.
+        """
+        attached = self.attach()
+        try:
+            table = attached.table
+            return AlarmTable(
+                **{
+                    name: np.array(getattr(table, name))
+                    for name, _dtype, _length in _alarm_layout(
+                        self.n_rows, self.n_filters, self.n_flows
+                    )
+                },
+                detectors=self.detectors,
+                configs=self.configs,
+            )
+        finally:
+            attached.close()
+
+    def unlink(self) -> None:
+        """Free the backing segment (owner-side, after consumption)."""
+        try:
+            segment = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            return
+        segment.unlink()
+        segment.close()
+
+
+def export_alarm_table(table: AlarmTable) -> SharedAlarmTableHandle:
+    """Copy an alarm table's numeric columns into a fresh segment.
+
+    The caller owns the segment and must eventually call
+    :meth:`SharedAlarmTableHandle.unlink`.  Pool workers use this to
+    hand their Step 1 results back zero-copy: the report carries the
+    handle, the parent attaches (or :meth:`~SharedAlarmTableHandle.to_table`\\ s)
+    and unlinks.
+    """
+    n_rows = len(table)
+    n_filters = len(table.f_src)
+    n_flows = len(table.w_src)
+    shm = shared_memory.SharedMemory(
+        create=True, size=alarm_segment_bytes(n_rows, n_filters, n_flows)
+    )
+    try:
+        offset = 0
+        for column, dtype, length in _alarm_layout(
+            n_rows, n_filters, n_flows
+        ):
+            view = np.ndarray(
+                (length,), dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            view[:] = getattr(table, column)
+            offset += _column_bytes(length, dtype)
+            del view
+        handle = SharedAlarmTableHandle(
+            name=shm.name,
+            n_rows=n_rows,
+            n_filters=n_filters,
+            n_flows=n_flows,
+            detectors=table.detectors,
+            configs=table.configs,
+        )
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    shm.close()
+    return handle
 
 
 def export_table(table: PacketTable) -> SharedTableHandle:

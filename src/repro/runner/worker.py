@@ -57,6 +57,10 @@ class TraceTask:
     fingerprint: Optional[str] = None
     cache_dir: Optional[str] = None
     out_dir: Optional[str] = None
+    #: When true, the worker exports its Step 1 alarm table to a
+    #: shared-memory segment and the report carries the handle — the
+    #: parent attaches the *results* zero-copy (and owns the unlink).
+    return_alarms: bool = False
 
 
 def csv_path_for(out_dir: str | Path, date: str) -> Path:
@@ -161,12 +165,22 @@ def _label_trace(
         alarms = cache.get(key, legacy=AlarmCache.legacy_keys(*key_parts))
     cache_hit = alarms is not None
     if alarms is None:
-        alarms = pipeline.detect(trace)
+        # Step 1 batch-emits columnarly; the cache stores the table.
+        alarms = pipeline.detect_table(trace)
         if cache is not None:
             cache.put(key, alarms)
 
     result = pipeline.run_with_alarms(trace, alarms)
     csv_text = labels_to_csv(result.labels)
+
+    alarms_shm = None
+    if task.return_alarms:
+        from repro.core.alarm_table import AlarmTable
+        from repro.runner.shm import export_alarm_table
+
+        if not isinstance(alarms, AlarmTable):
+            alarms = AlarmTable.from_alarms(list(alarms))
+        alarms_shm = export_alarm_table(alarms)
 
     csv_path = ""
     if task.out_dir:
@@ -186,4 +200,5 @@ def _label_trace(
         cache_hit=cache_hit,
         csv_path=csv_path,
         csv_sha256=hashlib.sha256(csv_text.encode()).hexdigest(),
+        alarms_shm=alarms_shm,
     )

@@ -37,7 +37,12 @@ from dataclasses import replace as _dc_replace
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
-from repro.engine import Engine, EngineSpec, resolve_engine
+from repro.engine import (
+    Engine,
+    EngineSpec,
+    resolve_engine,
+    resolve_legacy_backend,
+)
 from repro.net.table import PacketTable
 from repro.net.trace import Trace, TraceMetadata
 from repro.runner import worker
@@ -88,12 +93,14 @@ class LabelingSession:
         config: Optional[PipelineConfig] = None,
         *,
         engine: EngineSpec = None,
+        backend: EngineSpec = None,
         workers: int = 1,
         cache_dir: Optional[str] = None,
         out_dir: Optional[str] = None,
         resume: bool = False,
         transport: str = "auto",
     ) -> None:
+        engine = resolve_legacy_backend(engine, backend, what="session")
         if resume and not out_dir:
             raise ValueError("resume=True requires an out_dir")
         if transport not in TRANSPORTS:
@@ -180,6 +187,7 @@ class LabelingSession:
         traces: Iterable[Trace],
         progress: Optional[ProgressCallback] = None,
         fingerprints: Optional[Sequence[Optional[str]]] = None,
+        collect_alarms: bool = False,
     ) -> BatchReport:
         """Batch mode: arbitrary traces fanned out across the pool.
 
@@ -196,6 +204,13 @@ class LabelingSession:
         content digest) — pass the archive fingerprint when shipping
         pregenerated archive days so cache keys stay
         transport-independent.
+
+        ``collect_alarms=True`` makes every worker return its Step 1
+        alarm table over the zero-copy shm result transport
+        (:func:`repro.runner.shm.export_alarm_table`); the collected
+        :class:`~repro.core.alarm_table.AlarmTable` objects land in
+        ``BatchReport.alarm_tables`` keyed by trace name, and the
+        segments are freed as each shard's report arrives.
         """
         traces = list(traces)
         if fingerprints is None:
@@ -206,6 +221,7 @@ class LabelingSession:
         if transport == "auto":
             transport = "shm" if self.workers > 1 else "pickle"
         handle_of: dict[str, object] = {}
+        alarm_tables: dict[str, object] = {}
         tasks = []
         try:
             for trace, fingerprint in zip(traces, fingerprints):
@@ -217,6 +233,7 @@ class LabelingSession:
                     out_dir=self.out_dir,
                     metadata=trace.metadata,
                     fingerprint=fingerprint,
+                    return_alarms=collect_alarms,
                 )
                 if transport == "shm":
                     if name in handle_of:
@@ -232,10 +249,22 @@ class LabelingSession:
                 handle = handle_of.pop(getattr(report, "date", None), None)
                 if handle is not None:
                     handle.unlink()
+                result_handle = getattr(report, "alarms_shm", None)
+                if result_handle is not None:
+                    # Pull the worker's alarm table out of its result
+                    # segment, then free it; the handle never outlives
+                    # this callback.
+                    try:
+                        alarm_tables[report.date] = result_handle.to_table()
+                    finally:
+                        result_handle.unlink()
+                    report.alarms_shm = None
                 if progress is not None:
                     progress(done, total, report)
 
-            return self._execute(tasks, tracked_progress)
+            batch = self._execute(tasks, tracked_progress)
+            batch.alarm_tables.update(alarm_tables)
+            return batch
         finally:
             for handle in handle_of.values():
                 handle.unlink()

@@ -32,11 +32,12 @@ on every engine.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from repro.core.alarm_table import AlarmTable
 from repro.core.community import CommunitySet
 from repro.core.dynamic import DynamicSimilarityGraph
 from repro.core.estimator import SimilarityEstimator
@@ -44,9 +45,11 @@ from repro.core.extractor import TrafficExtractor
 from repro.core.louvain import louvain
 from repro.detectors.base import Alarm, Detector
 from repro.detectors.streaming import StreamingDetector, wrap_ensemble
-from repro.engine import EngineSpec, resolve_engine
+from repro.engine import EngineSpec, resolve_engine, resolve_legacy_backend
 from repro.errors import StreamError
 from repro.labeling.mawilab import LabelRecord, MAWILabPipeline, labels_to_csv
+from repro.labeling.store import LabelStore
+from repro.labeling.taxonomy import assign_taxonomy_batch
 from repro.net.flow import Granularity
 from repro.net.table import PacketTable
 from repro.net.trace import Trace, TraceMetadata
@@ -136,6 +139,8 @@ class StreamResult:
     #: appearance order, spans extended over merged re-acceptances.
     labels: list[LabelRecord]
     stats: StreamStats
+    #: The same labels columnarly (``labels`` are its lazy views).
+    label_store: Optional[LabelStore] = None
 
     def to_csv(self) -> str:
         """The merged labels in the offline database CSV format."""
@@ -202,7 +207,9 @@ class StreamingPipeline:
         rule_support_pct: float = 20.0,
         seed: int = 0,
         engine: EngineSpec = "auto",
+        backend: EngineSpec = None,
     ) -> None:
+        engine = resolve_legacy_backend(engine, backend, what="stream")
         if window <= 0:
             raise StreamError(f"window must be positive, got {window}")
         hop = window if hop is None else hop
@@ -237,7 +244,13 @@ class StreamingPipeline:
         self._graph = DynamicSimilarityGraph(
             measure=measure, edge_threshold=edge_threshold
         )
-        self._alarms: dict[int, Alarm] = {}
+        #: Live alarms, columnar: row ``i`` of the table is the alarm
+        #: with graph id ``_live_ids[i]``.  Ids are assigned
+        #: monotonically and eviction preserves order, so ``_live_ids``
+        #: stays ascending — the same order ``DynamicSimilarityGraph``
+        #: compacts in.
+        self._live_table: AlarmTable = AlarmTable.empty()
+        self._live_ids: np.ndarray = np.empty(0, dtype=np.int64)
         #: Alarm identity -> live alarm ids carrying it.  A detector
         #: may legitimately emit identical alarms within one window
         #: (they are distinct graph nodes offline too), so identities
@@ -295,10 +308,12 @@ class StreamingPipeline:
     ) -> StreamResult:
         """Consume the whole stream; return the merged result."""
         windows = list(self.process(chunks, metadata=metadata))
+        store = self.merged_label_store()
         return StreamResult(
             windows=windows,
-            labels=self.merged_labels(),
+            labels=store.to_records(),
             stats=self.stats(),
+            label_store=store,
         )
 
     # -- one window ----------------------------------------------------
@@ -315,16 +330,16 @@ class StreamingPipeline:
             table.take(np.nonzero(in_window)[0]), self._metadata
         )
 
-        # Retire alarms that slid out of the window entirely.
-        expired = [
-            alarm_id
-            for alarm_id, alarm in self._alarms.items()
-            if alarm.t1 <= window_t0
-        ]
-        if expired:
+        # Retire alarms that slid out of the window entirely: one
+        # vectorized compare on the live table's t1 column, one column
+        # slice to compact the survivors.
+        expired_mask = self._live_table.t1 <= window_t0
+        if expired_mask.any():
+            expired = [int(i) for i in self._live_ids[expired_mask]]
             self._graph.expire_alarms(expired)
+            self._live_table = self._live_table.take(~expired_mask)
+            self._live_ids = self._live_ids[~expired_mask]
             for alarm_id in expired:
-                del self._alarms[alarm_id]
                 self._partition.pop(alarm_id, None)
             dead = set(expired)
             self._alarm_keys = {
@@ -361,17 +376,30 @@ class StreamingPipeline:
             extractor = TrafficExtractor(
                 trace, self.granularity, engine=self.engine
             )
-            # Step 2, incremental: deltas into the live graph.
+            # Step 2, incremental: deltas into the live graph; fresh
+            # alarms batch-append onto the live table as one
+            # concatenation.
             traffic_sets = extractor.extract_all(
                 [alarm for _, alarm in fresh]
             )
-            for (key, alarm), alarm_id in zip(
-                fresh, self._graph.add_alarms(traffic_sets)
-            ):
-                self._alarms[alarm_id] = alarm
+            new_ids = self._graph.add_alarms(traffic_sets)
+            for (key, _alarm), alarm_id in zip(fresh, new_ids):
                 self._alarm_keys.setdefault(key, []).append(alarm_id)
+            if fresh:
+                self._live_table = AlarmTable.concatenate(
+                    [
+                        self._live_table,
+                        AlarmTable.from_alarms(
+                            [alarm for _, alarm in fresh],
+                            engine=self.engine,
+                        ),
+                    ]
+                )
+                self._live_ids = np.concatenate(
+                    [self._live_ids, np.asarray(new_ids, dtype=np.int64)]
+                )
             graph, node_of = self._graph.build()
-            live_ids = self._graph.live_ids()
+            live_ids = [int(i) for i in self._live_ids]
             seed_partition = {
                 node_of[alarm_id]: self._partition[alarm_id]
                 for alarm_id in live_ids
@@ -384,29 +412,35 @@ class StreamingPipeline:
             )
             for alarm_id in live_ids:
                 self._partition[alarm_id] = partition[node_of[alarm_id]]
-            # Steps 3-4: the offline machinery, unchanged.
-            alarm_list = [self._alarms[alarm_id] for alarm_id in live_ids]
+            # Steps 3-4: the offline machinery over the live table
+            # (communities are index vectors over its rows).
             traffic_list = [
                 self._graph.traffic_of(alarm_id) for alarm_id in live_ids
             ]
             communities = SimilarityEstimator._materialize(
-                alarm_list, traffic_list, partition
+                self._live_table, traffic_list, partition
             )
             n_communities = len(communities)
             community_set = CommunitySet(
                 communities=communities,
-                alarms=alarm_list,
+                alarms=self._live_table,
                 traffic_sets=traffic_list,
                 granularity=self.granularity,
                 graph=graph,
                 extractor=extractor,
+                alarm_table=self._live_table,
             )
             decisions = self.pipeline.strategy.classify(
                 community_set, self.pipeline.config_names
             )
+            taxonomies = assign_taxonomy_batch(decisions, engine=self.engine)
             labels = [
-                self.pipeline._label_one(community_set, community, decision)
-                for community, decision in zip(communities, decisions)
+                self.pipeline._label_one(
+                    community_set, community, decision, taxonomy
+                )
+                for community, decision, taxonomy in zip(
+                    communities, decisions, taxonomies
+                )
             ]
 
         self._merge_labels(labels)
@@ -455,17 +489,28 @@ class StreamingPipeline:
                 entries.append(entry)
                 self._merged_order.append(entry)
 
+    def merged_label_store(self) -> LabelStore:
+        """Deduplicated labels as one columnar store.
+
+        Renumbering and span extension are whole-column writes
+        (:meth:`LabelStore.with_columns`): ids become an ``arange`` in
+        first-appearance order, spans the merge entries' extended
+        envelopes — no per-record ``dataclasses.replace``.
+        """
+        entries = self._merged_order
+        n = len(entries)
+        store = LabelStore.from_records(
+            [entry.record for entry in entries], engine=self.engine
+        )
+        return store.with_columns(
+            community_id=np.arange(n, dtype=np.int64),
+            t0=np.fromiter((e.t0 for e in entries), np.float64, count=n),
+            t1=np.fromiter((e.t1 for e in entries), np.float64, count=n),
+        )
+
     def merged_labels(self) -> list[LabelRecord]:
         """Deduplicated labels, renumbered in first-appearance order."""
-        return [
-            replace(
-                entry.record,
-                community_id=community_id,
-                t0=entry.t0,
-                t1=entry.t1,
-            )
-            for community_id, entry in enumerate(self._merged_order)
-        ]
+        return self.merged_label_store().to_records()
 
     def stats(self) -> StreamStats:
         return StreamStats(

@@ -119,6 +119,33 @@ class TestBenchCommand:
         assert fanout["transport"]["shipments"] == 2
         assert fanout["shm_speedup"] > 0
 
+    def test_records_alarm_path_comparison(self, capsys):
+        """The alarm-path leg reports Steps 2-4 alarms/sec for the
+        object and columnar data paths over the same alarm set."""
+        assert (
+            main(
+                [
+                    "bench",
+                    "--duration",
+                    "5",
+                    "--seed",
+                    "7",
+                    "--fanout-workers",
+                    "0",
+                    "--alarm-path-reps",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        leg = json.loads(capsys.readouterr().out)["alarm_path"]
+        assert leg["n_alarms"] > 0
+        assert leg["reps"] == 2
+        for path in ("object", "columnar"):
+            assert leg[path]["seconds"] > 0
+            assert leg[path]["alarms_per_sec"] > 0
+        assert leg["columnar_speedup"] > 0
+
     def test_writes_json_file(self, tmp_path):
         out = tmp_path / "bench.json"
         assert (
@@ -153,11 +180,18 @@ class TestEngineOption:
         assert args.engine == "python"
 
     def test_backend_alias_still_parses(self):
-        """The pre-engine-layer spelling resolves to the same option."""
+        """The pre-engine-layer spelling resolves to the same option
+        (and warns — the deprecation tests pin the message)."""
+        import pytest
+
         parser = build_parser()
-        args = parser.parse_args(["label", "x.pcap", "--backend", "python"])
+        with pytest.warns(DeprecationWarning):
+            args = parser.parse_args(
+                ["label", "x.pcap", "--backend", "python"]
+            )
         assert args.engine == "python"
-        args = parser.parse_args(["bench", "--backend", "numpy"])
+        with pytest.warns(DeprecationWarning):
+            args = parser.parse_args(["bench", "--backend", "numpy"])
         assert args.engine == "numpy"
 
     def test_label_archive_engine_reaches_config(self):

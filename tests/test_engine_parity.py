@@ -178,6 +178,40 @@ def community_inputs(draw):
     return trace, alarms[0], granularity
 
 
+#: Small name alphabet so codes actually repeat.
+alarm_code_inputs = st.lists(
+    st.sampled_from(["pca/a", "pca/b", "kl/a", "hough/x", "gamma/z"]),
+    max_size=30,
+)
+
+
+@st.composite
+def label_assign_inputs(draw):
+    n = draw(st.integers(0, 12))
+    accepted = []
+    distance = []
+    mu = []
+    for _ in range(n):
+        is_accepted = draw(st.booleans())
+        has_distance = draw(st.booleans())
+        accepted.append(is_accepted)
+        distance.append(
+            draw(st.floats(0.0, 3.0, allow_nan=False))
+            if has_distance
+            else np.nan
+        )
+        # Rejected decisions without a distance metric must keep mu at
+        # or below the 0.5 threshold — above it both kernels raise.
+        high = 1.0 if (is_accepted or has_distance) else 0.5
+        mu.append(draw(st.floats(0.0, high, allow_nan=False)))
+    return (
+        np.array(accepted, dtype=bool),
+        np.array(distance, dtype=np.float64),
+        np.array(mu, dtype=np.float64),
+        draw(st.sampled_from([0.25, 0.5, 1.0])),
+    )
+
+
 # -- the parity table --------------------------------------------------
 
 
@@ -257,6 +291,18 @@ def _run_column_values(engine, payload):
     return engine.kernel("column_values")(trace, field, dtype).tolist()
 
 
+def _run_alarm_codes(engine, payload):
+    codes, pool = engine.kernel("alarm_codes")(payload)
+    return codes.tolist(), tuple(pool)
+
+
+def _run_label_assign(engine, payload):
+    accepted, distance, mu, suspicious_distance = payload
+    return engine.kernel("label_assign")(
+        accepted, distance, mu, suspicious_distance
+    ).tolist()
+
+
 @dataclass(frozen=True)
 class KernelCase:
     """One row of the parity table."""
@@ -299,6 +345,8 @@ KERNEL_CASES = [
         ),
         _run_column_values,
     ),
+    KernelCase("alarm_codes", alarm_code_inputs, _run_alarm_codes),
+    KernelCase("label_assign", label_assign_inputs(), _run_label_assign),
 ]
 
 

@@ -59,7 +59,8 @@ class TestAlarmCache:
         key = AlarmCache.make_key("arch", "2004-06-01", "ens")
         assert cache.get(key) is None
         cache.put(key, day_alarms)
-        assert cache.get(key) == day_alarms
+        # Entries are stored columnarly; views give the objects back.
+        assert cache.get(key).to_alarms() == day_alarms
         assert (cache.hits, cache.misses) == (1, 1)
         assert len(cache) == 1
         assert cache.clear() == 1

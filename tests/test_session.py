@@ -86,6 +86,30 @@ class TestModeParity:
             r.csv_sha256 for r in pooled.reports
         ]
 
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_collect_alarms_returns_worker_tables_zero_copy(
+        self, archive, day_trace, workers
+    ):
+        """Workers export their Step 1 alarm tables over shared memory;
+        the session collects them into the batch report, equal to an
+        in-process detection, with every segment freed afterwards."""
+        batch = LabelingSession(workers=workers).label_traces(
+            [day_trace], collect_alarms=True
+        )
+        assert [r.status for r in batch.reports] == ["ok"]
+        name = day_trace.metadata.name
+        table = batch.alarm_tables[name]
+        expected = LabelingSession().pipeline.detect(day_trace)
+        assert table.to_alarms() == expected
+        # The transport handle was consumed, not leaked into the report
+        # (and the JSON rendering stays serializable).
+        assert batch.reports[0].alarms_shm is None
+        assert "alarms_shm" not in batch.to_json()
+
+    def test_collect_alarms_off_by_default(self, day_trace):
+        batch = LabelingSession().label_traces([day_trace])
+        assert batch.alarm_tables == {}
+
 
 class TestSessionConfig:
     def test_engine_override_replaces_config_engine(self):

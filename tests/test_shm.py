@@ -1,8 +1,10 @@
-"""Shared-memory packet-table transport: zero-copy round-trips.
+"""Shared-memory table transports: zero-copy round-trips.
 
-The satellite property: any :class:`PacketTable` — including empty and
-single-packet tables — exported to a shared-memory segment and
-attached *in a subprocess* equals the original, column for column.
+The satellite properties: any :class:`PacketTable` — including empty
+and single-packet tables — exported to a shared-memory segment and
+attached *in a subprocess* equals the original, column for column; and
+any :class:`AlarmTable` (the worker-result transport) round-trips the
+same way, views included.
 """
 
 from __future__ import annotations
@@ -14,9 +16,14 @@ import pytest
 from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
+from repro.core.alarm_table import AlarmTable
 from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Packet
 from repro.net.table import COLUMNS, PacketTable
-from repro.runner.shm import export_table, segment_bytes
+from repro.runner.shm import (
+    export_alarm_table,
+    export_table,
+    segment_bytes,
+)
 
 
 def _packet(time, src, dst, sport, dport, proto, size, flags):
@@ -141,6 +148,61 @@ def test_attach_is_zero_copy():
             attached.close()
     finally:
         handle.unlink()
+
+
+def _attach_alarms(handle) -> list:
+    """Pool worker: attach an alarm segment, materialize every view."""
+    attached = handle.attach()
+    try:
+        return attached.table.to_alarms()
+    finally:
+        attached.close()
+
+
+from test_alarm_table import alarm_lists  # noqa: E402
+
+
+@given(alarm_lists)
+@example([])
+@settings(
+    max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+def test_alarm_table_round_trips_through_shm_subprocess(pool, alarm_list):
+    """The worker-result transport: export an alarm table, attach in a
+    different process, get the identical alarms back."""
+    table = AlarmTable.from_alarms(alarm_list)
+    handle = export_alarm_table(table)
+    try:
+        # In-process: attach views and the copy-out helper agree.
+        attached = handle.attach()
+        try:
+            assert attached.table == table
+        finally:
+            attached.close()
+        assert handle.to_table().to_alarms() == alarm_list
+        # Cross-process: a pool worker materializes equal alarms.
+        remote = pool.submit(_attach_alarms, handle).result(timeout=60)
+        assert remote == alarm_list
+    finally:
+        handle.unlink()
+
+
+def test_alarm_handle_unlink_is_idempotent():
+    from repro.detectors.base import Alarm
+    from repro.net.filters import FeatureFilter
+
+    table = AlarmTable.from_alarms(
+        [Alarm("pca", "pca/a", 0.0, 1.0, (FeatureFilter(src=1),))]
+    )
+    handle = export_alarm_table(table)
+    handle.unlink()
+    handle.unlink()  # second unlink is a silent no-op
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=handle.name)
 
 
 def test_handle_is_small_and_picklable():
