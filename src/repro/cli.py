@@ -139,8 +139,10 @@ def _cmd_label(args: argparse.Namespace) -> int:
     from repro.net.pcap import read_pcap
 
     trace = read_pcap(args.pcap)
-    session = _session(args)
-    result = session.label_trace(trace)
+    with _session(
+        args, workers=args.workers, fanout=args.fanout
+    ) as session:
+        result = session.label_trace(trace)
     print(
         f"{len(result.alarms)} alarms -> "
         f"{len(result.community_set.communities)} communities -> "
@@ -173,18 +175,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    session = _session(args)
+    session = _session(args, workers=args.workers)
     try:
         pipeline = session.streaming_pipeline(args.window, args.hop)
     except StreamError as exc:
+        session.close()
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    for result in pipeline.process(
-        iter_pcap(args.pcap, chunk_packets=args.chunk)
-    ):
-        print(result.describe(), file=sys.stderr)
-    labels = pipeline.merged_labels()
-    stats = pipeline.stats()
+    try:
+        for result in pipeline.process(
+            iter_pcap(args.pcap, chunk_packets=args.chunk)
+        ):
+            print(result.describe(), file=sys.stderr)
+        labels = pipeline.merged_labels()
+        stats = pipeline.stats()
+    finally:
+        pipeline.close()
+        session.close()
     print(
         f"{stats.n_windows} windows, {stats.total_packets} packets, "
         f"{stats.packets_per_sec:.0f} pkt/s, "
@@ -335,19 +342,30 @@ def _bench_alarm_path(trace, reps: int = 3) -> dict:
 
 
 def _bench_fanout(args: argparse.Namespace, archive) -> dict:
-    """Fan-out leg: pool transports compared two ways.
+    """Fan-out leg: pool execution compared end to end, plus a raw
+    transport microbench.
 
-    *Labeling*: ``--fanout-traces`` archive days labeled across
-    ``--fanout-workers`` pool workers twice — once shipping each packet
-    table through the task pipe (pickle), once exporting it to a
-    shared-memory segment workers attach zero-copy — reporting
-    end-to-end packets/sec per transport.
+    *Labeling*: ``--fanout-traces`` archive days labeled four ways —
+    ``single`` (one process, the 2x-win reference), ``pickle`` (pool,
+    tables serialized through the task pipe), ``shm`` (pool, tables
+    exported once into recycled arena segments workers pin), and
+    ``shm_detector`` (intra-trace detector fan-out over the shm
+    transport).  Every sub-leg records its worker count, fan-out mode
+    and transport alongside packets/sec; all four must render
+    byte-identical label CSVs (asserted here).  ``shm_vs_single`` and
+    ``shm_vs_pickle`` are the ratios the CI regression gate enforces
+    (on multi-core hosts), and ``cpu_count`` records what parallelism
+    the host could actually offer.
 
     *Transport microbench*: the bench trace tiled to
     ``--fanout-packets`` rows and shipped to every worker with a
     trivial touch on the far side, isolating raw transport throughput
     (this is where zero-copy shows up undiluted by labeling compute).
+
+    With ``--profile``, each labeling sub-leg carries a per-phase
+    wall-time breakdown (export / attach / compute / merge / idle).
     """
+    import os
     import time
 
     from repro.runner.config import PipelineConfig
@@ -360,25 +378,76 @@ def _bench_fanout(args: argparse.Namespace, archive) -> dict:
         "workers": args.fanout_workers,
         "n_traces": len(traces),
         "total_packets": total_packets,
+        "cpu_count": os.cpu_count() or 1,
         "labeling": {},
     }
-    for transport in ("pickle", "shm"):
-        session = LabelingSession(
-            config=PipelineConfig(engine=args.engine),
-            workers=args.fanout_workers,
-            transport=transport,
-        )
-        started = time.perf_counter()
-        report = session.label_traces(traces)
-        elapsed = time.perf_counter() - started
+    sub_legs = (
+        ("single", dict(workers=1, transport="pickle", fanout="shard")),
+        (
+            "pickle",
+            dict(
+                workers=args.fanout_workers,
+                transport="pickle",
+                fanout="shard",
+            ),
+        ),
+        (
+            "shm",
+            dict(
+                workers=args.fanout_workers,
+                transport="shm",
+                fanout="shard",
+            ),
+        ),
+        (
+            "shm_detector",
+            dict(
+                workers=args.fanout_workers,
+                transport="shm",
+                fanout="detector",
+            ),
+        ),
+    )
+    shas = {}
+    for name, spec in sub_legs:
+        profile: dict = {}
+        with LabelingSession(
+            config=PipelineConfig(engine=args.engine), **spec
+        ) as session:
+            started = time.perf_counter()
+            report = session.label_traces(
+                traces, profile=profile if args.profile else None
+            )
+            elapsed = time.perf_counter() - started
         if report.failures():
             raise RuntimeError(
-                f"fanout leg failed: {[r.error for r in report.failures()]}"
+                f"fanout leg {name!r} failed: "
+                f"{[r.error for r in report.failures()]}"
             )
-        leg["labeling"][transport] = {
+        shas[name] = tuple(r.csv_sha256 for r in report.reports)
+        entry = {
+            **spec,
             "seconds": round(elapsed, 6),
             "packets_per_sec": round(total_packets / elapsed, 1),
         }
+        if args.profile:
+            entry["profile"] = profile
+        leg["labeling"][name] = entry
+    if len(set(shas.values())) != 1:
+        raise RuntimeError(
+            "fanout legs disagree on labels: "
+            + ", ".join(sorted(shas))
+        )
+    leg["shm_vs_single"] = round(
+        leg["labeling"]["single"]["seconds"]
+        / leg["labeling"]["shm"]["seconds"],
+        3,
+    )
+    leg["shm_vs_pickle"] = round(
+        leg["labeling"]["pickle"]["seconds"]
+        / leg["labeling"]["shm"]["seconds"],
+        3,
+    )
     leg["transport"] = _bench_transport(args, traces[0])
     leg["shm_speedup"] = round(
         leg["transport"]["pickle"]["seconds"]
@@ -558,6 +627,13 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
             print(f"error: duplicate --date {date!r}", file=sys.stderr)
             return 2
         seen.add(date)
+    if args.fanout != "shard" and args.transport == "regenerate":
+        print(
+            "error: --fanout detector/trace needs pregenerated tables; "
+            "pass --transport shm (or pickle)",
+            file=sys.stderr,
+        )
+        return 2
     session = _session(
         args,
         workers=args.workers,
@@ -565,6 +641,7 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
         out_dir=args.out_dir,
         resume=args.resume,
         transport=args.transport if args.transport != "regenerate" else "auto",
+        fanout=args.fanout,
     )
 
     def progress(done: int, total: int, report) -> None:
@@ -576,7 +653,8 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
         )
 
     if args.transport == "regenerate":
-        batch = session.label_archive(archive, dates, progress=progress)
+        with session:
+            batch = session.label_archive(archive, dates, progress=progress)
     else:
         # Explicit transport: pregenerate the days in this process and
         # ship the packet tables to workers (shm or pickle), keeping
@@ -596,13 +674,15 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
                     ),
                 )
             )
-        batch = session.label_traces(
-            traces,
-            progress=progress,
-            # Same provenance as the regenerate transport, so alarm
-            # caches warmed under either transport hit under the other.
-            fingerprints=[archive.fingerprint()] * len(traces),
-        )
+        with session:
+            batch = session.label_traces(
+                traces,
+                progress=progress,
+                # Same provenance as the regenerate transport, so alarm
+                # caches warmed under either transport hit under the
+                # other.
+                fingerprints=[archive.fingerprint()] * len(traces),
+            )
     print(batch.describe())
     report_path = os.path.join(args.out_dir, "report.json")
     with open(report_path, "w") as handle:
@@ -656,6 +736,13 @@ def build_parser() -> argparse.ArgumentParser:
     label.add_argument("pcap")
     label.add_argument("--format", choices=("csv", "xml"), default="csv")
     label.add_argument("--out", help="output path (stdout if omitted)")
+    label.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for --fanout detector/trace (1 = serial)",
+    )
+    _add_fanout_option(label)
     _add_pipeline_options(label)
     label.set_defaults(func=_cmd_label)
 
@@ -709,6 +796,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="alarm-path-leg repetitions of Steps 2-4 per data path "
         "(0 skips the alarm-path leg)",
     )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase wall times (export / attach / compute / "
+        "merge / idle) for each fan-out labeling sub-leg",
+    )
     bench.add_argument("--out", help="output path (stdout if omitted)")
     bench.set_defaults(func=_cmd_bench)
 
@@ -735,6 +828,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8192,
         help="ingestion batch size in packets",
+    )
+    stream.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size; > 1 fans each window's detectors "
+        "across a persistent pool (1 = serial)",
     )
     stream.add_argument("--format", choices=("csv", "xml"), default="csv")
     stream.add_argument("--out", help="output path (stdout if omitted)")
@@ -805,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
         "worker (default), or pregenerate here and ship tables over "
         "zero-copy shared memory / the pickle pipe",
     )
+    _add_fanout_option(label_archive)
     label_archive.add_argument(
         "--cache-dir",
         help="directory caching Step 1 alarms keyed by (trace, ensemble)",
@@ -847,6 +948,19 @@ class _EngineOption(argparse.Action):
                 stacklevel=2,
             )
         setattr(namespace, self.dest, values)
+
+
+def _add_fanout_option(parser: argparse.ArgumentParser) -> None:
+    """The pooled parallelism axis (see ``repro.session.FANOUTS``)."""
+    parser.add_argument(
+        "--fanout",
+        choices=("shard", "detector", "trace"),
+        default="shard",
+        help="unit of pooled parallelism: whole traces (shard, "
+        "default), one task per detector configuration (detector), or "
+        "the configuration list balanced across the pool (trace); all "
+        "modes label byte-identically",
+    )
 
 
 def _add_engine_option(parser: argparse.ArgumentParser) -> None:

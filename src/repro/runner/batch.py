@@ -45,6 +45,10 @@ class BatchRunner:
         Trace transport for :meth:`run_traces` — ``"shm"`` (zero-copy
         shared memory), ``"pickle"``, or ``"auto"`` (shm whenever the
         pool actually crosses process boundaries).
+    fanout:
+        Parallelism axis — ``"shard"`` (one task per trace, the
+        default), ``"detector"`` or ``"trace"`` (intra-trace detector
+        fan-out; see ``docs/architecture-fanout.md``).
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class BatchRunner:
         out_dir: Optional[str] = None,
         resume: bool = False,
         transport: str = "auto",
+        fanout: str = "shard",
     ) -> None:
         from repro.session import LabelingSession
 
@@ -65,6 +70,7 @@ class BatchRunner:
             out_dir=out_dir,
             resume=resume,
             transport=transport,
+            fanout=fanout,
         )
 
     @property
@@ -91,3 +97,7 @@ class BatchRunner:
     ) -> BatchReport:
         """Label arbitrary traces (shipped over the session transport)."""
         return self.session.label_traces(traces, progress=progress)
+
+    def close(self) -> None:
+        """Stop the pool and unlink shared-memory segments."""
+        self.session.close()

@@ -1,20 +1,38 @@
-"""Process-pool fan-out shared by the batch runner and sweeps.
+"""Process-pool fan-out shared by the batch runner, sweeps and streams.
 
-``parallel_map`` is a thin, order-preserving wrapper over
-``ProcessPoolExecutor`` with two properties the callers rely on:
+Two layers:
 
-* ``workers <= 1`` runs inline in the calling process — no fork, no
-  pickling — which keeps tests debuggable and lets monkeypatched
-  worker internals take effect;
-* progress callbacks fire as shards *complete* (any order), while the
-  returned list always preserves input order, so sharded results are
-  deterministic regardless of scheduling.
+* :class:`WorkerPool` — a lazily spawned, *persistent*
+  ``ProcessPoolExecutor`` wrapper.  The executor survives across
+  ``map`` calls, so a session fanning out many shards (or a streaming
+  pipeline fanning out every window) pays worker start-up once, and
+  worker-side caches — module imports, the pinned
+  :class:`~repro.runner.shm.SegmentRegistry` — stay warm between
+  calls.  ``workers <= 1`` runs inline in the calling process — no
+  fork, no pickling — which keeps tests debuggable and lets
+  monkeypatched worker internals take effect.
+* :func:`parallel_map` — the historical one-shot helper, now a thin
+  wrapper that opens a temporary :class:`WorkerPool` for one call.
+
+Both preserve input order in their results while firing progress
+callbacks in completion order, so sharded results are deterministic
+regardless of scheduling.  :meth:`WorkerPool.map_pipelined` adds the
+overlap primitive the zero-copy transport needs: tasks are *produced
+lazily* (the producing iterator performs the shared-memory export)
+and at most ``in_flight`` of them exist at once, so the parent exports
+shard ``i + k`` while workers still compute shards ``i..i + k - 1``
+instead of serializing all exports up front.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Optional, Sequence, TypeVar
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -23,40 +41,176 @@ R = TypeVar("R")
 ProgressCallback = Callable[[int, int, object], None]
 
 
+class WorkerPool:
+    """A reusable process pool with an inline serial mode.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``<= 1`` never spawns processes: ``submit`` runs
+        the callable immediately in the caller and returns an
+        already-resolved future, which preserves the historical
+        serial-mode semantics (debuggability, monkeypatching).
+
+    The underlying executor is created on first parallel use and kept
+    until :meth:`shutdown` (the pool is also a context manager).  A
+    broken pool — a worker died mid-task — is discarded on the way out
+    of the failing call, so the next use respawns cleanly instead of
+    failing forever.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """Whether tasks actually cross a process boundary."""
+        return self.workers > 1
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent; the pool respawns on reuse)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- execution -----------------------------------------------------
+
+    def submit(self, fn: Callable[[T], R], item: T) -> Future:
+        """Submit one task; inline mode resolves it synchronously."""
+        if not self.parallel:
+            future: Future = Future()
+            try:
+                future.set_result(fn(item))
+            except BaseException as exc:  # noqa: BLE001 - mirrored to future
+                future.set_exception(exc)
+            return future
+        return self._ensure_executor().submit(fn, item)
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        progress: Optional[ProgressCallback] = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every item; results in input order.
+
+        ``fn`` must be a module-level callable and items picklable in
+        parallel mode.  ``progress`` fires as items *complete* (any
+        order).
+        """
+        return self.map_pipelined(
+            fn, items, total=len(items), progress=progress
+        )
+
+    def map_pipelined(
+        self,
+        fn: Callable[[T], R],
+        tasks: Iterable[T],
+        total: Optional[int] = None,
+        in_flight: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> list[R]:
+        """Lazily-produced map with bounded concurrency (double buffer).
+
+        ``tasks`` is consumed incrementally: the next task is pulled —
+        and whatever expensive work its production entails (a
+        shared-memory export, a trace generation) is performed — only
+        when a submission slot frees up, overlapping production with
+        worker compute.  At most ``in_flight`` tasks exist at once
+        (default ``workers + 2``: one buffer filling while ``workers``
+        drain).  Results come back in input order; ``total`` (when
+        known) feeds the progress callback, else the count seen so far
+        is reported.
+
+        A task that raises inside ``fn`` propagates after in-flight
+        work drains — matching ``ProcessPoolExecutor`` semantics — and
+        a broken executor is discarded so the pool stays reusable.
+        """
+        iterator: Iterator[T] = iter(tasks)
+        if not self.parallel:
+            results: list[R] = []
+            for item in iterator:
+                results.append(fn(item))
+                if progress is not None:
+                    progress(
+                        len(results),
+                        total if total is not None else len(results),
+                        results[-1],
+                    )
+            return results
+
+        if in_flight is None:
+            in_flight = self.workers + 2
+        in_flight = max(in_flight, 1)
+        executor = self._ensure_executor()
+        slots: dict[Future, int] = {}
+        results: dict[int, R] = {}
+        submitted = 0
+        done = 0
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and len(slots) < in_flight:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    slots[executor.submit(fn, item)] = submitted
+                    submitted += 1
+                if not slots:
+                    break
+                finished, _pending = wait(
+                    set(slots), return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index = slots.pop(future)
+                    results[index] = future.result()
+                    done += 1
+                    if progress is not None:
+                        progress(
+                            done,
+                            total if total is not None else done,
+                            results[index],
+                        )
+        except BaseException:
+            # A worker death (BrokenProcessPool) poisons the executor;
+            # drop it so the next call respawns instead of rethrowing
+            # forever.  Ordinary task exceptions don't break the pool,
+            # but cancelling the backlog keeps failure prompt.
+            self.shutdown()
+            raise
+        return [results[i] for i in range(submitted)]
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
     workers: int = 1,
     progress: Optional[ProgressCallback] = None,
 ) -> list[R]:
-    """Apply ``fn`` to every item, fanning out across processes.
+    """One-shot :meth:`WorkerPool.map` over a temporary pool.
 
-    ``fn`` must be a module-level callable and items picklable when
-    ``workers > 1``.  Results are returned in input order.
+    Kept for callers without a pool to persist (CLI microbenches, grid
+    sweeps); anything issuing repeated maps should hold a
+    :class:`WorkerPool` instead and amortize worker start-up.
     """
     items = list(items)
-    total = len(items)
-    if total == 0:
+    if not items:
         return []
-    if workers <= 1:
-        results: list[R] = []
-        for i, item in enumerate(items):
-            result = fn(item)
-            results.append(result)
-            if progress is not None:
-                progress(i + 1, total, result)
-        return results
-
-    slots: list[Optional[R]] = [None] * total
-    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
-        future_to_index = {
-            pool.submit(fn, item): i for i, item in enumerate(items)
-        }
-        done = 0
-        for future in as_completed(future_to_index):
-            index = future_to_index[future]
-            slots[index] = future.result()
-            done += 1
-            if progress is not None:
-                progress(done, total, slots[index])
-    return slots  # type: ignore[return-value]
+    with WorkerPool(workers=min(workers, len(items))) as pool:
+        return pool.map(fn, items, progress=progress)

@@ -39,6 +39,10 @@ class TraceReport:
     #: it.  Consumed (and cleared) by the session; never serialized
     #: into the JSON report.
     alarms_shm: object = None
+    #: Worker-side phase wall seconds ("attach", "compute"); the
+    #: session adds its parent-side phases ("export", "merge") when
+    #: profiling.  Empty when the shard was skipped or failed early.
+    phases: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:

@@ -3,28 +3,37 @@
 The pickle transport serializes every :class:`~repro.net.table.PacketTable`
 column into the pool's task pipe and deserializes it in the worker —
 two full copies plus pickle framing, per task.  This module replaces
-that with one named shared-memory segment per table:
+that with named shared-memory segments:
 
-* the parent **exports** the table once (:func:`export_table`): columns
-  are packed back-to-back into one segment, and a tiny picklable
-  :class:`SharedTableHandle` (segment name + per-column layout) rides
-  the task pipe instead of the data;
-* the worker **attaches** (:meth:`SharedTableHandle.attach`): each
+* the parent **exports** the table once (:func:`export_table`, or
+  :meth:`TableArena.export` when successive exports can recycle one
+  segment): columns are packed back-to-back into one segment, and a
+  tiny picklable :class:`SharedTableHandle` (segment name + row count,
+  from which the per-column layout is derived) rides the task pipe
+  instead of the data;
+* the worker **attaches** (:meth:`SharedTableHandle.attach`, or the
+  process-local :class:`SegmentRegistry` which *pins* the mapping so
+  later shards naming the same segment skip the map entirely): each
   column becomes a NumPy view directly over the mapped segment — no
   copy, no deserialization — wrapped in an immutable
   :class:`~repro.net.table.PacketTable`;
-* the parent **unlinks** the segment after the shard's report arrives
-  (:meth:`SharedTableHandle.unlink`), returning the memory to the OS.
+* the parent **unlinks** the segment after its consumers finish
+  (:meth:`SharedTableHandle.unlink` / :meth:`TableArena.close`),
+  returning the memory to the OS.
 
 Archive labeling therefore scales with cores, not with pickle
-bandwidth; ``repro bench`` measures both transports side by side.
+bandwidth; ``repro bench`` measures both transports side by side, and
+``docs/architecture-fanout.md`` walks the full
+export → attach → pin → reuse → teardown lifecycle.
 """
 
 from __future__ import annotations
 
+import atexit
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -46,6 +55,14 @@ from repro.core.alarm_table import (
 from repro.net.table import COLUMN_DTYPES, COLUMNS, PacketTable
 
 
+#: Segment names *created* by this process (exports and arenas).  The
+#: attach-side resource-tracker workaround below must skip these: when
+#: owner and attacher are the same process (inline pools, tests),
+#: unregistering on attach would strip the owner's own registration
+#: and make the eventual unlink double-unregister.
+_owned_names: set[str] = set()
+
+
 def _unregister_attached(name: str) -> None:
     """Opt an attached (not owned) segment out of resource tracking.
 
@@ -53,12 +70,32 @@ def _unregister_attached(name: str) -> None:
     the segment with the process's resource tracker, which then
     "cleans up" — unlinks — segments the parent still owns when the
     worker exits, and warns about leaks it never owned.  Attach-side
-    unregistration is the documented workaround.
+    unregistration is the documented workaround; it is skipped for
+    segments this very process owns.
     """
+    if name in _owned_names:
+        return
     try:  # pragma: no cover - depends on interpreter internals
         from multiprocessing.resource_tracker import unregister
 
         unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def _register_owned(name: str) -> None:
+    """Re-assert tracker registration just before an owner-side unlink.
+
+    Fork-started workers share the parent's resource tracker, so a
+    worker's attach-side :func:`_unregister_attached` may have removed
+    the owner's registration; re-registering (a set add — idempotent)
+    keeps the unlink's internal unregister balanced instead of tripping
+    a tracker ``KeyError``.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing.resource_tracker import register
+
+        register(f"/{name}", "shared_memory")
     except Exception:
         pass
 
@@ -107,20 +144,27 @@ class SharedTableHandle:
     n_rows: int
 
     def attach(self) -> AttachedTable:
-        """Map the segment and view it as a :class:`PacketTable`."""
+        """Map the segment and view it as a :class:`PacketTable`.
+
+        One mapping per call; callers that attach the same segment many
+        times (pool workers receiving successive shards against one
+        pinned table) should go through :func:`segment_registry`
+        instead, which maps once and rebuilds only the cheap views.
+        """
         shm = shared_memory.SharedMemory(name=self.name)
         _unregister_attached(self.name)
-        columns = {}
-        offset = 0
-        for column, dtype in COLUMN_DTYPES.items():
-            columns[column] = np.ndarray(
-                (self.n_rows,), dtype=dtype, buffer=shm.buf, offset=offset
-            )
-            offset += _column_bytes(self.n_rows, dtype)
-        return AttachedTable(shm, PacketTable(**columns))
+        return AttachedTable(shm, _table_view(shm, self.n_rows))
 
     def unlink(self) -> None:
-        """Free the backing segment (owner-side, after workers finish)."""
+        """Free the backing segment (owner-side, after workers finish).
+
+        Idempotent: a second unlink (or an unlink racing another
+        owner's) is a silent no-op.  Attached mappings in workers stay
+        valid after the unlink — the memory is returned to the OS only
+        once every mapping closes, so a pinned registry entry merely
+        delays the release, never corrupts it.
+        """
+        _owned_names.discard(self.name)
         try:
             segment = shared_memory.SharedMemory(name=self.name)
         except FileNotFoundError:  # pragma: no cover - already unlinked
@@ -132,6 +176,26 @@ class SharedTableHandle:
 def _column_bytes(n_rows: int, dtype: np.dtype) -> int:
     """Segment bytes reserved per column, 8-byte aligned."""
     return -(-n_rows * dtype.itemsize // 8) * 8
+
+
+def _table_view(
+    shm: shared_memory.SharedMemory, n_rows: int
+) -> PacketTable:
+    """View a mapped segment as a :class:`PacketTable`.
+
+    The layout is fully determined by ``n_rows`` (columns packed
+    back-to-back in ``COLUMNS`` order, 8-byte aligned), so a segment
+    larger than the layout needs — an arena recycled from a bigger
+    export — views correctly through the same function.
+    """
+    columns = {}
+    offset = 0
+    for column, dtype in COLUMN_DTYPES.items():
+        columns[column] = np.ndarray(
+            (n_rows,), dtype=dtype, buffer=shm.buf, offset=offset
+        )
+        offset += _column_bytes(n_rows, dtype)
+    return PacketTable(**columns)
 
 
 def segment_bytes(n_rows: int) -> int:
@@ -248,6 +312,10 @@ class SharedAlarmTableHandle:
         """Map the segment and view it as an :class:`AlarmTable`."""
         shm = shared_memory.SharedMemory(name=self.name)
         _unregister_attached(self.name)
+        return AttachedAlarmTable(shm, self._view(shm))
+
+    def _view(self, shm: shared_memory.SharedMemory) -> AlarmTable:
+        """The zero-copy :class:`AlarmTable` over a mapped segment."""
         columns = {}
         offset = 0
         for column, dtype, length in _alarm_layout(
@@ -257,11 +325,8 @@ class SharedAlarmTableHandle:
                 (length,), dtype=dtype, buffer=shm.buf, offset=offset
             )
             offset += _column_bytes(length, dtype)
-        return AttachedAlarmTable(
-            shm,
-            AlarmTable(
-                **columns, detectors=self.detectors, configs=self.configs
-            ),
+        return AlarmTable(
+            **columns, detectors=self.detectors, configs=self.configs
         )
 
     def to_table(self) -> AlarmTable:
@@ -289,6 +354,7 @@ class SharedAlarmTableHandle:
 
     def unlink(self) -> None:
         """Free the backing segment (owner-side, after consumption)."""
+        _owned_names.discard(self.name)
         try:
             segment = shared_memory.SharedMemory(name=self.name)
         except FileNotFoundError:  # pragma: no cover - already unlinked
@@ -312,6 +378,7 @@ def export_alarm_table(table: AlarmTable) -> SharedAlarmTableHandle:
     shm = shared_memory.SharedMemory(
         create=True, size=alarm_segment_bytes(n_rows, n_filters, n_flows)
     )
+    _owned_names.add(shm.name)
     try:
         offset = 0
         for column, dtype, length in _alarm_layout(
@@ -332,6 +399,7 @@ def export_alarm_table(table: AlarmTable) -> SharedAlarmTableHandle:
             configs=table.configs,
         )
     except BaseException:
+        _owned_names.discard(shm.name)
         shm.close()
         shm.unlink()
         raise
@@ -345,24 +413,221 @@ def export_table(table: PacketTable) -> SharedTableHandle:
     The caller owns the segment and must eventually call
     :meth:`SharedTableHandle.unlink` (normally after every worker
     labeled against it) — segments outlive the creating process
-    otherwise.
+    otherwise.  Callers exporting many tables in sequence should prefer
+    a :class:`TableArena`, which recycles one segment instead of paying
+    the create/unlink round-trip per export.
     """
     n_rows = len(table)
     shm = shared_memory.SharedMemory(create=True, size=segment_bytes(n_rows))
+    _owned_names.add(shm.name)
     try:
-        offset = 0
-        for column in COLUMNS:
-            dtype = COLUMN_DTYPES[column]
-            view = np.ndarray(
-                (n_rows,), dtype=dtype, buffer=shm.buf, offset=offset
-            )
-            view[:] = getattr(table, column)
-            offset += _column_bytes(n_rows, dtype)
+        _write_table(shm, table)
         handle = SharedTableHandle(name=shm.name, n_rows=n_rows)
     except BaseException:
+        _owned_names.discard(shm.name)
         shm.close()
         shm.unlink()
         raise
-    del view
     shm.close()
     return handle
+
+
+def _write_table(
+    shm: shared_memory.SharedMemory, table: PacketTable
+) -> None:
+    """Pack ``table``'s columns into ``shm`` (one memcpy per column)."""
+    n_rows = len(table)
+    offset = 0
+    for column in COLUMNS:
+        dtype = COLUMN_DTYPES[column]
+        view = np.ndarray(
+            (n_rows,), dtype=dtype, buffer=shm.buf, offset=offset
+        )
+        view[:] = getattr(table, column)
+        offset += _column_bytes(n_rows, dtype)
+        del view
+
+
+# -- persistent attachment and segment reuse ---------------------------
+#
+# The per-shard export/attach/unlink cycle above is correct but pays a
+# fixed cost per segment (shm_open + mmap + resource-tracker traffic +
+# unlink) that dwarfs the memcpy for small tables — the reason the
+# microbench's 11x shm win historically failed to show up end-to-end.
+# Two pieces remove the churn:
+#
+# * parent side, a TableArena recycles ONE named segment across
+#   successive exports (growing only when a bigger table arrives), so
+#   steady-state export cost is a pure memcpy;
+# * worker side, a SegmentRegistry pins mappings by segment name, so a
+#   worker receiving its second shard against the same (or a recycled)
+#   segment skips the map entirely and only rebuilds the O(#columns)
+#   NumPy views.
+#
+# Safety: the arena owner must not overwrite a segment while any task
+# holding its previous handle is still running — the pooled run modes
+# guarantee this by recycling an arena only after the shard's report
+# arrived.  Registry eviction and process exit merely unmap; the
+# backing memory is freed when the owner unlinks AND the last mapping
+# closes, in either order.
+
+
+class SegmentRegistry:
+    """Process-local cache of attached segments, keyed by name.
+
+    Pool workers use the module singleton (:func:`segment_registry`) to
+    attach task segments: the first task naming a segment maps it, every
+    later task reuses the pinned mapping and only rebuilds the cheap
+    per-column views (layouts travel with each handle, so one segment
+    can back differently-sized tables across its lifetime — the arena
+    recycling contract).
+
+    ``max_segments`` bounds worker memory: mappings are evicted LRU
+    once the pin count exceeds it.  Eviction (and :meth:`clear`, which
+    runs at interpreter exit) closes the mapping; if column views built
+    from it are still referenced the unmap is deferred to process exit
+    — safe, because only the exporting side ever unlinks.
+    """
+
+    def __init__(self, max_segments: int = 8) -> None:
+        self.max_segments = max_segments
+        self._mappings: OrderedDict[str, shared_memory.SharedMemory] = (
+            OrderedDict()
+        )
+        #: Mappings created / reused since construction (observability:
+        #: a healthy persistent-worker run shows hits >> attaches).
+        self.attaches = 0
+        self.hits = 0
+
+    def _mapping(self, name: str) -> shared_memory.SharedMemory:
+        mapping = self._mappings.get(name)
+        if mapping is not None:
+            self.hits += 1
+            self._mappings.move_to_end(name)
+            return mapping
+        mapping = shared_memory.SharedMemory(name=name)
+        _unregister_attached(name)
+        self._mappings[name] = mapping
+        self.attaches += 1
+        while len(self._mappings) > self.max_segments:
+            _evicted, old = self._mappings.popitem(last=False)
+            _close_quietly(old)
+        return mapping
+
+    def table(self, handle: SharedTableHandle) -> PacketTable:
+        """A pinned zero-copy :class:`PacketTable` for ``handle``."""
+        return _table_view(self._mapping(handle.name), handle.n_rows)
+
+    def alarm_table(self, handle: SharedAlarmTableHandle) -> AlarmTable:
+        """A pinned zero-copy :class:`AlarmTable` for ``handle``."""
+        return handle._view(self._mapping(handle.name))
+
+    def names(self) -> tuple[str, ...]:
+        """Currently pinned segment names, LRU-oldest first."""
+        return tuple(self._mappings)
+
+    def release(self, name: str) -> None:
+        """Unpin one segment (idempotent)."""
+        mapping = self._mappings.pop(name, None)
+        if mapping is not None:
+            _close_quietly(mapping)
+
+    def clear(self) -> None:
+        """Unpin every segment (idempotent; registered atexit)."""
+        while self._mappings:
+            _name, mapping = self._mappings.popitem(last=False)
+            _close_quietly(mapping)
+
+
+def _close_quietly(mapping: shared_memory.SharedMemory) -> None:
+    try:
+        mapping.close()
+    except BufferError:  # pragma: no cover - views still alive
+        pass
+
+
+_registry: Optional[SegmentRegistry] = None
+
+
+def segment_registry() -> SegmentRegistry:
+    """The process-wide :class:`SegmentRegistry` (created lazily).
+
+    In pool workers this is the pin store that survives across tasks;
+    its :meth:`~SegmentRegistry.clear` is registered ``atexit`` so a
+    cleanly exiting worker unmaps everything it pinned.
+    """
+    global _registry
+    if _registry is None:
+        _registry = SegmentRegistry()
+        atexit.register(_registry.clear)
+    return _registry
+
+
+class TableArena:
+    """A reusable shared segment for successive packet-table exports.
+
+    ``export`` packs the table into the owned segment and returns a
+    fresh :class:`SharedTableHandle` naming it.  The segment is created
+    on first use and *recycled* on every later export that fits; a
+    bigger table reallocates (with ``slack`` headroom, so ingest-sized
+    jitter doesn't thrash) under a new name and unlinks the old
+    segment.  Stable names are what make worker-side pinning pay:
+    after warm-up, an export is one memcpy in the parent and zero
+    map/unmap work in the workers.
+
+    The caller owns the recycle discipline: never export over a
+    segment while a task holding its previous handle may still read it
+    (the session recycles an arena only after the shard's report
+    arrives).  :meth:`close` unlinks the segment; the arena is
+    reusable afterwards (a later export allocates fresh).
+    """
+
+    def __init__(self, slack: float = 1.25) -> None:
+        if slack < 1.0:
+            raise ValueError(f"slack must be >= 1, got {slack}")
+        self.slack = slack
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        #: Segments allocated over the arena's lifetime (observability:
+        #: steady state is 1).
+        self.allocations = 0
+
+    def export(self, table: PacketTable) -> SharedTableHandle:
+        """Pack ``table`` into the (recycled or grown) segment."""
+        need = segment_bytes(len(table))
+        if self._shm is None or self._shm.size < need:
+            self.close()
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(int(need * self.slack), need)
+            )
+            _owned_names.add(self._shm.name)
+            self.allocations += 1
+        _write_table(self._shm, table)
+        return SharedTableHandle(name=self._shm.name, n_rows=len(table))
+
+    @property
+    def name(self) -> Optional[str]:
+        """Current segment name (``None`` before first export)."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self) -> None:
+        """Unlink and unmap the current segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        _owned_names.discard(shm.name)
+        _register_owned(shm.name)
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        _close_quietly(shm)
+
+    def __enter__(self) -> "TableArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Either transport handle type (task fields accept both).
+AnyHandle = Union[SharedTableHandle, SharedAlarmTableHandle]

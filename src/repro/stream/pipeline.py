@@ -32,6 +32,7 @@ on every engine.
 from __future__ import annotations
 
 import time as _time
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
@@ -53,6 +54,9 @@ from repro.labeling.taxonomy import assign_taxonomy_batch
 from repro.net.flow import Granularity
 from repro.net.table import PacketTable
 from repro.net.trace import Trace, TraceMetadata
+from repro.runner.config import PipelineConfig
+from repro.runner.pool import WorkerPool
+from repro.runner.shm import TableArena
 from repro.stream.window import TraceWindow
 
 
@@ -189,6 +193,19 @@ class StreamingPipeline:
     engine:
         Execution-engine spec, as everywhere (see
         :func:`repro.engine.resolve_engine`).
+    pool:
+        Optional persistent :class:`~repro.runner.pool.WorkerPool`.
+        When the pool is parallel, every window's Step 1 fans the
+        detector configurations across its workers against one shared
+        window segment (recycled via a :class:`TableArena`, pinned by
+        the workers' segment registries) — the streaming twin of the
+        session's intra-trace fan-out, and byte-identical to the
+        serial window loop.  Requires ``config`` (workers rebuild
+        their configurations from it) and the default ensemble.  The
+        pool is borrowed, never shut down here.
+    config:
+        The :class:`~repro.runner.config.PipelineConfig` describing
+        this pipeline, required by ``pool``.
 
     Remaining parameters mirror
     :class:`~repro.labeling.mawilab.MAWILabPipeline` exactly, which is
@@ -208,6 +225,8 @@ class StreamingPipeline:
         seed: int = 0,
         engine: EngineSpec = "auto",
         backend: EngineSpec = None,
+        pool: Optional[WorkerPool] = None,
+        config: Optional[PipelineConfig] = None,
     ) -> None:
         engine = resolve_legacy_backend(engine, backend, what="stream")
         if window <= 0:
@@ -240,6 +259,25 @@ class StreamingPipeline:
         self.detectors: list[StreamingDetector] = wrap_ensemble(
             self.pipeline.ensemble
         )
+        if pool is not None and pool.parallel and ensemble is not None:
+            raise StreamError(
+                "pooled streaming requires the config-described ensemble; "
+                "pass config instead of a custom ensemble"
+            )
+        if pool is not None and pool.parallel and config is None:
+            raise StreamError(
+                "pooled streaming requires a PipelineConfig (workers "
+                "rebuild their detector configurations from it)"
+            )
+        #: Borrowed pool for per-window detector fan-out (``None`` =>
+        #: serial windows); the pool's owner shuts it down.
+        self.pool = pool if pool is not None and pool.parallel else None
+        self._config = config
+        #: Recycled export segment for pooled windows; window fan-out
+        #: is synchronous, so one arena suffices and recycling is safe.
+        self._arena = TableArena() if self.pool is not None else None
+        if self._arena is not None:
+            weakref.finalize(self, TableArena.close, self._arena)
         self.ring = TraceWindow()
         self._graph = DynamicSimilarityGraph(
             measure=measure, edge_threshold=edge_threshold
@@ -359,20 +397,19 @@ class StreamingPipeline:
             # are kept — the offline pipeline keeps same-window
             # duplicates as distinct graph nodes, and so must we.
             seen_this_window: dict[tuple, int] = {}
-            for detector in self.detectors:
-                for alarm in detector.analyze_window(trace):
-                    key = (
-                        alarm.config,
-                        alarm.t0,
-                        alarm.t1,
-                        alarm.filters,
-                        alarm.flow_keys,
-                    )
-                    seen = seen_this_window.get(key, 0)
-                    seen_this_window[key] = seen + 1
-                    if seen < len(self._alarm_keys.get(key, ())):
-                        continue
-                    fresh.append((key, alarm))
+            for alarm in self._detect_window(trace):
+                key = (
+                    alarm.config,
+                    alarm.t0,
+                    alarm.t1,
+                    alarm.filters,
+                    alarm.flow_keys,
+                )
+                seen = seen_this_window.get(key, 0)
+                seen_this_window[key] = seen + 1
+                if seen < len(self._alarm_keys.get(key, ())):
+                    continue
+                fresh.append((key, alarm))
             extractor = TrafficExtractor(
                 trace, self.granularity, engine=self.engine
             )
@@ -459,6 +496,77 @@ class StreamingPipeline:
         self._window_index += 1
         self._latencies.append(latency)
         return result
+
+    # -- Step 1 over one window (serial or pooled) ---------------------
+
+    def _detect_window(self, trace: Trace) -> Iterator[Alarm]:
+        """Every configuration's alarms for one window, ensemble order.
+
+        Serial mode walks the stateful wrappers; pooled mode fans the
+        configurations across the borrowed pool (states ride the tasks
+        and return updated) and yields the identical alarm sequence.
+        """
+        if self.pool is None:
+            for detector in self.detectors:
+                yield from detector.analyze_window(trace)
+            return
+        yield from self._detect_window_pooled(trace)
+
+    def _detect_window_pooled(self, trace: Trace) -> Iterator[Alarm]:
+        from repro.runner.worker import DetectTask, run_detect
+
+        n = len(self.detectors)
+        n_groups = max(min(self.pool.workers, n), 1)
+        bounds = [round(i * n / n_groups) for i in range(n_groups + 1)]
+        groups = [
+            tuple(range(lo, hi))
+            for lo, hi in zip(bounds, bounds[1:])
+            if hi > lo
+        ]
+        # One export per window into the recycled arena; workers pin
+        # the mapping, so steady state is a single parent-side memcpy.
+        handle = self._arena.export(trace.table)
+        futures = [
+            self.pool.submit(
+                run_detect,
+                DetectTask(
+                    config=self._config,
+                    config_indices=group,
+                    shm=handle,
+                    metadata=self._metadata,
+                    pin_segment=True,
+                    stream_states=tuple(
+                        dict(self.detectors[i].state) for i in group
+                    ),
+                ),
+            )
+            for group in groups
+        ]
+        # Synchronous barrier: all groups read the segment, so the
+        # next window may recycle the arena only after every result
+        # lands — which gathering here guarantees.
+        results = [future.result() for future in futures]
+        failures = [r for r in results if not r.ok]
+        if failures:
+            raise StreamError(
+                "pooled window detection failed: "
+                + "; ".join(f.error for f in failures)
+            )
+        for group, result in zip(groups, results):
+            for position, index in enumerate(group):
+                wrapper = self.detectors[index]
+                wrapper.state = dict(result.states[position])
+                wrapper.windows_seen += 1
+            yield from result.alarms.to_alarms()
+
+    def close(self) -> None:
+        """Unlink the window-export arena (pooled mode; idempotent).
+
+        The borrowed pool is *not* shut down — its owner (usually a
+        :class:`~repro.session.LabelingSession`) does that.
+        """
+        if self._arena is not None:
+            self._arena.close()
 
     # -- cross-window label merging ------------------------------------
 
