@@ -31,7 +31,15 @@ cannot silently rot:
   tolerance).  These two need real parallelism, so they are enforced
   only when the candidate ran with ``workers > 1`` on a host with
   more than one CPU (``fanout.cpu_count``) — a single-core runner
-  prints a skip notice instead of a false failure.
+  prints a skip notice instead of a false failure;
+* the detect leg keeps the shared feature-plane cache at least 1.5x
+  the uncached ensemble (``detect_leg.detect_speedup >= 1.5`` within
+  tolerance), following the same single-core self-skip convention
+  (wall-clock ratios on oversubscribed single-core runners are too
+  noisy to gate on).
+
+Every self-skipped ratio gate prints a loud one-line ``NOTICE:`` so a
+gate silently never running is visible in the CI log.
 """
 
 from __future__ import annotations
@@ -116,11 +124,33 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(f"fanout_{name}")
     elif fanout:
         print(
-            "fanout shm_vs_single/shm_vs_pickle: skipped "
+            "NOTICE: fanout shm_vs_single/shm_vs_pickle gates SKIPPED "
             f"(workers={fanout.get('workers')}, "
             f"cpu_count={fanout.get('cpu_count', 1)}; needs a "
             "multi-core parallel run)"
         )
+
+    # Plane-cache win: cached ensemble Step 1 vs uncached, same
+    # single-core self-skip convention as the fan-out ratios.
+    detect_leg = candidate.get("detect_leg", {})
+    detect_speedup = detect_leg.get("detect_speedup")
+    if detect_speedup is not None:
+        if detect_leg.get("cpu_count", 1) > 1:
+            floor = 1.5 * (1.0 - args.tolerance)
+            status = "ok" if detect_speedup >= floor else "REGRESSED"
+            print(
+                f"detect_leg detect_speedup: {detect_speedup:.2f}x "
+                f"(floor {floor:.2f}x) {status}"
+            )
+            if detect_speedup < floor:
+                failures.append("detect_leg_detect_speedup")
+        else:
+            print(
+                "NOTICE: detect_leg detect_speedup gate SKIPPED "
+                f"(cpu_count={detect_leg.get('cpu_count', 1)}; ratio "
+                f"measured {detect_speedup:.2f}x, gated only on "
+                "multi-core hosts)"
+            )
 
     alarm_speedup = candidate.get("alarm_path", {}).get("columnar_speedup")
     if alarm_speedup is not None:

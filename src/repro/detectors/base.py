@@ -150,10 +150,16 @@ class Detector(abc.ABC):
         return f"{self.name}/{self.tuning}"
 
     @abc.abstractmethod
-    def analyze(self, trace: Trace) -> list[Alarm]:
-        """Analyze one trace and return the alarms."""
+    def analyze(self, trace: Trace, planes=None) -> list[Alarm]:
+        """Analyze one trace and return the alarms.
 
-    def analyze_table(self, trace: Trace):
+        ``planes`` optionally supplies a
+        :class:`~repro.detectors.planes.PlaneCache` so sibling
+        configurations share derived feature arrays; ``None`` resolves
+        the trace-attached cache (see :meth:`_plane_cache`).
+        """
+
+    def analyze_table(self, trace: Trace, planes=None):
         """Analyze one trace, batch-emitting into an alarm table.
 
         The columnar twin of :meth:`analyze`: one
@@ -166,9 +172,18 @@ class Detector(abc.ABC):
         """
         from repro.core.alarm_table import AlarmTable
 
-        return AlarmTable.from_alarms(self.analyze(trace), engine=self.engine)
+        # Only forward planes when given: third-party subclasses with
+        # the pre-plane `analyze(self, trace)` signature stay valid.
+        alarms = (
+            self.analyze(trace)
+            if planes is None
+            else self.analyze(trace, planes=planes)
+        )
+        return AlarmTable.from_alarms(alarms, engine=self.engine)
 
-    def analyze_stream(self, trace: Trace, state: dict) -> list[Alarm]:
+    def analyze_stream(
+        self, trace: Trace, state: dict, planes=None
+    ) -> list[Alarm]:
         """Analyze one *window* of a stream, carrying ``state`` across.
 
         ``state`` is a per-configuration dict owned by the caller
@@ -184,25 +199,42 @@ class Detector(abc.ABC):
         output byte-identical to the offline pipeline when one window
         covers the whole trace.
         """
-        return self.analyze(trace)
+        if planes is None:
+            return self.analyze(trace)
+        return self.analyze(trace, planes=planes)
+
+    def plane_specs(self) -> tuple:
+        """Feature-plane specs this configuration derives from a trace.
+
+        Used by the fan-out parent to precompute and export the
+        ensemble's shared planes, and by the streaming engine to know
+        which histogram/bucket planes to maintain incrementally.  The
+        specs follow the vectorized engine's plane usage (the export
+        and streaming paths are vectorized-only); the reference engine
+        simply recomputes.  Detectors without shareable planes return
+        an empty tuple.
+        """
+        return ()
+
+    def _plane_cache(self, trace: Trace, planes):
+        """``planes`` if given, else the trace-attached shared cache."""
+        if planes is not None:
+            return planes
+        from repro.detectors.planes import plane_cache_for
+
+        return plane_cache_for(trace, self.engine)
 
     def _hasher(self, n_sketches: int, seed: int):
-        """Memoized :class:`~repro.detectors.sketch.SketchHasher`.
+        """Process-wide memoized sketch hasher.
 
-        Sketch hashers are deterministic in ``(n_sketches, seed)`` but
-        seeding the RNG per call is wasted work when the same detector
-        instance analyzes many windows; the streaming engine keeps
-        detector instances alive across window advances, so the cache
-        makes the hash seeds part of the carried state.
+        Delegates to :func:`~repro.detectors.sketch.shared_hasher`:
+        hashers are deterministic in ``(n_sketches, seed)``, so every
+        detector instance — across configurations, streaming windows
+        and the feature-plane kernels — shares one object per key.
         """
-        from repro.detectors.sketch import SketchHasher
+        from repro.detectors.sketch import shared_hasher
 
-        cache = self.__dict__.setdefault("_hasher_cache", {})
-        key = (n_sketches, seed)
-        hasher = cache.get(key)
-        if hasher is None:
-            hasher = cache[key] = SketchHasher(n_sketches, seed=seed)
-        return hasher
+        return shared_hasher(n_sketches, seed)
 
     def _alarm(
         self,

@@ -90,32 +90,44 @@ class EntropyDetector(Detector):
             "top_values": 3,
         }
 
-    def analyze(self, trace: Trace) -> list[Alarm]:
+    def plane_specs(self) -> tuple:
+        p = self.params
+        n_bins = p["n_bins"]
+        specs = [("time_bins", n_bins), ("bin_members", n_bins)]
+        for feature in _FEATURES:
+            specs.extend(
+                (
+                    ("binned_histogram", feature, n_bins),
+                    ("entropy_series", feature, n_bins),
+                )
+            )
+        return tuple(specs)
+
+    def analyze(self, trace: Trace, planes=None) -> list[Alarm]:
         if len(trace) < 8:
             return []
+        planes = self._plane_cache(trace, planes)
         if self.engine.vectorized:
-            return self._analyze_numpy(trace)
-        return self._analyze_python(trace)
+            return self._analyze_numpy(trace, planes)
+        return self._analyze_python(trace, planes)
 
-    def _analyze_python(self, trace: Trace) -> list[Alarm]:
+    def _analyze_python(self, trace: Trace, planes) -> list[Alarm]:
         """Reference path: Counter histograms, packet-by-packet."""
         p = self.params
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
         n_bins = p["n_bins"]
-        bins: list[list[int]] = [[] for _ in range(n_bins)]
-        for i, packet in enumerate(trace):
-            b = min(int((packet.time - t_start) / span * n_bins), n_bins - 1)
-            bins[b].append(i)
+        bins = planes.get(trace, ("bin_members", n_bins))
 
         alarms: list[Alarm] = []
         bin_width = span / n_bins
         for feature in _FEATURES:
-            histograms = [
-                Counter(getattr(trace[i], feature) for i in bins[b])
-                for b in range(n_bins)
-            ]
-            entropies = np.array([shannon_entropy(h) for h in histograms])
+            histograms = planes.get(
+                trace, ("binned_counters", feature, n_bins)
+            )
+            entropies = planes.get(
+                trace, ("entropy_series", feature, n_bins)
+            )
             deviations = _entropy_deviations(entropies)
             for b in np.nonzero(np.abs(deviations) > p["threshold"])[0]:
                 b = int(b)
@@ -131,34 +143,35 @@ class EntropyDetector(Detector):
                 )
         return alarms
 
-    def _analyze_numpy(self, trace: Trace) -> list[Alarm]:
+    def _analyze_numpy(self, trace: Trace, planes) -> list[Alarm]:
         """Columnar path: dense histograms + vectorized entropies.
 
         Value selections are integer-identical to
         :meth:`_analyze_python`; entropy floats can differ in the last
         ulp because the reference sums probabilities in Counter
-        insertion order.
+        insertion order.  The bin assignment, histograms and entropy
+        series are shared feature planes (identical to the KL
+        detector's histogram planes, so the two families share them).
         """
         p = self.params
-        table = trace.table
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
         n_bins = p["n_bins"]
-        bin_idx = np.minimum(
-            ((table.time - t_start) / span * n_bins).astype(np.int64),
-            n_bins - 1,
-        )
+        members_lists = planes.get(trace, ("bin_members", n_bins))
 
         alarms: list[Alarm] = []
         bin_width = span / n_bins
-        binned_histogram = self.engine.kernel("binned_histogram")
         for feature in _FEATURES:
-            histogram = binned_histogram(table, feature, bin_idx, n_bins)
-            entropies = _entropy_series(histogram.counts)
+            histogram = planes.get(
+                trace, ("binned_histogram", feature, n_bins)
+            )
+            entropies = planes.get(
+                trace, ("entropy_series", feature, n_bins)
+            )
             deviations = _entropy_deviations(entropies)
             for b in np.nonzero(np.abs(deviations) > p["threshold"])[0]:
                 b = int(b)
-                members = np.nonzero(bin_idx == b)[0]
+                members = members_lists[b]
                 if members.size == 0:
                     continue
                 t0 = t_start + b * bin_width

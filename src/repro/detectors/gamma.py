@@ -50,43 +50,76 @@ class GammaDetector(Detector):
             "max_ips_per_sketch": 3,
         }
 
-    def analyze(self, trace: Trace) -> list[Alarm]:
+    def plane_specs(self) -> tuple:
+        p = self.params
+        specs = [("column", "time", None)]
+        for direction in ("src", "dst"):
+            seed = p["hash_seed"] + (0 if direction == "src" else 1)
+            specs.extend(
+                (
+                    ("column", direction, "uint64"),
+                    ("sketch_buckets", direction, p["n_sketches"], seed),
+                    (
+                        "gamma_deviations",
+                        direction,
+                        p["n_sketches"],
+                        seed,
+                        p["base_window"],
+                        p["n_scales"],
+                    ),
+                )
+            )
+        return tuple(specs)
+
+    def analyze(self, trace: Trace, planes=None) -> list[Alarm]:
         if len(trace) == 0:
             return []
         alarms: list[Alarm] = []
-        column_values = self.engine.kernel("column_values")
-        times = column_values(trace, "time")
+        planes = self._plane_cache(trace, planes)
         for direction in ("src", "dst"):
-            keys = column_values(trace, direction, np.uint64)
-            alarms.extend(self._analyze_direction(trace, times, keys, direction))
+            keys = planes.get(trace, ("column", direction, "uint64"))
+            alarms.extend(
+                self._analyze_direction(trace, keys, direction, planes)
+            )
         return alarms
 
     def _analyze_direction(
         self,
         trace: Trace,
-        times: np.ndarray,
         keys: np.ndarray,
         direction: str,
+        planes,
     ) -> list[Alarm]:
         p = self.params
         seed = p["hash_seed"] + (0 if direction == "src" else 1)
         hasher = self._hasher(p["n_sketches"], seed)
         t_start, t_end = trace.start_time, trace.end_time
-        n_windows = max(int(np.ceil((t_end - t_start) / p["base_window"])), 2)
-        # Counts per (window, sketch) at the finest scale.
-        window_idx = np.clip(
-            ((times - t_start) / p["base_window"]).astype(int), 0, n_windows - 1
+        # The whole sketch/scale/Gamma-fit pipeline depends only on the
+        # structure the tunings share; the per-sketch deviation vector
+        # is one plane serving all three configurations.
+        deviations = planes.get(
+            trace,
+            (
+                "gamma_deviations",
+                direction,
+                p["n_sketches"],
+                seed,
+                p["base_window"],
+                p["n_scales"],
+            ),
         )
-        buckets = hasher.buckets(keys)
-        counts = np.zeros((n_windows, p["n_sketches"]), dtype=float)
-        np.add.at(counts, (window_idx, buckets), 1.0)
-
-        features = self._gamma_features(counts, p["n_scales"])
-        deviations = self._deviations(features)
         mask_all = np.ones(len(trace), dtype=bool)
 
         alarms: list[Alarm] = []
-        for sketch in np.nonzero(deviations > p["threshold"])[0]:
+        anomalous = np.nonzero(deviations > p["threshold"])[0]
+        buckets = (
+            planes.get(
+                trace, ("sketch_buckets", direction, p["n_sketches"], seed)
+            )
+            if anomalous.size
+            else None
+        )
+        for sketch in anomalous:
             ips = dominant_keys(
                 keys,
                 mask_all,
@@ -94,6 +127,7 @@ class GammaDetector(Detector):
                 int(sketch),
                 top=p["max_ips_per_sketch"],
                 engine=self.engine,
+                buckets=buckets,
             )
             for ip in ips:
                 if direction == "src":

@@ -33,7 +33,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
-from repro.detectors.sketch import SketchHasher
 from repro.net.flow import Granularity, uniflow_key
 from repro.net.trace import Trace
 
@@ -58,29 +57,45 @@ class HoughDetector(Detector):
             "hash_seed": 37,
         }
 
-    def analyze(self, trace: Trace) -> list[Alarm]:
+    def plane_specs(self) -> tuple:
+        p = self.params
+        specs = [("column", "time", None), ("hough_x", p["x_bins"])]
+        for direction in ("src", "dst"):
+            seed = p["hash_seed"] + (0 if direction == "src" else 1)
+            specs.extend(
+                (
+                    ("column", direction, "uint64"),
+                    ("sketch_buckets", direction, p["y_bins"], seed),
+                    (
+                        "hough_pixels",
+                        direction,
+                        p["x_bins"],
+                        p["y_bins"],
+                        p["pixel_threshold"],
+                        seed,
+                    ),
+                )
+            )
+        return tuple(specs)
+
+    def analyze(self, trace: Trace, planes=None) -> list[Alarm]:
         if len(trace) == 0:
             return []
         p = self.params
-        column_values = self.engine.kernel("column_values")
-        times = column_values(trace, "time")
+        planes = self._plane_cache(trace, planes)
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
-        x = np.clip(
-            ((times - t_start) / span * p["x_bins"]).astype(int),
-            0,
-            p["x_bins"] - 1,
-        )
+        x = planes.get(trace, ("hough_x", p["x_bins"]))
         alarms: list[Alarm] = []
         for direction in ("src", "dst"):
-            hasher = SketchHasher(
-                p["y_bins"],
-                seed=p["hash_seed"] + (0 if direction == "src" else 1),
+            seed = p["hash_seed"] + (0 if direction == "src" else 1)
+            y = planes.get(
+                trace, ("sketch_buckets", direction, p["y_bins"], seed)
             )
-            keys = column_values(trace, direction, np.uint64)
-            y = hasher.buckets(keys)
             alarms.extend(
-                self._analyze_picture(trace, x, y, t_start, span, direction)
+                self._analyze_picture(
+                    trace, x, y, t_start, span, direction, planes, seed
+                )
             )
         return alarms
 
@@ -92,12 +107,23 @@ class HoughDetector(Detector):
         t_start: float,
         span: float,
         direction: str,
+        planes,
+        seed: int,
     ) -> list[Alarm]:
         p = self.params
-        image = np.zeros((p["y_bins"], p["x_bins"]), dtype=int)
-        np.add.at(image, (y, x), 1)
-        lit = image >= p["pixel_threshold"]
-        ys, xs = np.nonzero(lit)
+        # The quantized picture and its lit pixels are fixed across
+        # tunings (only vote thresholds move) — one plane per direction.
+        ys, xs = planes.get(
+            trace,
+            (
+                "hough_pixels",
+                direction,
+                p["x_bins"],
+                p["y_bins"],
+                p["pixel_threshold"],
+                seed,
+            ),
+        )
         if ys.size == 0:
             return []
         lines = hough_lines(
@@ -159,8 +185,8 @@ class HoughDetector(Detector):
                 if not self._is_transient(trace, key, direction, t0, t1):
                     continue
                 if vectorized:
-                    codes, flow_keys = trace.flow_code_table(
-                        Granularity.UNIFLOW
+                    codes, flow_keys = planes.get(
+                        trace, ("flow_codes", Granularity.UNIFLOW.name)
                     )
                     flows = frozenset(
                         flow_keys[c]

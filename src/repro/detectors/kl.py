@@ -55,14 +55,30 @@ class KLDetector(Detector):
             "min_lift": 2.0,
         }
 
-    def analyze(self, trace: Trace) -> list[Alarm]:
+    def plane_specs(self) -> tuple:
+        p = self.params
+        n_bins = p["n_bins"]
+        specs = [("time_bins", n_bins), ("bin_members", n_bins)]
+        for feature in _FEATURES:
+            specs.extend(
+                (
+                    ("binned_histogram", feature, n_bins),
+                    ("kl_divergence", feature, n_bins, p["smoothing"]),
+                )
+            )
+        return tuple(specs)
+
+    def analyze(self, trace: Trace, planes=None) -> list[Alarm]:
         if len(trace) < 4:
             return []
+        planes = self._plane_cache(trace, planes)
         if self.engine.vectorized:
-            return self._analyze_numpy(trace)
-        return self._analyze_python(trace)
+            return self._analyze_numpy(trace, planes)
+        return self._analyze_python(trace, planes)
 
-    def analyze_stream(self, trace: Trace, state: dict) -> list[Alarm]:
+    def analyze_stream(
+        self, trace: Trace, state: dict, planes=None
+    ) -> list[Alarm]:
         """Windowed analyze carrying a cross-window histogram baseline.
 
         Offline, the first time bin of a trace has no predecessor, so
@@ -77,17 +93,20 @@ class KLDetector(Detector):
         """
         if len(trace) < 4:
             return []
+        planes = self._plane_cache(trace, planes)
         baseline = state.get("baseline")
         baseline_transactions = state.get("baseline_transactions")
         if self.engine.vectorized:
             return self._analyze_numpy(
                 trace,
+                planes,
                 baseline=baseline,
                 baseline_transactions=baseline_transactions,
                 carry=state,
             )
         return self._analyze_python(
             trace,
+            planes,
             baseline=baseline,
             baseline_transactions=baseline_transactions,
             carry=state,
@@ -96,6 +115,7 @@ class KLDetector(Detector):
     def _analyze_python(
         self,
         trace: Trace,
+        planes,
         baseline: dict[str, Counter] | None = None,
         baseline_transactions: list | None = None,
         carry: dict | None = None,
@@ -105,31 +125,29 @@ class KLDetector(Detector):
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
         n_bins = p["n_bins"]
-        def bin_of(t: float) -> int:
-            return min(int((t - t_start) / span * n_bins), n_bins - 1)
 
-        # Per-bin packet index lists.
-        bins: list[list[int]] = [[] for _ in range(n_bins)]
-        for i, pkt in enumerate(trace):
-            bins[bin_of(pkt.time)].append(i)
+        # Per-bin packet index lists (a shared feature plane).
+        bins = planes.get(trace, ("bin_members", n_bins))
 
         # Per-feature divergence series.
         divergences: dict[str, np.ndarray] = {}
         histograms: dict[str, list[Counter]] = {}
         for feature in _FEATURES:
-            hists = [
-                Counter(getattr(trace[i], feature) for i in bins[b])
-                for b in range(n_bins)
-            ]
+            hists = planes.get(
+                trace, ("binned_counters", feature, n_bins)
+            )
             histograms[feature] = hists
-            series = np.zeros(n_bins)
+            series = planes.get(
+                trace,
+                ("kl_divergence", feature, n_bins, p["smoothing"]),
+            )
             base = baseline.get(feature) if baseline else None
             if base:
+                # The cached series is shared across configurations —
+                # copy before rewriting bin 0 against the carried
+                # cross-window baseline.
+                series = series.copy()
                 series[0] = _symmetric_kl(base, hists[0], p["smoothing"])
-            for b in range(1, n_bins):
-                series[b] = _symmetric_kl(
-                    hists[b - 1], hists[b], p["smoothing"]
-                )
             divergences[feature] = series
         if carry is not None:
             carry["baseline"] = {
@@ -193,6 +211,7 @@ class KLDetector(Detector):
     def _analyze_numpy(
         self,
         trace: Trace,
+        planes,
         baseline: dict[str, Counter] | None = None,
         baseline_transactions: list | None = None,
         carry: dict | None = None,
@@ -205,27 +224,34 @@ class KLDetector(Detector):
         materialized for the anomalous bins handed to the rule miner.
         Selections are integer-identical to :meth:`_analyze_python`
         (divergence *values* may differ in the last float ulp because
-        the reference accumulates in set-iteration order).
+        the reference accumulates in set-iteration order).  The bin
+        assignment, histograms and divergence series are shared feature
+        planes — the tunings only move thresholds and rule budgets.
         """
         p = self.params
         table = trace.table
         t_start, t_end = trace.start_time, trace.end_time
         span = max(t_end - t_start, 1e-9)
         n_bins = p["n_bins"]
-        bin_idx = np.minimum(
-            ((table.time - t_start) / span * n_bins).astype(np.int64),
-            n_bins - 1,
-        )
+        bin_idx = planes.get(trace, ("time_bins", n_bins))
+        members_lists = planes.get(trace, ("bin_members", n_bins))
 
         alarms: list[Alarm] = []
         bin_width = span / n_bins
         new_baseline: dict[str, Counter] = {}
-        binned_histogram = self.engine.kernel("binned_histogram")
         for feature in _FEATURES:
-            histogram = binned_histogram(table, feature, bin_idx, n_bins)
-            series = _divergence_series(histogram.counts, p["smoothing"])
+            histogram = planes.get(
+                trace, ("binned_histogram", feature, n_bins)
+            )
+            series = planes.get(
+                trace,
+                ("kl_divergence", feature, n_bins, p["smoothing"]),
+            )
             base = baseline.get(feature) if baseline else None
             if base:
+                # Shared plane: copy before the cross-window bin-0
+                # baseline rewrite.
+                series = series.copy()
                 series[0] = _symmetric_kl(
                     base, _dense_bin_counter(histogram, 0), p["smoothing"]
                 )
@@ -236,7 +262,7 @@ class KLDetector(Detector):
             cut = _robust_cut(series, p["threshold"])
             for b in np.nonzero(series > cut)[0]:
                 b = int(b)
-                members = np.nonzero(bin_idx == b)[0]
+                members = members_lists[b]
                 if members.size == 0:
                     continue
                 if b == 0:
@@ -272,7 +298,7 @@ class KLDetector(Detector):
                     )
                 else:
                     previous = [
-                        trace[int(i)] for i in np.nonzero(bin_idx == b - 1)[0]
+                        trace[int(i)] for i in members_lists[b - 1]
                     ]
                     alarms.extend(
                         self._mine_alarms(

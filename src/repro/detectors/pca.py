@@ -32,7 +32,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.detectors.base import Alarm, Detector
-from repro.detectors.sketch import dominant_keys, sketch_time_matrix
+from repro.detectors.sketch import dominant_keys
 from repro.net.filters import FeatureFilter
 from repro.net.trace import Trace
 
@@ -54,24 +54,56 @@ class PCADetector(Detector):
             "max_sketches_per_bin": 2,
         }
 
-    def analyze(self, trace: Trace) -> list[Alarm]:
+    def plane_specs(self) -> tuple:
+        p = self.params
+        return (
+            ("column", "time", None),
+            ("column", "src", "uint64"),
+            ("sketch_buckets", "src", p["n_sketches"], p["hash_seed"]),
+            (
+                "pca_residual",
+                "src",
+                p["n_sketches"],
+                p["hash_seed"],
+                p["n_bins"],
+                p["n_components"],
+            ),
+        )
+
+    def analyze(self, trace: Trace, planes=None) -> list[Alarm]:
         if len(trace) == 0:
             return []
         p = self.params
-        column_values = self.engine.kernel("column_values")
-        times = column_values(trace, "time")
-        srcs = column_values(trace, "src", np.uint64)
+        planes = self._plane_cache(trace, planes)
+        srcs = planes.get(trace, ("column", "src", "uint64"))
         hasher = self._hasher(p["n_sketches"], p["hash_seed"])
         t_start, t_end = trace.start_time, trace.end_time
-        matrix = sketch_time_matrix(
-            times, srcs, hasher, t_start, t_end, p["n_bins"]
+        # The residual matrix depends only on the sketch/bin structure,
+        # which the tunings share — one plane serves all three configs.
+        residual = planes.get(
+            trace,
+            (
+                "pca_residual",
+                "src",
+                p["n_sketches"],
+                p["hash_seed"],
+                p["n_bins"],
+                p["n_components"],
+            ),
         )
-        residual = self._residual_matrix(matrix, p["n_components"])
         spe = (residual**2).sum(axis=1)
         anomalous_bins = self._threshold_bins(spe, p["threshold"])
         bin_width = max(t_end - t_start, 1e-9) / p["n_bins"]
 
         alarms: list[Alarm] = []
+        buckets = (
+            planes.get(
+                trace,
+                ("sketch_buckets", "src", p["n_sketches"], p["hash_seed"]),
+            )
+            if anomalous_bins
+            else None
+        )
         for b in anomalous_bins:
             t0 = t_start + b * bin_width
             t1 = t0 + bin_width
@@ -90,6 +122,7 @@ class PCADetector(Detector):
                     int(sketch),
                     top=p["max_ips_per_sketch"],
                     engine=self.engine,
+                    buckets=buckets,
                 )
                 for ip in ips:
                     alarms.append(

@@ -21,6 +21,7 @@ projections.
 from __future__ import annotations
 
 from collections import Counter
+from functools import lru_cache
 
 import numpy as np
 
@@ -87,6 +88,20 @@ class SketchHasher:
         return (hashed % np.uint64(self.n_sketches)).astype(np.int64)
 
 
+@lru_cache(maxsize=128)
+def shared_hasher(n_sketches: int, seed: int = 0) -> SketchHasher:
+    """Process-wide memoized :class:`SketchHasher`.
+
+    Hashers are deterministic in ``(n_sketches, seed)`` and immutable
+    after construction, so every detector instance asking for the same
+    key shares one object — detector tunings deliberately keep the
+    sketch structure fixed, which makes this cache hit across the whole
+    default ensemble (and across the feature-plane cache, whose bucket
+    planes are keyed by the same pair).
+    """
+    return SketchHasher(n_sketches, seed=seed)
+
+
 def sketch_time_matrix(
     times: np.ndarray,
     keys: np.ndarray,
@@ -94,11 +109,14 @@ def sketch_time_matrix(
     t_start: float,
     t_end: float,
     n_bins: int,
+    buckets: np.ndarray | None = None,
 ) -> np.ndarray:
     """Packet-count matrix of shape (n_bins, n_sketches).
 
     Entry ``(t, s)`` counts packets whose timestamp falls in time bin
-    ``t`` and whose key hashes to sketch ``s``.
+    ``t`` and whose key hashes to sketch ``s``.  ``buckets`` optionally
+    supplies the precomputed ``hasher.buckets(keys)`` (e.g. a cached
+    feature plane) so callers sharing the hash don't pay for it twice.
     """
     if n_bins <= 0:
         raise DetectorError("n_bins must be positive")
@@ -106,7 +124,8 @@ def sketch_time_matrix(
     bins = np.clip(
         ((times - t_start) / span * n_bins).astype(int), 0, n_bins - 1
     )
-    buckets = hasher.buckets(keys)
+    if buckets is None:
+        buckets = hasher.buckets(keys)
     matrix = np.zeros((n_bins, hasher.n_sketches), dtype=float)
     np.add.at(matrix, (bins, buckets), 1.0)
     return matrix
@@ -120,6 +139,7 @@ def dominant_keys(
     top: int = 3,
     min_fraction: float = 0.1,
     engine: EngineSpec = "auto",
+    buckets: np.ndarray | None = None,
 ) -> list[int]:
     """Most frequent keys hashing to ``sketch`` among masked packets.
 
@@ -129,13 +149,22 @@ def dominant_keys(
     engine's ``"dominant_keys"`` kernel: the vectorized kernel counts
     with one ``np.unique`` pass, the reference kernel is Counter-based.
     Both return identical key lists, including ``most_common``-style
-    tie-breaking by first appearance.
+    tie-breaking by first appearance.  ``buckets`` optionally supplies
+    the precomputed full-column ``hasher.buckets(keys)`` (e.g. a cached
+    feature plane); the vectorized kernel then skips rehashing, while
+    the reference kernel stays a scalar-hashing oracle.
     """
     kernel = resolve_engine(engine, what="dominant_keys").kernel(
         "dominant_keys"
     )
     return kernel(
-        keys, mask, hasher, sketch, top=top, min_fraction=min_fraction
+        keys,
+        mask,
+        hasher,
+        sketch,
+        top=top,
+        min_fraction=min_fraction,
+        buckets=buckets,
     )
 
 
@@ -146,12 +175,17 @@ def _dominant_keys_numpy(
     sketch: int,
     top: int = 3,
     min_fraction: float = 0.1,
+    buckets: np.ndarray | None = None,
 ) -> list[int]:
     """Vectorized kernel: one ``np.unique`` pass over the sketch."""
-    selected = keys[mask]
-    if selected.size == 0:
-        return []
-    in_sketch = selected[hasher.buckets(selected) == sketch]
+    if buckets is None:
+        selected = keys[mask]
+        if selected.size == 0:
+            return []
+        in_sketch = selected[hasher.buckets(selected) == sketch]
+    else:
+        # Precomputed full-column buckets: same selection, no rehash.
+        in_sketch = keys[mask & (buckets == sketch)]
     if in_sketch.size == 0:
         return []
     uniq, first_index, counts = np.unique(
@@ -175,8 +209,13 @@ def _dominant_keys_python(
     sketch: int,
     top: int = 3,
     min_fraction: float = 0.1,
+    buckets: np.ndarray | None = None,
 ) -> list[int]:
-    """Reference kernel: scalar hashing into a ``Counter``."""
+    """Reference kernel: scalar hashing into a ``Counter``.
+
+    ``buckets`` is accepted for signature parity but deliberately
+    ignored — the oracle rehashes every key scalar-by-scalar.
+    """
     selected = keys[mask]
     if selected.size == 0:
         return []

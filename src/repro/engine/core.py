@@ -52,6 +52,7 @@ KERNEL_OPS = (
     "traffic_extractor",
     "alarm_codes",
     "label_assign",
+    "feature_plane",
 )
 
 

@@ -42,6 +42,14 @@ Kernel signatures
     for index-aligned decision columns; ``NaN`` relative distance
     means "no metric, approximate from mu" exactly like
     :func:`repro.labeling.taxonomy.assign_taxonomy`.
+``feature_plane(trace, spec, planes)``
+    One derived feature plane of a trace (column, time-bin index,
+    binned histogram, sketch buckets, per-family statistics...), keyed
+    by its parameter ``spec`` tuple and memoized in the
+    :class:`~repro.detectors.planes.PlaneCache` passed as ``planes``
+    (sub-planes are fetched through it).  The vectorized kernel reads
+    the columnar table; the reference kernel scans packet objects for
+    the engine-split plane kinds.
 """
 
 from __future__ import annotations
@@ -167,6 +175,19 @@ def _register_sketch_kernels() -> None:
 
     NUMPY_ENGINE.register("dominant_keys", _dominant_keys_numpy)
     PYTHON_ENGINE.register("dominant_keys", _dominant_keys_python)
+
+
+# -- feature planes ----------------------------------------------------
+
+
+def _register_plane_kernels() -> None:
+    from repro.detectors.planes import (
+        _feature_plane_numpy,
+        _feature_plane_python,
+    )
+
+    NUMPY_ENGINE.register("feature_plane", _feature_plane_numpy)
+    PYTHON_ENGINE.register("feature_plane", _feature_plane_python)
 
 
 # -- similarity graph --------------------------------------------------
@@ -321,3 +342,4 @@ def _register_extractor_kernels() -> None:
 _register_sketch_kernels()
 _register_graph_kernels()
 _register_extractor_kernels()
+_register_plane_kernels()

@@ -179,14 +179,24 @@ class MAWILabPipeline:
         ]
         return hashlib.sha256(repr(sorted(parts)).encode()).hexdigest()[:16]
 
-    def detect(self, trace: Trace) -> list[Alarm]:
-        """Step 1 only: run every detector configuration on the trace."""
+    def detect(self, trace: Trace, planes=None) -> list[Alarm]:
+        """Step 1 only: run every detector configuration on the trace.
+
+        ``planes`` optionally supplies a shared
+        :class:`~repro.detectors.planes.PlaneCache`; by default every
+        configuration resolves the trace-attached cache, so sibling
+        configurations compute each feature plane once either way.
+        """
         alarms: list[Alarm] = []
         for detector in self.ensemble:
-            alarms.extend(detector.analyze(trace))
+            alarms.extend(
+                detector.analyze(trace)
+                if planes is None
+                else detector.analyze(trace, planes=planes)
+            )
         return alarms
 
-    def detect_table(self, trace: Trace) -> AlarmTable:
+    def detect_table(self, trace: Trace, planes=None) -> AlarmTable:
         """Step 1, batch-emitting: one alarm table for the ensemble.
 
         Row order equals :meth:`detect`'s list order (per-detector
@@ -194,7 +204,8 @@ class MAWILabPipeline:
         Steps 2-4 identically.
         """
         return AlarmTable.concatenate(
-            detector.analyze_table(trace) for detector in self.ensemble
+            detector.analyze_table(trace, planes=planes)
+            for detector in self.ensemble
         )
 
     def run(self, trace: Trace, annotations: Sequence = ()) -> PipelineResult:

@@ -448,6 +448,275 @@ def _write_table(
         del view
 
 
+# -- feature planes ----------------------------------------------------
+#
+# The third transport family: cached feature planes (sketch buckets,
+# binned histograms, PCA residuals, ...) computed once by the parent
+# flow to fan-out workers as one shared segment, so sibling tasks of
+# the same trace attach the ensemble's planes zero-copy instead of
+# recomputing them per worker.  A plane is an ndarray, a flat
+# tuple/list of ndarrays and scalars, or a BinnedHistogram; the layout
+# (array dtypes/shapes at 8-byte-aligned running offsets, scalars
+# riding the handle) travels with the picklable handle, exactly like
+# the alarm-table transport.
+
+
+def _array_bytes(shape: tuple, dtype: np.dtype) -> int:
+    """Segment bytes reserved per plane array, 8-byte aligned."""
+    n = 1
+    for dim in shape:
+        n *= int(dim)
+    return -(-n * dtype.itemsize // 8) * 8
+
+
+def _plane_parts(value) -> tuple[str, tuple, list[np.ndarray]]:
+    """Flatten one exportable plane into ``(kind, parts, arrays)``.
+
+    ``parts`` is the picklable per-item layout — ``("array", dtype_str,
+    shape)`` items consume segment bytes in order, ``("scalar", v)``
+    items ride the handle — and ``arrays`` the matching ndarrays to
+    write.  Kinds: ``"nd"`` (bare array), ``"tuple"`` / ``"list"``
+    (flat containers), ``"hist"`` (BinnedHistogram).
+    """
+    if isinstance(value, np.ndarray):
+        return "nd", (("array", value.dtype.str, value.shape),), [value]
+    if isinstance(value, (tuple, list)):
+        kind = "tuple" if isinstance(value, tuple) else "list"
+        parts: list[tuple] = []
+        arrays: list[np.ndarray] = []
+        for item in value:
+            if isinstance(item, np.ndarray):
+                parts.append(("array", item.dtype.str, item.shape))
+                arrays.append(item)
+            else:
+                scalar = item.item() if isinstance(item, np.generic) else item
+                parts.append(("scalar", scalar))
+        return kind, tuple(parts), arrays
+    # BinnedHistogram duck-type (feature name + three numeric arrays).
+    return (
+        "hist",
+        (
+            ("scalar", value.feature),
+            ("array", value.values.dtype.str, value.values.shape),
+            ("array", value.codes.dtype.str, value.codes.shape),
+            ("array", value.counts.dtype.str, value.counts.shape),
+        ),
+        [value.values, value.codes, value.counts],
+    )
+
+
+def planes_segment_bytes(items) -> int:
+    """Total segment size for ``(spec, value)`` plane pairs (≥ 1 byte)."""
+    total = 0
+    for _spec, value in items:
+        _kind, parts, _arrays = _plane_parts(value)
+        for part in parts:
+            if part[0] == "array":
+                total += _array_bytes(part[2], np.dtype(part[1]))
+    return max(total, 1)
+
+
+class AttachedPlanes:
+    """A ``{spec: plane}`` view over a mapped shared segment.
+
+    Same contract as :class:`AttachedTable`: keep it open while any
+    plane view is in use, then :meth:`close`; the exporting side owns
+    the segment's lifetime.
+    """
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, planes: dict
+    ) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.planes: Optional[dict] = planes
+
+    def __enter__(self) -> dict:
+        assert self.planes is not None
+        return self.planes
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.planes = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+            self._shm = None
+
+
+@dataclass(frozen=True)
+class SharedPlanesHandle:
+    """Picklable description of one exported feature-plane segment.
+
+    ``entries`` holds one ``(spec, kind, parts)`` triple per plane;
+    the numeric arrays live in the named segment at running offsets
+    derived from ``parts``, scalars (histogram feature names, tuple
+    members) travel with the handle.
+    """
+
+    name: str
+    entries: tuple
+
+    def attach(self) -> AttachedPlanes:
+        """Map the segment and view it as a ``{spec: plane}`` dict."""
+        shm = shared_memory.SharedMemory(name=self.name)
+        _unregister_attached(self.name)
+        return AttachedPlanes(shm, self._view(shm))
+
+    def _view(self, shm: shared_memory.SharedMemory) -> dict:
+        """Zero-copy plane views over a mapped segment.
+
+        Array views are marked read-only: workers share one physical
+        copy, so an accidental in-place mutation must raise rather
+        than corrupt a sibling's input (plane consumers that rewrite
+        entries — the streaming KL baseline — ``.copy()`` first).
+        """
+        planes: dict = {}
+        offset = 0
+        for spec, kind, parts in self.entries:
+            items = []
+            for part in parts:
+                if part[0] == "scalar":
+                    items.append(part[1])
+                    continue
+                _tag, dtype_str, shape = part
+                dtype = np.dtype(dtype_str)
+                view = np.ndarray(
+                    shape, dtype=dtype, buffer=shm.buf, offset=offset
+                )
+                view.flags.writeable = False
+                items.append(view)
+                offset += _array_bytes(shape, dtype)
+            planes[spec] = _rebuild_plane(kind, items)
+        return planes
+
+    def unlink(self) -> None:
+        """Free the backing segment (owner-side, after workers finish)."""
+        _owned_names.discard(self.name)
+        try:
+            segment = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            return
+        segment.unlink()
+        segment.close()
+
+
+def _rebuild_plane(kind: str, items: list):
+    if kind == "nd":
+        return items[0]
+    if kind == "tuple":
+        return tuple(items)
+    if kind == "list":
+        return items
+    # "hist": (feature, values, codes, counts)
+    from repro.detectors.features import BinnedHistogram
+
+    return BinnedHistogram(items[0], items[1], items[2], items[3])
+
+
+def _write_planes(shm: shared_memory.SharedMemory, items) -> tuple:
+    """Pack plane arrays into ``shm``; return the handle entries."""
+    entries = []
+    offset = 0
+    for spec, value in items:
+        kind, parts, arrays = _plane_parts(value)
+        for array in arrays:
+            dtype = array.dtype
+            view = np.ndarray(
+                array.shape, dtype=dtype, buffer=shm.buf, offset=offset
+            )
+            view[...] = array
+            offset += _array_bytes(array.shape, dtype)
+            del view
+        entries.append((spec, kind, parts))
+    return tuple(entries)
+
+
+def export_planes(items) -> SharedPlanesHandle:
+    """Copy ``(spec, value)`` plane pairs into a fresh shared segment.
+
+    The caller owns the segment and must eventually call
+    :meth:`SharedPlanesHandle.unlink`.  Callers exporting per shard
+    should prefer a :class:`PlaneArena`, which recycles one segment.
+    """
+    items = list(items)
+    shm = shared_memory.SharedMemory(
+        create=True, size=planes_segment_bytes(items)
+    )
+    _owned_names.add(shm.name)
+    try:
+        entries = _write_planes(shm, items)
+        handle = SharedPlanesHandle(name=shm.name, entries=entries)
+    except BaseException:
+        _owned_names.discard(shm.name)
+        shm.close()
+        shm.unlink()
+        raise
+    shm.close()
+    return handle
+
+
+class PlaneArena:
+    """A reusable shared segment for successive feature-plane exports.
+
+    The plane twin of :class:`TableArena`: one owned segment recycled
+    across exports, grown (with ``slack`` headroom, under a new name)
+    only when a bigger plane set arrives.  Same recycle discipline:
+    never export over a segment while a task holding its previous
+    handle may still read it.
+    """
+
+    def __init__(self, slack: float = 1.25) -> None:
+        if slack < 1.0:
+            raise ValueError(f"slack must be >= 1, got {slack}")
+        self.slack = slack
+        self._shm: Optional[shared_memory.SharedMemory] = None
+        #: Segments allocated over the arena's lifetime (observability:
+        #: steady state is 1).
+        self.allocations = 0
+
+    def export(self, items) -> SharedPlanesHandle:
+        """Pack plane pairs into the (recycled or grown) segment."""
+        items = list(items)
+        need = planes_segment_bytes(items)
+        if self._shm is None or self._shm.size < need:
+            self.close()
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(int(need * self.slack), need)
+            )
+            _owned_names.add(self._shm.name)
+            self.allocations += 1
+        entries = _write_planes(self._shm, items)
+        return SharedPlanesHandle(name=self._shm.name, entries=entries)
+
+    @property
+    def name(self) -> Optional[str]:
+        """Current segment name (``None`` before first export)."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self) -> None:
+        """Unlink and unmap the current segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        _owned_names.discard(shm.name)
+        _register_owned(shm.name)
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        _close_quietly(shm)
+
+    def __enter__(self) -> "PlaneArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 # -- persistent attachment and segment reuse ---------------------------
 #
 # The per-shard export/attach/unlink cycle above is correct but pays a
@@ -520,6 +789,10 @@ class SegmentRegistry:
 
     def alarm_table(self, handle: SharedAlarmTableHandle) -> AlarmTable:
         """A pinned zero-copy :class:`AlarmTable` for ``handle``."""
+        return handle._view(self._mapping(handle.name))
+
+    def planes(self, handle: SharedPlanesHandle) -> dict:
+        """Pinned zero-copy ``{spec: plane}`` views for ``handle``."""
         return handle._view(self._mapping(handle.name))
 
     def names(self) -> tuple[str, ...]:

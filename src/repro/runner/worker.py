@@ -42,7 +42,11 @@ from typing import Optional
 from repro.net.trace import Trace, TraceMetadata
 from repro.runner.config import PipelineConfig
 from repro.runner.report import TraceReport
-from repro.runner.shm import SharedTableHandle, segment_registry
+from repro.runner.shm import (
+    SharedPlanesHandle,
+    SharedTableHandle,
+    segment_registry,
+)
 
 
 @dataclass(frozen=True)
@@ -293,6 +297,12 @@ class DetectTask:
     metadata: Optional[TraceMetadata] = None
     pin_segment: bool = True
     stream_states: Optional[tuple[dict, ...]] = None
+    #: Feature planes the parent already computed for this trace,
+    #: exported as one shared segment.  The worker seeds its trace's
+    #: :class:`~repro.detectors.planes.PlaneCache` from the zero-copy
+    #: views before analyzing, so sibling groups of one trace share
+    #: the ensemble's planes instead of recomputing them per worker.
+    planes: Optional[SharedPlanesHandle] = None
 
 
 @dataclass
@@ -334,6 +344,7 @@ def _run_detect_inner(task: DetectTask) -> DetectResult:
     from repro.core.alarm_table import AlarmTable
 
     attached = None
+    attached_planes = None
     attach_started = time.perf_counter()
     if task.shm is not None:
         if task.pin_segment:
@@ -346,6 +357,21 @@ def _run_detect_inner(task: DetectTask) -> DetectResult:
         trace = task.trace
     else:
         raise ValueError("DetectTask carries neither shm nor trace")
+    if task.planes is not None:
+        # Seed the trace-attached plane cache from the parent's
+        # exported planes; detectors resolve the same cache via
+        # plane_cache_for, so no analyze call-site changes are needed.
+        from repro.detectors.planes import plane_cache_for
+
+        pipeline = _pipeline_for(task.config)
+        cache = plane_cache_for(trace, pipeline.engine)
+        if task.pin_segment:
+            plane_views = segment_registry().planes(task.planes)
+        else:
+            attached_planes = task.planes.attach()
+            plane_views = attached_planes.planes
+        for spec, value in plane_views.items():
+            cache.seed(spec, value)
     attach = time.perf_counter() - attach_started
 
     detect_started = time.perf_counter()
@@ -372,6 +398,8 @@ def _run_detect_inner(task: DetectTask) -> DetectResult:
         # result outlives the packet-table views safely.
         merged = AlarmTable.concatenate(tables)
     finally:
+        if attached_planes is not None:
+            attached_planes.close()
         if attached is not None:
             attached.close()
     detect = time.perf_counter() - detect_started

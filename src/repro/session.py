@@ -68,7 +68,7 @@ from repro.runner import worker
 from repro.runner.config import PipelineConfig, _strategy_for
 from repro.runner.pool import ProgressCallback, WorkerPool
 from repro.runner.report import BatchReport, TraceReport
-from repro.runner.shm import TableArena, export_table
+from repro.runner.shm import PlaneArena, TableArena, export_table
 
 #: Accepted trace transports for pooled modes.  ``"auto"`` picks the
 #: shared-memory transport whenever tasks actually cross a process
@@ -99,12 +99,14 @@ class _FanoutShard:
     cache_hit: bool = False
     alarms: object = None
     arena: Optional[TableArena] = None
+    plane_arena: Optional[PlaneArena] = None
     futures: list = field(default_factory=list)
     export_seconds: float = 0.0
+    plane_seconds: float = 0.0
     started: float = 0.0
 
 
-def _finalize_session(pool: WorkerPool, arenas: list[TableArena]) -> None:
+def _finalize_session(pool: WorkerPool, arenas: list) -> None:
     """GC/exit hook: stop workers, unlink arena segments."""
     for arena in arenas:
         arena.close()
@@ -188,10 +190,12 @@ class LabelingSession:
         self._pipeline = None
         #: The persistent pool every pooled mode runs on.
         self.pool = WorkerPool(workers=workers)
-        #: Reusable export segments, recycled shard to shard; grown on
-        #: demand up to the pipelining depth, unlinked at close.
-        self._arenas: list[TableArena] = []
+        #: Reusable export segments (packet tables and feature planes),
+        #: recycled shard to shard; grown on demand up to the
+        #: pipelining depth, unlinked at close.
+        self._arenas: list = []
         self._free_arenas: list[TableArena] = []
+        self._free_plane_arenas: list[PlaneArena] = []
         self._finalizer = weakref.finalize(
             self, _finalize_session, self.pool, self._arenas
         )
@@ -241,6 +245,7 @@ class LabelingSession:
     def close(self) -> None:
         """Stop pool workers and unlink arena segments (idempotent)."""
         self._free_arenas.clear()
+        self._free_plane_arenas.clear()
         while self._arenas:
             self._arenas.pop().close()
         self.pool.shutdown()
@@ -261,6 +266,17 @@ class LabelingSession:
     def _return_arena(self, arena: Optional[TableArena]) -> None:
         if arena is not None:
             self._free_arenas.append(arena)
+
+    def _take_plane_arena(self) -> PlaneArena:
+        if self._free_plane_arenas:
+            return self._free_plane_arenas.pop()
+        arena = PlaneArena()
+        self._arenas.append(arena)
+        return arena
+
+    def _return_plane_arena(self, arena: Optional[PlaneArena]) -> None:
+        if arena is not None:
+            self._free_plane_arenas.append(arena)
 
     # -- run modes -----------------------------------------------------
 
@@ -335,7 +351,9 @@ class LabelingSession:
 
         ``profile``, when a dict, receives per-phase wall seconds
         summed over the run — ``export`` (parent-side segment packing),
-        ``attach`` / ``compute`` (worker-side), ``merge`` (parent-side
+        ``planes`` (parent-side feature-plane compute + export in
+        fan-out modes), ``attach`` / ``compute`` (worker-side),
+        ``merge`` (parent-side
         alarm merging + Steps 2-4 in fan-out modes), ``idle``
         (estimated worker idle: pool capacity minus busy time) plus
         ``wall`` and ``workers`` — the evidence `repro bench
@@ -371,6 +389,7 @@ class LabelingSession:
         wall_started = time.perf_counter()
         phases = {
             "export": 0.0,
+            "planes": 0.0,
             "attach": 0.0,
             "compute": 0.0,
             "merge": 0.0,
@@ -571,6 +590,27 @@ class LabelingSession:
             handle = shard.arena.export(shard.trace.table)
             shard.export_seconds = time.perf_counter() - export_started
             common.update(shm=handle, pin_segment=True)
+            if self.engine.vectorized:
+                # Compute the ensemble's shared feature planes once in
+                # the parent and export them next to the packet table,
+                # so every sibling group attaches them zero-copy
+                # instead of recomputing per worker.
+                planes_started = time.perf_counter()
+                from repro.detectors.planes import (
+                    merge_plane_specs,
+                    plane_cache_for,
+                )
+
+                cache = plane_cache_for(shard.trace, self.engine)
+                for spec in merge_plane_specs(self.pipeline.ensemble):
+                    cache.get(shard.trace, spec)
+                shard.plane_arena = self._take_plane_arena()
+                common.update(
+                    planes=shard.plane_arena.export(
+                        cache.exportable_items()
+                    )
+                )
+                shard.plane_seconds = time.perf_counter() - planes_started
         else:
             common.update(trace=shard.trace)
         shard.futures = [
@@ -593,6 +633,7 @@ class LabelingSession:
 
         phases = {
             "export": shard.export_seconds,
+            "planes": shard.plane_seconds,
             "attach": 0.0,
             "compute": 0.0,
             "merge": 0.0,
@@ -604,6 +645,8 @@ class LabelingSession:
         finally:
             self._return_arena(shard.arena)
             shard.arena = None
+            self._return_plane_arena(shard.plane_arena)
+            shard.plane_arena = None
             shard.futures = []
         failures = [r for r in results if not r.ok]
         if failures:
@@ -666,6 +709,8 @@ class LabelingSession:
             for shard in shards:
                 self._return_arena(shard.arena)
                 shard.arena = None
+                self._return_plane_arena(shard.plane_arena)
+                shard.plane_arena = None
         batch = BatchReport(reports=reports)
         batch.alarm_tables.update(alarm_tables)
         return batch

@@ -54,9 +54,11 @@ from repro.labeling.taxonomy import assign_taxonomy_batch
 from repro.net.flow import Granularity
 from repro.net.table import PacketTable
 from repro.net.trace import Trace, TraceMetadata
+from repro.detectors.planes import plane_cache_for
 from repro.runner.config import PipelineConfig
 from repro.runner.pool import WorkerPool
-from repro.runner.shm import TableArena
+from repro.runner.shm import PlaneArena, TableArena
+from repro.stream.planes import StreamingPlanes
 from repro.stream.window import TraceWindow
 
 
@@ -278,6 +280,25 @@ class StreamingPipeline:
         self._arena = TableArena() if self.pool is not None else None
         if self._arena is not None:
             weakref.finalize(self, TableArena.close, self._arena)
+        #: Recycled export segment for each window's seeded planes
+        #: (pooled vectorized mode only).
+        self._plane_arena = (
+            PlaneArena()
+            if self.pool is not None and self.engine.vectorized
+            else None
+        )
+        if self._plane_arena is not None:
+            weakref.finalize(self, PlaneArena.close, self._plane_arena)
+        #: Incrementally maintained plane bases: chunk appends grow the
+        #: value dictionaries, each window's histograms / sketch
+        #: buckets are then derived by searchsorted instead of
+        #: recomputed from scratch (vectorized engine only; the
+        #: reference engine recomputes — it is the oracle).
+        self._stream_planes = (
+            StreamingPlanes(self.pipeline.ensemble)
+            if self.engine.vectorized
+            else None
+        )
         self.ring = TraceWindow()
         self._graph = DynamicSimilarityGraph(
             measure=measure, edge_threshold=edge_threshold
@@ -328,6 +349,8 @@ class StreamingPipeline:
             if len(chunk) == 0:
                 continue
             self.ring.extend(chunk)
+            if self._stream_planes is not None:
+                self._stream_planes.append(chunk)
             if next_emit is None:
                 next_emit = self.ring.t_min + self.window
             while self.ring.t_max >= next_emit:
@@ -360,6 +383,8 @@ class StreamingPipeline:
         started = _time.perf_counter()
         window_t0 = window_end - self.window
         self.ring.evict_before(window_t0)
+        if self._stream_planes is not None:
+            self._stream_planes.evict_before(window_t0)
         table = self.ring.table()
         in_window = (
             table.time <= window_end if inclusive else table.time < window_end
@@ -390,6 +415,14 @@ class StreamingPipeline:
         n_communities = 0
         fresh: list[tuple[tuple, Alarm]] = []
         if len(trace):
+            if self._stream_planes is not None:
+                # Seed the window trace's plane cache from the
+                # incrementally maintained dictionaries; detectors (and
+                # pooled workers, via the plane export below) resolve
+                # the same cache and skip the from-scratch unique/hash.
+                self._stream_planes.seed_window(
+                    trace, plane_cache_for(trace, self.engine)
+                )
             # Step 1, stateful: every configuration sees the window.
             # Cross-window alarm dedup: a re-detection in an
             # overlapping window is absorbed by a live copy from a
@@ -526,6 +559,14 @@ class StreamingPipeline:
         # One export per window into the recycled arena; workers pin
         # the mapping, so steady state is a single parent-side memcpy.
         handle = self._arena.export(trace.table)
+        planes_handle = None
+        if self._plane_arena is not None and self._stream_planes is not None:
+            # Ship the window's seeded base planes next to the table so
+            # every group starts from the shared histograms / buckets
+            # instead of recomputing them per worker.
+            planes_handle = self._plane_arena.export(
+                plane_cache_for(trace, self.engine).exportable_items()
+            )
         futures = [
             self.pool.submit(
                 run_detect,
@@ -538,6 +579,7 @@ class StreamingPipeline:
                     stream_states=tuple(
                         dict(self.detectors[i].state) for i in group
                     ),
+                    planes=planes_handle,
                 ),
             )
             for group in groups
@@ -567,6 +609,8 @@ class StreamingPipeline:
         """
         if self._arena is not None:
             self._arena.close()
+        if self._plane_arena is not None:
+            self._plane_arena.close()
 
     # -- cross-window label merging ------------------------------------
 

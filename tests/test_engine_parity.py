@@ -156,6 +156,41 @@ def dominant_inputs(draw):
     )
 
 
+@st.composite
+def feature_plane_inputs(draw):
+    """A trace plus one engine-split-safe feature-plane spec.
+
+    ``kl_divergence`` and ``entropy_series`` are deliberately absent:
+    their engines sum in different orders (dense rows vs Counter
+    insertion), so their floats agree only to the last ulp — exactly
+    like the detector paths they serve.  Every kind here is either
+    engine-split with exact integer/bool outputs or computed by shared
+    vectorized helpers on both engines.
+    """
+    trace = draw(traces)
+    n_bins = draw(st.integers(2, 6))
+    field = draw(st.sampled_from(["src", "dst", "sport", "dport"]))
+    n_sketches = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 5))
+    spec = draw(
+        st.sampled_from(
+            [
+                ("column", field, "uint64"),
+                ("column", "time", None),
+                ("time_bins", n_bins),
+                ("bin_members", n_bins),
+                ("binned_histogram", field, n_bins),
+                ("sketch_buckets", field, n_sketches, seed),
+                ("hough_x", n_bins),
+                ("hough_pixels", field, n_bins, n_sketches, 2, seed),
+                ("pca_residual", field, n_sketches, seed, n_bins, 2),
+                ("gamma_deviations", field, n_sketches, seed, 0.5, 2),
+            ]
+        )
+    )
+    return trace, spec
+
+
 traffic_sets = st.lists(
     st.frozensets(st.integers(min_value=0, max_value=25), max_size=12),
     max_size=24,
@@ -296,6 +331,29 @@ def _run_alarm_codes(engine, payload):
     return codes.tolist(), tuple(pool)
 
 
+def _normalize_plane(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (tuple, list)):
+        return [_normalize_plane(v) for v in value]
+    if hasattr(value, "counts"):  # BinnedHistogram
+        return (
+            value.feature,
+            value.values.tolist(),
+            value.codes.tolist(),
+            value.counts.tolist(),
+        )
+    return value
+
+
+def _run_feature_plane(engine, payload):
+    from repro.detectors.planes import PlaneCache
+
+    trace, spec = payload
+    plane = engine.kernel("feature_plane")(trace, spec, PlaneCache(engine))
+    return _normalize_plane(plane)
+
+
 def _run_label_assign(engine, payload):
     accepted, distance, mu, suspicious_distance = payload
     return engine.kernel("label_assign")(
@@ -347,6 +405,7 @@ KERNEL_CASES = [
     ),
     KernelCase("alarm_codes", alarm_code_inputs, _run_alarm_codes),
     KernelCase("label_assign", label_assign_inputs(), _run_label_assign),
+    KernelCase("feature_plane", feature_plane_inputs(), _run_feature_plane),
 ]
 
 
