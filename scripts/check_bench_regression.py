@@ -14,7 +14,9 @@ exits non-zero if any tracked metric fell more than ``tolerance``
 * **batch** — offline pipeline packets/sec (``n_packets / total``);
 * **streaming** — ``streaming.packets_per_sec``;
 * **alarm path** — ``alarm_path.columnar.alarms_per_sec`` (Steps 2-4
-  throughput over the columnar ``AlarmTable`` data path).
+  throughput over the columnar ``AlarmTable`` data path);
+* **serve** — ``serve.queries_per_sec`` (live ``/labels`` query
+  throughput against the running daemon).
 
 Higher-is-better only: faster-than-baseline runs always pass, and CI
 hardware faster than the baseline host can only add headroom.
@@ -37,6 +39,12 @@ cannot silently rot:
   tolerance), following the same single-core self-skip convention
   (wall-clock ratios on oversubscribed single-core runners are too
   noisy to gate on).
+
+One absolute bound rides along: when the candidate bench ran with
+``--profile``, the serve leg records per-feed queue-depth high-water
+marks, and any peak above its configured ``max_packets`` bound fails
+the gate outright (no tolerance) — backpressure must keep daemon
+memory bounded.
 
 Every self-skipped ratio gate prints a loud one-line ``NOTICE:`` so a
 gate silently never running is visible in the CI log.
@@ -65,6 +73,9 @@ def collect_metrics(payload: dict) -> dict[str, float]:
         metrics["alarm_path_columnar_alarms_per_sec"] = alarm_path[
             "columnar"
         ]["alarms_per_sec"]
+    serve = payload.get("serve")
+    if serve is not None:
+        metrics["serve_queries_per_sec"] = serve["queries_per_sec"]
     return metrics
 
 
@@ -89,7 +100,13 @@ def main(argv: list[str] | None = None) -> int:
     candidate_metrics = collect_metrics(candidate)
     baseline_metrics = collect_metrics(baseline)
     for name, base_value in baseline_metrics.items():
-        got = candidate_metrics[name]
+        got = candidate_metrics.get(name)
+        if got is None:
+            print(
+                f"NOTICE: {name} gate SKIPPED (candidate bench did not "
+                "run that leg)"
+            )
+            continue
         floor = base_value * (1.0 - args.tolerance)
         status = "ok" if got >= floor else "REGRESSED"
         print(
@@ -151,6 +168,30 @@ def main(argv: list[str] | None = None) -> int:
                 f"measured {detect_speedup:.2f}x, gated only on "
                 "multi-core hosts)"
             )
+
+    # Bounded-memory gate: the serve leg's queue high-water marks
+    # (recorded under ``repro bench --profile``) must stay within their
+    # configured bounds — a peak above its bound means backpressure
+    # stopped blocking producers and daemon memory is growing.  This is
+    # a correctness bound, not a throughput ratio: no tolerance.
+    serve_queues = candidate.get("serve", {}).get("queues")
+    if serve_queues is not None:
+        for feed_name, queue in serve_queues.items():
+            peak = queue["peak_packets"]
+            bound = queue["max_packets"]
+            status = "ok" if peak <= bound else "UNBOUNDED"
+            print(
+                f"serve queue {feed_name}: peak {peak:,} packets "
+                f"(bound {bound:,}) {status}"
+            )
+            if peak > bound:
+                failures.append(f"serve_queue_{feed_name}_unbounded")
+    elif candidate.get("serve") is not None:
+        print(
+            "NOTICE: serve queue bounded-memory gate SKIPPED "
+            "(candidate bench ran without --profile; no queue "
+            "high-water marks recorded)"
+        )
 
     alarm_speedup = candidate.get("alarm_path", {}).get("columnar_speedup")
     if alarm_speedup is not None:

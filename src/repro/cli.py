@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands expose the library to non-Python users::
+Eleven subcommands expose the library to non-Python users::
 
     mawilab generate      --seed 7 --duration 30 --anomaly sasser \
                           --anomaly ping_flood --out day.pcap --truth truth.json
@@ -15,6 +15,8 @@ Ten subcommands expose the library to non-Python users::
                           --out-dir labels/ --cache-dir .mawilab-cache --resume
     mawilab cache prune   --cache-dir .mawilab-cache --max-bytes 500M \
                           --older-than 30d
+    mawilab serve         --port 8738 --db-root labels-db \
+                          --schedule 86400 --cache-dir .mawilab-cache
 
 `label` runs the full 4-step pipeline on one closed trace; `stream`
 runs the same method *online* over a sliding window — the pcap is read
@@ -29,7 +31,11 @@ the perf artifact CI archives on every PR; `archive` sweeps synthetic
 archive days and prints the SCANN attack-ratio series (the Fig. 7
 workflow); `label-archive` shards archive days across a process pool,
 writes one label CSV per day plus a JSON batch report, and can resume
-an interrupted run.  All commands are deterministic given their seeds.
+an interrupted run; `serve` runs the labeling daemon — concurrent
+HTTP packet feeds with bounded-ring backpressure, live ``/labels``
+queries, and an optional resumable archive-ingest schedule (see
+``docs/serving.md``).  All commands are deterministic given their
+seeds.
 
 The pipeline commands accept ``--engine {auto,numpy,python}``: the
 columnar NumPy engine (default) or the pure-Python reference
@@ -286,6 +292,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if args.fanout_workers > 0:
         payload["fanout"] = _bench_fanout(args, archive)
+    if args.serve_queries > 0:
+        payload["serve"] = _bench_serve(args, archive)
     rendered = json.dumps(payload, indent=2) + "\n"
     if args.out:
         with open(args.out, "w") as handle:
@@ -590,6 +598,158 @@ def _bench_transport(args: argparse.Namespace, trace) -> dict:
     return result
 
 
+def _bench_serve(args: argparse.Namespace, archive) -> dict:
+    """Serve leg: ingest + query throughput through the live daemon.
+
+    Boots a :class:`~repro.serve.daemon.LabelingService` behind its
+    HTTP surface, pushes one archive day through a feed *over HTTP*
+    (the full wire path, backpressure included), then hammers
+    ``/labels`` to measure query throughput.  The artifact records
+    queries/sec, the ingest-to-queryable p95 latency (window labeling
+    + index publish), and — under ``--profile`` — per-feed queue-depth
+    high-water marks against their configured bounds, which the
+    regression gate checks for bounded-memory behavior.
+    """
+    import time
+    import urllib.request
+
+    from repro.serve import LabelServer, LabelingService, table_to_rows
+    from repro.stream.window import chunk_table
+
+    day = archive.day(args.date)
+
+    with LabelingService(
+        engine=args.engine,
+        window=args.duration,
+        max_ring_packets=args.serve_ring,
+    ) as service:
+        server = LabelServer(service).start_background()
+        base = f"http://127.0.0.1:{server.port}"
+
+        def post(path: str, payload: dict) -> dict:
+            request = urllib.request.Request(
+                base + path,
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                return json.load(response)
+
+        post("/feeds/bench", {"date": day.date})
+        ingest_started = time.perf_counter()
+        for chunk in chunk_table(day.trace.table, args.stream_chunk):
+            post("/feeds/bench/packets", {"packets": table_to_rows(chunk)})
+        close_status = post("/feeds/bench/close", {})
+        ingest_seconds = time.perf_counter() - ingest_started
+
+        query_url = base + f"/labels?date={day.date}&taxonomy=anomalous"
+        query_started = time.perf_counter()
+        for _ in range(args.serve_queries):
+            with urllib.request.urlopen(query_url) as response:
+                json.load(response)
+        query_seconds = time.perf_counter() - query_started
+
+        with urllib.request.urlopen(base + "/metrics") as response:
+            metrics = json.load(response)
+
+        leg = {
+            "n_packets": len(day.trace),
+            "n_labels": close_status["labels"],
+            "windows": close_status["windows"],
+            "ingest_seconds": round(ingest_seconds, 6),
+            "ingest_packets_per_sec": round(
+                len(day.trace) / ingest_seconds, 1
+            ),
+            "p95_commit_seconds": metrics["latency"]["p95_commit_seconds"],
+            "queries": args.serve_queries,
+            "queries_per_sec": round(
+                args.serve_queries / query_seconds, 1
+            ),
+        }
+        if args.profile:
+            # Bounded-memory evidence: every queue's high-water mark
+            # next to its configured bound (gated by
+            # check_bench_regression.py).
+            leg["queues"] = metrics["queues"]
+        server.stop_background()
+    return leg
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the labeling daemon until interrupted."""
+    import threading
+
+    from repro.serve import ArchiveScheduler, LabelServer, LabelingService
+
+    if args.schedule is not None and not args.db_root:
+        print("error: --schedule requires --db-root", file=sys.stderr)
+        return 2
+
+    service = LabelingService(
+        config=_pipeline_config(args),
+        workers=args.workers,
+        window=args.window,
+        hop=args.hop,
+        max_ring_packets=args.max_ring_packets,
+        db_root=args.db_root,
+    )
+    # SIGTERM/SIGINT drain the pool and unlink shm before dying.
+    service.install_signals()
+    for spec in args.feeds or []:
+        name, _, date = spec.partition(":")
+        service.open_feed(name, date=date or None)
+
+    stop = threading.Event()
+    scheduler = None
+    scheduler_thread = None
+    if args.schedule is not None:
+        from repro.mawi.archive import SyntheticArchive
+
+        archive = SyntheticArchive(
+            seed=args.seed, trace_duration=args.duration
+        )
+        scheduler = ArchiveScheduler(
+            archive,
+            _month_dates(args.start, args.months),
+            args.db_root,
+            session=service.session,
+            cache_dir=args.cache_dir,
+            index=service.index,
+        )
+
+        def _progress(outcome) -> None:
+            print(f"schedule: {outcome.describe()}", file=sys.stderr)
+
+        scheduler_thread = threading.Thread(
+            target=scheduler.run_forever,
+            args=(args.schedule, stop, _progress),
+            name="scheduler",
+            daemon=True,
+        )
+        scheduler_thread.start()
+
+    server = LabelServer(service, host=args.host, port=args.port)
+    server.start_background()
+    print(
+        f"serving on http://{args.host}:{server.port} "
+        f"(engine {service.session.engine.name}, "
+        f"workers {service.session.workers})",
+        file=sys.stderr,
+    )
+    try:
+        stop.wait(args.exit_after)
+    except KeyboardInterrupt:
+        print("interrupt: draining", file=sys.stderr)
+    finally:
+        stop.set()
+        if scheduler_thread is not None:
+            scheduler_thread.join(timeout=30.0)
+        server.stop_background()
+        service.shutdown(drain=True)
+    return 0
+
+
 def _month_dates(start_iso: str, months: int) -> list[str]:
     """``months`` consecutive monthly dates starting at ``start_iso``."""
     import datetime
@@ -874,6 +1034,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 skips the alarm-path leg)",
     )
     bench.add_argument(
+        "--serve-queries",
+        type=int,
+        default=50,
+        help="serve-leg /labels query count (0 skips the serve leg)",
+    )
+    bench.add_argument(
+        "--serve-ring",
+        type=int,
+        default=65536,
+        help="serve-leg feed ring capacity in packets (the bounded-"
+        "memory limit the regression gate checks peaks against)",
+    )
+    bench.add_argument(
         "--profile",
         action="store_true",
         help="record per-phase wall times (export / attach / compute / "
@@ -917,6 +1090,95 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--out", help="output path (stdout if omitted)")
     _add_pipeline_options(stream)
     stream.set_defaults(func=_cmd_stream)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the labeling daemon: HTTP feeds, live label queries, "
+        "optional scheduled archive ingest",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8738,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--feeds",
+        action="append",
+        metavar="NAME[:DATE]",
+        help="pre-open a feed at boot (repeatable); DATE defaults to "
+        "the feed name",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=30.0,
+        help="default feed window seconds (a window covering a feed's "
+        "whole stream reproduces `label` byte-for-byte)",
+    )
+    serve.add_argument(
+        "--hop",
+        type=float,
+        help="default feed hop seconds (default: window, i.e. tumbling)",
+    )
+    serve.add_argument(
+        "--max-ring-packets",
+        type=int,
+        default=65536,
+        help="default per-feed ingest-ring capacity; a full ring "
+        "blocks the producer (backpressure) instead of growing memory",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size shared by every feed (1 = in-process)",
+    )
+    serve.add_argument(
+        "--db-root",
+        help="LabelDatabase root; closed feeds and scheduled days "
+        "persist their label CSVs here",
+    )
+    serve.add_argument(
+        "--schedule",
+        type=float,
+        metavar="SECONDS",
+        help="ingest archive days every SECONDS (requires --db-root; "
+        "resumable via the journal in the database root)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=2010, help="scheduled-archive seed"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="scheduled-archive trace duration in seconds",
+    )
+    serve.add_argument(
+        "--start",
+        default="2004-01-01",
+        help="first scheduled archive date",
+    )
+    serve.add_argument(
+        "--months",
+        type=int,
+        default=6,
+        help="scheduled archive span in months",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="Step 1 alarm-cache directory for scheduled ingest",
+    )
+    serve.add_argument(
+        "--exit-after",
+        type=float,
+        metavar="SECONDS",
+        help="self-terminate after this long (CI smoke harness)",
+    )
+    _add_pipeline_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser(
         "cache", help="manage the on-disk Step 1 alarm cache"

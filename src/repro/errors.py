@@ -56,3 +56,7 @@ class RuleMiningError(ReproError):
 
 class LabelingError(ReproError):
     """Labeling heuristics or taxonomy assignment failed."""
+
+
+class ServeError(ReproError):
+    """The serving layer (daemon, feeds, scheduler, HTTP) misbehaved."""

@@ -23,12 +23,18 @@ from __future__ import annotations
 
 import csv
 import os
+import threading
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
+
+import numpy as np
 
 from repro.errors import LabelingError
+from repro.ioutil import write_atomic
 from repro.labeling.mawilab import LabelRecord, PipelineResult, labels_to_csv
-from repro.net.addresses import ip_to_int
+from repro.labeling.store import LabelStore
+from repro.labeling.taxonomy import TAXONOMY_ORDER
+from repro.net.addresses import ip_to_int, ip_to_str
 
 _INDEX_FIELDS = [
     "date",
@@ -67,6 +73,26 @@ def _day_relpath(date: str) -> str:
     return os.path.join(year, month, f"{day}_anomalous_suspicious.csv")
 
 
+def _summary_of(
+    records: Sequence, n_alarms: Optional[int] = None
+) -> dict:
+    """Index-row counts for one day's label records."""
+    per_taxonomy = {name: 0 for name in TAXONOMY_ORDER}
+    for record in records:
+        per_taxonomy[record.taxonomy] += 1
+    if n_alarms is None:
+        # Communities partition the Step 1 alarms, so the per-record
+        # counts sum back to the day's alarm population.
+        n_alarms = sum(record.n_alarms for record in records)
+    return {
+        "n_communities": len(records),
+        "n_anomalous": per_taxonomy["anomalous"],
+        "n_suspicious": per_taxonomy["suspicious"],
+        "n_notice": per_taxonomy["notice"],
+        "n_alarms": n_alarms,
+    }
+
+
 class LabelDatabase:
     """File-based MAWILab-style label repository."""
 
@@ -75,32 +101,98 @@ class LabelDatabase:
         os.makedirs(root, exist_ok=True)
 
     # -- writing -------------------------------------------------------
+    #
+    # Day files and the index are published atomically (tmp file +
+    # ``os.replace`` via :func:`repro.ioutil.write_atomic`): the serve
+    # layer queries the database while the scheduler writes it, and a
+    # reader must never observe a half-written CSV.
 
     def store_day(self, date: str, result: PipelineResult) -> str:
         """Store one day's pipeline result; returns the file path."""
+        return self.store_day_labels(
+            date, result.labels, n_alarms=len(result.alarms)
+        )
+
+    def store_day_labels(
+        self,
+        date: str,
+        labels: Union[LabelStore, Sequence[LabelRecord]],
+        n_alarms: Optional[int] = None,
+    ) -> str:
+        """Store one day from bare label records (or a store).
+
+        The streaming/serving paths hold merged
+        :class:`~repro.labeling.store.LabelStore` columns rather than a
+        full :class:`~repro.labeling.mawilab.PipelineResult`; this
+        entry point accepts either.  ``n_alarms`` defaults to the sum
+        of per-community alarm counts (the Step 1 population when every
+        alarm belongs to a community, as the pipeline guarantees).
+        """
+        records = (
+            labels.to_records()
+            if isinstance(labels, LabelStore)
+            else list(labels)
+        )
         path = os.path.join(self.root, _day_relpath(date))
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        with open(path, "w") as handle:
-            handle.write(labels_to_csv(result.labels))
-        self._update_index(date, result)
+        write_atomic(path, labels_to_csv(records))
+        self._write_index_entry(date, _summary_of(records, n_alarms))
         return path
 
-    def _update_index(self, date: str, result: PipelineResult) -> None:
+    def _write_index_entry(self, date: str, counts: dict) -> None:
         entries = self._read_index()
-        entries[date] = {
-            "date": date,
-            "n_communities": len(result.labels),
-            "n_anomalous": len(result.anomalous()),
-            "n_suspicious": len(result.suspicious()),
-            "n_notice": len(result.notice()),
-            "n_alarms": len(result.alarms),
-        }
-        index_path = os.path.join(self.root, "index.csv")
-        with open(index_path, "w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=_INDEX_FIELDS)
-            writer.writeheader()
-            for key in sorted(entries):
-                writer.writerow(entries[key])
+        entries[date] = {"date": date, **counts}
+        self._write_index(entries)
+
+    def _write_index(self, entries: dict[str, dict]) -> None:
+        import io
+
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=_INDEX_FIELDS)
+        writer.writeheader()
+        for key in sorted(entries):
+            writer.writerow(entries[key])
+        write_atomic(os.path.join(self.root, "index.csv"), out.getvalue())
+
+    def _update_index(self, date: str, result: PipelineResult) -> None:
+        self._write_index_entry(
+            date, _summary_of(list(result.labels), len(result.alarms))
+        )
+
+    def rebuild_index(self) -> list[str]:
+        """Rewrite ``index.csv`` from the stored day files.
+
+        Recovery path for a corrupt or missing index (e.g. a crash
+        predating atomic writes, or a partially copied tree): every
+        ``<year>/<month>/<day>_anomalous_suspicious.csv`` under the
+        root is parsed and its summary counts recomputed.  Returns the
+        recovered dates, sorted.
+        """
+        entries: dict[str, dict] = {}
+        for date in self._scan_day_files():
+            records = self.load_day_records(date)
+            entries[date] = {
+                "date": date,
+                **_summary_of(records, n_alarms=None),
+            }
+        self._write_index(entries)
+        return sorted(entries)
+
+    def _scan_day_files(self) -> list[str]:
+        suffix = "_anomalous_suspicious.csv"
+        dates = []
+        for year in sorted(os.listdir(self.root)):
+            if not (year.isdigit() and os.path.isdir(os.path.join(self.root, year))):
+                continue
+            for month in sorted(os.listdir(os.path.join(self.root, year))):
+                month_dir = os.path.join(self.root, year, month)
+                if not os.path.isdir(month_dir):
+                    continue
+                for name in sorted(os.listdir(month_dir)):
+                    if name.endswith(suffix):
+                        day = name[: -len(suffix)]
+                        dates.append(f"{year}-{month}-{day}")
+        return dates
 
     def _read_index(self) -> dict[str, dict]:
         index_path = os.path.join(self.root, "index.csv")
@@ -212,3 +304,222 @@ class LabelDatabase:
                 )
             )
         return records
+
+
+# -- live query index --------------------------------------------------
+
+
+def _address_code(value: Union[str, int]) -> int:
+    """Normalize a query address (dotted quad or integer) to its code."""
+    if isinstance(value, int):
+        return value
+    text = str(value)
+    if "." in text:
+        return ip_to_int(text)
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise LabelingError(f"bad address {value!r}") from exc
+
+
+class _DayIndex:
+    """One published day: a LabelStore plus query-axis arrays.
+
+    Built once per publish and immutable afterwards; queries read the
+    store's numeric columns (taxonomy codes, time spans) directly and
+    resolve flow-key predicates through flattened per-rule arrays
+    (``-1`` encodes a wildcard field), so no pipeline object is ever
+    touched at query time.
+    """
+
+    __slots__ = (
+        "store",
+        "rule_record",
+        "rule_src",
+        "rule_dst",
+        "rule_sport",
+        "rule_dport",
+    )
+
+    def __init__(self, store: LabelStore) -> None:
+        self.store = store
+        record_idx: list[int] = []
+        fields: dict[str, list[int]] = {
+            "src": [], "dst": [], "sport": [], "dport": []
+        }
+        for i, summary in enumerate(store.summaries):
+            for rule in getattr(summary, "rules", ()):
+                record_idx.append(i)
+                for name in fields:
+                    value = getattr(rule, name)
+                    fields[name].append(-1 if value is None else int(value))
+        self.rule_record = np.asarray(record_idx, dtype=np.int64)
+        self.rule_src = np.asarray(fields["src"], dtype=np.int64)
+        self.rule_dst = np.asarray(fields["dst"], dtype=np.int64)
+        self.rule_sport = np.asarray(fields["sport"], dtype=np.int64)
+        self.rule_dport = np.asarray(fields["dport"], dtype=np.int64)
+
+    def select(
+        self,
+        taxonomy: Optional[str] = None,
+        src: Optional[Union[str, int]] = None,
+        dst: Optional[Union[str, int]] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> np.ndarray:
+        """Row indices matching every given predicate, in store order."""
+        store = self.store
+        mask = np.ones(len(store), dtype=bool)
+        if taxonomy is not None:
+            if taxonomy not in TAXONOMY_ORDER:
+                raise LabelingError(
+                    f"unknown taxonomy {taxonomy!r}; "
+                    f"known: {list(TAXONOMY_ORDER)}"
+                )
+            mask &= store.taxonomy_code == TAXONOMY_ORDER.index(taxonomy)
+        if t0 is not None:
+            mask &= store.t1 >= float(t0)
+        if t1 is not None:
+            mask &= store.t0 <= float(t1)
+        for value, column in ((src, self.rule_src), (dst, self.rule_dst)):
+            if value is None:
+                continue
+            hits = self.rule_record[column == _address_code(value)]
+            rule_mask = np.zeros(len(store), dtype=bool)
+            rule_mask[hits] = True
+            mask &= rule_mask
+        return np.nonzero(mask)[0]
+
+
+def _label_row(date: str, record: LabelRecord) -> dict:
+    """One query-result row (JSON-shaped; rules nested per label)."""
+    return {
+        "date": date,
+        "community": record.community_id,
+        "taxonomy": record.taxonomy,
+        "heuristic_category": record.heuristic.category,
+        "heuristic_detail": record.heuristic.detail,
+        "t0": record.t0,
+        "t1": record.t1,
+        "n_alarms": record.n_alarms,
+        "detectors": list(record.detectors),
+        "rules": [
+            {
+                "src": ip_to_str(rule.src) if rule.src is not None else None,
+                "sport": rule.sport,
+                "dst": ip_to_str(rule.dst) if rule.dst is not None else None,
+                "dport": rule.dport,
+                "support": rule.support,
+            }
+            for rule in record.summary.rules
+        ],
+    }
+
+
+class LiveLabelIndex:
+    """In-memory query index over committed label days.
+
+    The serving layer's read side: feeds and the daily scheduler
+    *publish* whole days (a :class:`~repro.labeling.store.LabelStore`
+    per date) as windows commit, and HTTP queries *select* over the
+    published columns — time spans, taxonomy codes, concise-rule flow
+    keys — without ever touching a pipeline, a feed ring, or the
+    on-disk database.
+
+    Publishing replaces the date's entry atomically under a lock (the
+    per-day :class:`_DayIndex` is immutable), so a query sees either
+    the previous complete day or the new complete day, mirroring the
+    ``os.replace`` discipline of :class:`LabelDatabase` on disk.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._days: dict[str, _DayIndex] = {}
+        self.publishes = 0
+        self.queries = 0
+
+    # -- write side (pipeline commits) ---------------------------------
+
+    def publish(
+        self,
+        date: str,
+        labels: Union[LabelStore, Sequence[LabelRecord]],
+    ) -> None:
+        """Publish (or replace) one day's labels."""
+        store = (
+            labels
+            if isinstance(labels, LabelStore)
+            else LabelStore.from_records(list(labels))
+        )
+        day = _DayIndex(store)
+        with self._lock:
+            self._days[date] = day
+            self.publishes += 1
+
+    def publish_result(self, date: str, result: PipelineResult) -> None:
+        """Publish one day from a full pipeline result."""
+        self.publish(date, result.label_store())
+
+    def drop(self, date: str) -> None:
+        with self._lock:
+            self._days.pop(date, None)
+
+    # -- read side (queries) -------------------------------------------
+
+    def dates(self) -> list[str]:
+        with self._lock:
+            return sorted(self._days)
+
+    def store_for(self, date: str) -> LabelStore:
+        """The published store of one day (for whole-day exports)."""
+        with self._lock:
+            day = self._days.get(date)
+        if day is None:
+            raise LabelingError(f"no published labels for {date}")
+        return day.store
+
+    def query(
+        self,
+        date: Optional[str] = None,
+        taxonomy: Optional[str] = None,
+        src: Optional[Union[str, int]] = None,
+        dst: Optional[Union[str, int]] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> list[dict]:
+        """Label rows matching every given predicate.
+
+        ``date`` restricts to one published day (all days otherwise,
+        in date order); ``taxonomy`` is one of the paper's three
+        labels; ``src`` / ``dst`` match labels whose concise rules pin
+        that address (dotted quad or integer); ``t0`` / ``t1`` keep
+        labels whose span overlaps ``[t0, t1]``.
+        """
+        with self._lock:
+            if date is None:
+                days = [(d, self._days[d]) for d in sorted(self._days)]
+            else:
+                day = self._days.get(date)
+                days = [] if day is None else [(date, day)]
+            self.queries += 1
+        rows: list[dict] = []
+        for day_date, day in days:
+            for i in day.select(
+                taxonomy=taxonomy, src=src, dst=dst, t0=t0, t1=t1
+            ):
+                rows.append(_label_row(day_date, day.store.record(int(i))))
+                if limit is not None and len(rows) >= limit:
+                    return rows
+        return rows
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {
+                "days": len(self._days),
+                "labels": sum(
+                    len(day.store) for day in self._days.values()
+                ),
+                "publishes": self.publishes,
+                "queries": self.queries,
+            }

@@ -26,6 +26,10 @@ instead of serializing all exports up front.
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+import weakref
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -39,6 +43,112 @@ R = TypeVar("R")
 
 #: ``progress(done, total, result)`` called after each item finishes.
 ProgressCallback = Callable[[int, int, object], None]
+
+#: Every live pool, so a dying daemon can stop all workers at once.
+_live_pools: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+#: Extra teardown callbacks (shared-memory arena unlinks, session
+#: finalizers) run before the pools are stopped on a fatal signal.
+#: Entries are ``weakref.finalize`` objects or plain callables; spent
+#: finalizers are pruned on each run.
+_signal_cleanups: list[Callable[[], None]] = []
+_signal_lock = threading.Lock()
+_installed_handlers: dict[int, object] = {}
+
+
+def register_signal_cleanup(fn: Callable[[], None]) -> Callable[[], None]:
+    """Register a teardown callback for :func:`install_signal_handlers`.
+
+    ``fn`` should be idempotent (``weakref.finalize`` objects are
+    ideal: they run at most once and report liveness).  Returns an
+    unregister function.
+    """
+    with _signal_lock:
+        _signal_cleanups.append(fn)
+
+    def unregister() -> None:
+        with _signal_lock:
+            try:
+                _signal_cleanups.remove(fn)
+            except ValueError:
+                pass
+
+    return unregister
+
+
+def shutdown_all_pools() -> None:
+    """Stop every live :class:`WorkerPool` (idempotent)."""
+    for pool in list(_live_pools):
+        pool.shutdown()
+
+
+def _run_signal_cleanup() -> None:
+    """Run registered teardown, then stop all pools.
+
+    Errors are swallowed: this runs on the way down from SIGTERM /
+    SIGINT, where the only job left is not leaking workers or
+    ``/dev/shm`` segments.
+    """
+    with _signal_lock:
+        callbacks = list(_signal_cleanups)
+        # Prune finalizers that already ran (their sessions closed).
+        _signal_cleanups[:] = [
+            fn
+            for fn in _signal_cleanups
+            if getattr(fn, "alive", True)
+        ]
+    for fn in callbacks:
+        try:
+            fn()
+        except Exception:  # noqa: BLE001 - teardown must not raise
+            pass
+    try:
+        shutdown_all_pools()
+    except Exception:  # noqa: BLE001 - teardown must not raise
+        pass
+
+
+def install_signal_handlers(
+    signums: Sequence[int] = (signal.SIGTERM, signal.SIGINT),
+) -> None:
+    """Make SIGTERM/SIGINT stop workers and unlink shm before dying.
+
+    A killed daemon must leave no orphan worker processes and no
+    leaked ``/dev/shm`` segments; the default handlers give the
+    parent's executors and arenas no chance to clean up.  The
+    installed handler runs :func:`_run_signal_cleanup` and then
+    *chains*: a previous Python-level handler is invoked (so
+    ``KeyboardInterrupt`` semantics survive for SIGINT), otherwise the
+    original disposition is restored and the signal re-raised so the
+    process still dies with the conventional status.
+
+    Idempotent; only callable from the main thread (a no-op
+    otherwise, matching :mod:`signal` rules).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+    for signum in signums:
+        if signum in _installed_handlers:
+            continue
+
+        def _handler(signum: int, frame) -> None:
+            previous = _installed_handlers.get(signum, signal.SIG_DFL)
+            _run_signal_cleanup()
+            if callable(previous):
+                previous(signum, frame)
+            elif previous != signal.SIG_IGN:
+                signal.signal(signum, signal.SIG_DFL)
+                _installed_handlers.pop(signum, None)
+                os.kill(os.getpid(), signum)
+
+        _installed_handlers[signum] = signal.signal(signum, _handler)
+
+
+def uninstall_signal_handlers() -> None:
+    """Restore the pre-install handlers (test hygiene)."""
+    for signum, previous in list(_installed_handlers.items()):
+        signal.signal(signum, previous)  # type: ignore[arg-type]
+        del _installed_handlers[signum]
 
 
 class WorkerPool:
@@ -62,6 +172,7 @@ class WorkerPool:
     def __init__(self, workers: int = 1) -> None:
         self.workers = workers
         self._executor: Optional[ProcessPoolExecutor] = None
+        _live_pools.add(self)
 
     # -- lifecycle -----------------------------------------------------
 

@@ -33,12 +33,12 @@ from __future__ import annotations
 
 import hashlib
 import os
-import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.ioutil import write_atomic
 from repro.net.trace import Trace, TraceMetadata
 from repro.runner.config import PipelineConfig
 from repro.runner.report import TraceReport
@@ -124,20 +124,9 @@ def fingerprint_trace(trace: Trace) -> str:
     return f"inline:{hasher.hexdigest()[:16]}"
 
 
-def _write_atomic(path: Path, text: str) -> None:
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+# Shared atomic-publish helper; kept under its historical name because
+# callers and tests patch ``worker._write_atomic``.
+_write_atomic = write_atomic
 
 
 def run_task(task: TraceTask) -> TraceReport:

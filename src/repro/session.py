@@ -66,7 +66,11 @@ from repro.net.table import PacketTable
 from repro.net.trace import Trace, TraceMetadata
 from repro.runner import worker
 from repro.runner.config import PipelineConfig, _strategy_for
-from repro.runner.pool import ProgressCallback, WorkerPool
+from repro.runner.pool import (
+    ProgressCallback,
+    WorkerPool,
+    register_signal_cleanup,
+)
 from repro.runner.report import BatchReport, TraceReport
 from repro.runner.shm import PlaneArena, TableArena, export_table
 
@@ -199,6 +203,12 @@ class LabelingSession:
         self._finalizer = weakref.finalize(
             self, _finalize_session, self.pool, self._arenas
         )
+        # A daemon dying on SIGTERM/SIGINT (see
+        # :func:`repro.runner.pool.install_signal_handlers`) runs the
+        # same finalizer, so arenas unlink and workers stop even when
+        # close() never gets to run.  finalize objects run at most
+        # once and don't keep the session alive.
+        self._signal_unregister = register_signal_cleanup(self._finalizer)
         if out_dir:
             Path(out_dir).mkdir(parents=True, exist_ok=True)
 
@@ -217,13 +227,17 @@ class LabelingSession:
         return self._pipeline
 
     def streaming_pipeline(
-        self, window: float, hop: Optional[float] = None
+        self,
+        window: float,
+        hop: Optional[float] = None,
+        max_ring_packets: Optional[int] = None,
     ):
         """A streaming twin of :attr:`pipeline` (same Step 1-4 wiring).
 
         With ``workers > 1`` the streaming pipeline ships every
         window's Step 1 to this session's persistent pool (detector
-        fan-out over one shared window segment).
+        fan-out over one shared window segment).  ``max_ring_packets``
+        caps the pipeline's ingest ring for serving-layer backpressure.
         """
         from repro.net.flow import Granularity
         from repro.stream import StreamingPipeline
@@ -231,6 +245,7 @@ class LabelingSession:
         return StreamingPipeline(
             window=window,
             hop=hop,
+            max_ring_packets=max_ring_packets,
             granularity=Granularity(self.config.granularity),
             strategy=_strategy_for(self.config.strategy),
             measure=self.config.measure,
@@ -249,6 +264,7 @@ class LabelingSession:
         while self._arenas:
             self._arenas.pop().close()
         self.pool.shutdown()
+        self._signal_unregister()
 
     def __enter__(self) -> "LabelingSession":
         return self

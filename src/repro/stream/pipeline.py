@@ -229,6 +229,7 @@ class StreamingPipeline:
         backend: EngineSpec = None,
         pool: Optional[WorkerPool] = None,
         config: Optional[PipelineConfig] = None,
+        max_ring_packets: Optional[int] = None,
     ) -> None:
         engine = resolve_legacy_backend(engine, backend, what="stream")
         if window <= 0:
@@ -299,7 +300,10 @@ class StreamingPipeline:
             if self.engine.vectorized
             else None
         )
-        self.ring = TraceWindow()
+        #: ``max_ring_packets`` caps the ring (see
+        #: :meth:`TraceWindow.has_room`): the serving layer's feeds
+        #: block their reader on a full ring instead of growing it.
+        self.ring = TraceWindow(max_packets=max_ring_packets)
         self._graph = DynamicSimilarityGraph(
             measure=measure, edge_threshold=edge_threshold
         )

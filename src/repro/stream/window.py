@@ -34,7 +34,17 @@ class TraceWindow:
     delivery) is handled correctly; :meth:`trace` re-sorts globally.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_packets: Optional[int] = None) -> None:
+        if max_packets is not None and max_packets <= 0:
+            raise StreamError(
+                f"max_packets must be positive, got {max_packets}"
+            )
+        #: Optional hard capacity in packets.  ``extend`` refuses to
+        #: grow past it — the serving layer's backpressure contract: a
+        #: producer must block (see ``has_room``) instead of queueing
+        #: unboundedly, so an overflow here is a programming error, not
+        #: a load condition.
+        self.max_packets = max_packets
         self._chunks: Deque[PacketTable] = deque()
         self._n_packets = 0
         #: High-water mark of buffered packets (bounded-memory proof).
@@ -44,10 +54,27 @@ class TraceWindow:
 
     # -- ingest --------------------------------------------------------
 
+    def has_room(self, n_packets: int) -> bool:
+        """Whether ``n_packets`` more fit under ``max_packets``.
+
+        An empty ring always has room — a single batch larger than the
+        whole capacity must still be ingestable (it just occupies the
+        ring alone), or an oversized chunk would deadlock its producer.
+        """
+        if self.max_packets is None or self._n_packets == 0:
+            return True
+        return self._n_packets + n_packets <= self.max_packets
+
     def extend(self, table: PacketTable) -> None:
         """Append one batch of packets (sorted on ingest if needed)."""
         if len(table) == 0:
             return
+        if not self.has_room(len(table)):
+            raise StreamError(
+                f"ring overflow: {self._n_packets} + {len(table)} packets "
+                f"exceed max_packets={self.max_packets}; block the "
+                "producer on has_room() instead of extending"
+            )
         self._chunks.append(table.sorted_by_time())
         self._n_packets += len(table)
         self.total_ingested += len(table)

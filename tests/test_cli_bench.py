@@ -11,6 +11,8 @@ class TestBenchCommand:
             main(
                 [
                     "bench",
+                    "--serve-queries",
+                    "0",
                     "--duration",
                     "5",
                     "--seed",
@@ -43,6 +45,8 @@ class TestBenchCommand:
             main(
                 [
                     "bench",
+                    "--serve-queries",
+                    "0",
                     "--duration",
                     "6",
                     "--seed",
@@ -68,6 +72,8 @@ class TestBenchCommand:
             main(
                 [
                     "bench",
+                    "--serve-queries",
+                    "0",
                     "--duration",
                     "6",
                     "--stream-window",
@@ -96,6 +102,8 @@ class TestBenchCommand:
             main(
                 [
                     "bench",
+                    "--serve-queries",
+                    "0",
                     "--duration",
                     "4",
                     "--seed",
@@ -146,6 +154,8 @@ class TestBenchCommand:
             main(
                 [
                     "bench",
+                    "--serve-queries",
+                    "0",
                     "--duration",
                     "4",
                     "--seed",
@@ -184,6 +194,8 @@ class TestBenchCommand:
             main(
                 [
                     "bench",
+                    "--serve-queries",
+                    "0",
                     "--duration",
                     "5",
                     "--seed",
@@ -210,6 +222,8 @@ class TestBenchCommand:
             main(
                 [
                     "bench",
+                    "--serve-queries",
+                    "0",
                     "--duration",
                     "5",
                     "--engine",
@@ -224,6 +238,40 @@ class TestBenchCommand:
         )
         payload = json.loads(out.read_text())
         assert payload["engine"] == "python"
+
+    def test_records_serve_leg(self, capsys):
+        """The serve leg reports daemon ingest + query throughput and,
+        under --profile, the queue-depth high-water marks the
+        regression gate checks against their bounds."""
+        assert (
+            main(
+                [
+                    "bench",
+                    "--duration",
+                    "5",
+                    "--seed",
+                    "7",
+                    "--fanout-workers",
+                    "0",
+                    "--alarm-path-reps",
+                    "0",
+                    "--serve-queries",
+                    "5",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        serve = payload["serve"]
+        assert serve["n_packets"] == payload["n_packets"]
+        assert serve["windows"] >= 1
+        assert serve["queries"] == 5
+        assert serve["queries_per_sec"] > 0
+        assert serve["ingest_packets_per_sec"] > 0
+        assert serve["p95_commit_seconds"] > 0
+        queue = serve["queues"]["bench"]
+        assert 0 < queue["peak_packets"] <= queue["max_packets"]
 
     def test_engine_choices_validated(self):
         parser = build_parser()

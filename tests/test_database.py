@@ -89,3 +89,156 @@ class TestLoad:
         assert score.true_positive + score.false_negative == sum(
             1 for r in records if r.taxonomy == "anomalous"
         )
+
+
+class TestAtomicWrites:
+    def test_crashed_store_leaves_old_day_intact(
+        self, database, pipeline_result, monkeypatch
+    ):
+        """A write failing mid-publish (injected at os.replace) must
+        leave the previous day file and index untouched and no tmp
+        litter behind — readers never observe a partial write."""
+        import repro.ioutil as ioutil
+
+        day_path = os.path.join(
+            database.root, "2004", "06", "01_anomalous_suspicious.csv"
+        )
+        with open(day_path) as handle:
+            day_before = handle.read()
+        with open(os.path.join(database.root, "index.csv")) as handle:
+            index_before = handle.read()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ioutil.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            database.store_day("2004-06-01", pipeline_result)
+        monkeypatch.undo()
+
+        with open(day_path) as handle:
+            assert handle.read() == day_before
+        with open(os.path.join(database.root, "index.csv")) as handle:
+            assert handle.read() == index_before
+        for dirpath, _dirnames, filenames in os.walk(database.root):
+            assert not [n for n in filenames if n.endswith(".tmp")], dirpath
+
+    def test_rebuild_index_after_partial_write(
+        self, database, pipeline_result
+    ):
+        """A truncated index (simulating a pre-atomic-write crash) is
+        fully recovered from the day files, counts included."""
+        database.store_day("2004-06-02", pipeline_result)
+        summary_before = database.summary("2004-06-01")
+        index_path = os.path.join(database.root, "index.csv")
+        with open(index_path) as handle:
+            content = handle.read()
+        with open(index_path, "w") as handle:
+            handle.write(content[: len(content) // 2])  # partial write
+
+        rebuilt = database.rebuild_index()
+        assert rebuilt == ["2004-06-01", "2004-06-02"]
+        assert database.dates() == ["2004-06-01", "2004-06-02"]
+        assert database.summary("2004-06-01") == summary_before
+
+    def test_rebuild_index_after_missing_index(
+        self, database, pipeline_result
+    ):
+        os.unlink(os.path.join(database.root, "index.csv"))
+        assert database.dates() == []
+        assert database.rebuild_index() == ["2004-06-01"]
+        summary = database.summary("2004-06-01")
+        assert summary["n_alarms"] == len(pipeline_result.alarms)
+
+    def test_multi_day_dates_ordering(self, database, pipeline_result):
+        """dates() sorts chronologically however days were stored."""
+        for date in ("2004-12-25", "2004-06-02", "2003-01-31"):
+            database.store_day(date, pipeline_result)
+        assert database.dates() == [
+            "2003-01-31",
+            "2004-06-01",
+            "2004-06-02",
+            "2004-12-25",
+        ]
+        assert database.rebuild_index() == database.dates()
+
+
+class TestLiveLabelIndex:
+    @pytest.fixture
+    def index(self, pipeline_result):
+        from repro.labeling.database import LiveLabelIndex
+
+        live = LiveLabelIndex()
+        live.publish_result("2004-06-01", pipeline_result)
+        return live
+
+    def test_query_matches_store(self, index, pipeline_result):
+        rows = index.query(date="2004-06-01")
+        assert len(rows) == len(pipeline_result.labels)
+        assert {row["taxonomy"] for row in rows} <= {
+            "anomalous",
+            "suspicious",
+            "notice",
+        }
+
+    def test_taxonomy_filter(self, index, pipeline_result):
+        anomalous = index.query(date="2004-06-01", taxonomy="anomalous")
+        assert len(anomalous) == len(pipeline_result.anomalous())
+        with pytest.raises(LabelingError, match="unknown taxonomy"):
+            index.query(taxonomy="bogus")
+
+    def test_time_overlap_filter(self, index, pipeline_result):
+        t0 = min(r.t0 for r in pipeline_result.labels)
+        everything = index.query(t0=t0 - 10.0, t1=1e9)
+        assert len(everything) == len(pipeline_result.labels)
+        assert index.query(t0=1e9, t1=2e9) == []
+
+    def test_src_filter_dotted_and_int(self, index, pipeline_result):
+        from repro.net.addresses import ip_to_str
+
+        record = next(
+            r
+            for r in pipeline_result.labels
+            if any(rule.src is not None for rule in r.summary.rules)
+        )
+        src = next(
+            rule.src
+            for rule in record.summary.rules
+            if rule.src is not None
+        )
+        dotted = index.query(src=ip_to_str(src))
+        numeric = index.query(src=src)
+        assert dotted == numeric
+        assert any(
+            row["community"] == record.community_id for row in dotted
+        )
+        with pytest.raises(LabelingError, match="address"):
+            index.query(src="not-an-ip")
+
+    def test_limit_and_multi_day_order(self, index, pipeline_result):
+        index.publish_result("2004-06-02", pipeline_result)
+        rows = index.query()
+        dates = [row["date"] for row in rows]
+        assert dates == sorted(dates)
+        assert len(index.query(limit=3)) == 3
+
+    def test_store_for_and_drop(self, index):
+        assert len(index.store_for("2004-06-01"))
+        with pytest.raises(LabelingError):
+            index.store_for("1999-01-01")
+        index.drop("2004-06-01")
+        assert index.dates() == []
+
+    def test_counters(self, index):
+        index.query(date="2004-06-01")
+        counters = index.counters()
+        assert counters["days"] == 1
+        assert counters["publishes"] == 1
+        assert counters["queries"] >= 1
+        assert counters["labels"] > 0
+
+    def test_publish_replaces_day_atomically(self, index, pipeline_result):
+        before = len(index.query(date="2004-06-01"))
+        index.publish_result("2004-06-01", pipeline_result)
+        assert len(index.query(date="2004-06-01")) == before
+        assert index.counters()["publishes"] == 2

@@ -450,3 +450,101 @@ class TestPhaseAccounting:
             assert profile["wall"] > 0
             assert profile["fanout"] == fanout
             assert profile["transport"] == "shm"
+
+
+class TestSignalTeardown:
+    """SIGTERM/SIGINT must stop workers and unlink shm (PR's daemon
+    contract): the cleanup hooks run session finalizers and shut every
+    live pool down, and the chained handler preserves conventional
+    death semantics."""
+
+    def test_run_signal_cleanup_closes_sessions_and_pools(self, day_trace):
+        from repro.runner import pool as pool_mod
+
+        before = _shm_segments()
+        session = LabelingSession(workers=2, transport="shm")
+        session.label_traces([day_trace])
+        assert _shm_segments() - before  # arena live
+        pool_mod._run_signal_cleanup()
+        assert _shm_segments() - before == set()
+        assert session.pool._executor is None
+        session.close()  # already-finalized session closes cleanly
+
+    def test_cleanup_prunes_spent_finalizers(self):
+        from repro.runner import pool as pool_mod
+
+        session = LabelingSession(workers=1)
+        registered = session._finalizer
+        assert registered in pool_mod._signal_cleanups
+        session.close()  # unregisters
+        assert registered not in pool_mod._signal_cleanups
+
+    def test_install_is_idempotent_and_uninstall_restores(self):
+        import signal as signal_mod
+
+        from repro.runner.pool import (
+            install_signal_handlers,
+            uninstall_signal_handlers,
+        )
+
+        previous = signal_mod.getsignal(signal_mod.SIGTERM)
+        try:
+            install_signal_handlers()
+            installed = signal_mod.getsignal(signal_mod.SIGTERM)
+            assert installed is not previous
+            install_signal_handlers()  # second install is a no-op
+            assert signal_mod.getsignal(signal_mod.SIGTERM) is installed
+        finally:
+            uninstall_signal_handlers()
+        assert signal_mod.getsignal(signal_mod.SIGTERM) is previous
+
+    @pytest.mark.parametrize("signame", ["SIGTERM", "SIGINT"])
+    def test_killed_process_leaks_nothing(self, signame):
+        """End to end: a real process running a pooled session dies on
+        the signal with conventional status and leaves /dev/shm clean."""
+        import signal as signal_mod
+        import subprocess
+        import sys
+
+        script = """
+import os, sys, time
+sys.path.insert(0, {src!r})
+from repro.mawi.archive import SyntheticArchive
+from repro.runner.pool import install_signal_handlers
+from repro.session import LabelingSession
+
+install_signal_handlers()
+trace = SyntheticArchive(seed=7, trace_duration=5.0).day("2004-06-01").trace
+session = LabelingSession(workers=2, transport="shm")
+session.label_traces([trace])
+print("READY", flush=True)
+try:
+    time.sleep(120)
+except KeyboardInterrupt:
+    sys.exit(42)
+""".format(src=os.path.join(os.path.dirname(__file__), "..", "src"))
+
+        signum = getattr(signal_mod, signame)
+        before = _shm_segments()
+        process = subprocess.Popen(
+            [sys.executable, "-c", script], stdout=subprocess.PIPE
+        )
+        try:
+            line = process.stdout.readline().decode()
+            assert line.strip() == "READY"
+            assert _shm_segments() - before  # child's arena is live
+            process.send_signal(signum)
+            returncode = process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        if signame == "SIGTERM":
+            # Cleanup ran, then the default disposition was restored
+            # and the signal re-raised: conventional signal death.
+            assert returncode == -signal_mod.SIGTERM
+        else:
+            # SIGINT chains to the default Python handler, so the
+            # child's KeyboardInterrupt except-path still runs.
+            assert returncode == 42
+        assert _shm_segments() - before == set()
