@@ -16,7 +16,9 @@ exits non-zero if any tracked metric fell more than ``tolerance``
 * **alarm path** — ``alarm_path.columnar.alarms_per_sec`` (Steps 2-4
   throughput over the columnar ``AlarmTable`` data path);
 * **serve** — ``serve.queries_per_sec`` (live ``/labels`` query
-  throughput against the running daemon).
+  throughput against the running daemon);
+* **warehouse** — ``warehouse.warehouse_queries_per_sec`` (cross-day
+  predicate queries over memory-mapped label columns).
 
 Higher-is-better only: faster-than-baseline runs always pass, and CI
 hardware faster than the baseline host can only add headroom.
@@ -33,21 +35,37 @@ cannot silently rot:
   tolerance).  These two need real parallelism, so they are enforced
   only when the candidate ran with ``workers > 1`` on a host with
   more than one CPU (``fanout.cpu_count``) — a single-core runner
-  prints a skip notice instead of a false failure;
+  records a skip instead of a false failure;
 * the detect leg keeps the shared feature-plane cache at least 1.5x
   the uncached ensemble (``detect_leg.detect_speedup >= 1.5`` within
   tolerance), following the same single-core self-skip convention
   (wall-clock ratios on oversubscribed single-core runners are too
-  noisy to gate on).
+  noisy to gate on);
+* the warehouse leg keeps mmap cross-day queries at least 2x the CSV
+  re-parse path (``warehouse.query_speedup >= 2`` within tolerance —
+  the 10x month-scale claim is enforced by
+  ``benchmarks/test_warehouse_perf.py``; the bench leg's handful of
+  days measures a smaller corpus) and the delta recompute at least as
+  fast as full relabeling (``recompute_speedup >= 1`` within
+  tolerance).
 
-One absolute bound rides along: when the candidate bench ran with
-``--profile``, the serve leg records per-feed queue-depth high-water
-marks, and any peak above its configured ``max_packets`` bound fails
-the gate outright (no tolerance) — backpressure must keep daemon
-memory bounded.
+Two absolute bounds ride along (no tolerance):
 
-Every self-skipped ratio gate prints a loud one-line ``NOTICE:`` so a
-gate silently never running is visible in the CI log.
+* when the candidate bench ran with ``--profile``, the serve leg
+  records per-feed queue-depth high-water marks, and any peak above
+  its configured ``max_packets`` bound fails the gate outright —
+  backpressure must keep daemon memory bounded;
+* the warehouse leg's heuristics-only recompute must rerun **zero**
+  Step 1 detections (``warehouse.recompute.step1_reruns == 0``) — a
+  nonzero count means delta recompute silently degraded to full
+  relabeling.
+
+Gate accounting is machine-readable: every gate evaluated lands in a
+``gates`` object written back into the *candidate* JSON artifact —
+``{"ran": [names...], "skipped": [{"gate", "reason"}...]}`` — so CI
+artifacts record exactly which gates a run enforced and which
+self-skipped (each skip also prints a loud one-line ``NOTICE:`` for
+the human reading the log).
 """
 
 from __future__ import annotations
@@ -76,7 +94,53 @@ def collect_metrics(payload: dict) -> dict[str, float]:
     serve = payload.get("serve")
     if serve is not None:
         metrics["serve_queries_per_sec"] = serve["queries_per_sec"]
+    warehouse = payload.get("warehouse")
+    if warehouse is not None:
+        metrics["warehouse_queries_per_sec"] = warehouse[
+            "warehouse_queries_per_sec"
+        ]
     return metrics
+
+
+class GateLedger:
+    """Every gate's outcome, for the artifact's ``gates`` object."""
+
+    def __init__(self) -> None:
+        self.ran: list[str] = []
+        self.skipped: list[dict] = []
+        self.failures: list[str] = []
+
+    def ok(self, gate: str) -> None:
+        self.ran.append(gate)
+
+    def fail(self, gate: str) -> None:
+        self.ran.append(gate)
+        self.failures.append(gate)
+
+    def skip(self, gate: str, reason: str) -> None:
+        self.skipped.append({"gate": gate, "reason": reason})
+        print(f"NOTICE: {gate} gate SKIPPED ({reason})")
+
+    def to_payload(self) -> dict:
+        return {"ran": self.ran, "skipped": self.skipped}
+
+
+def check_ratio(
+    ledger: GateLedger,
+    gate: str,
+    ratio: float,
+    target: float,
+    tolerance: float,
+    label: str,
+) -> None:
+    """One higher-is-better ratio gate with fractional tolerance."""
+    floor = target * (1.0 - tolerance)
+    status = "ok" if ratio >= floor else "REGRESSED"
+    print(f"{label}: {ratio:.2f}x (floor {floor:.2f}x) {status}")
+    if ratio >= floor:
+        ledger.ok(gate)
+    else:
+        ledger.fail(gate)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,16 +160,13 @@ def main(argv: list[str] | None = None) -> int:
     with open(args.baseline) as handle:
         baseline = json.load(handle)
 
-    failures = []
+    ledger = GateLedger()
     candidate_metrics = collect_metrics(candidate)
     baseline_metrics = collect_metrics(baseline)
     for name, base_value in baseline_metrics.items():
         got = candidate_metrics.get(name)
         if got is None:
-            print(
-                f"NOTICE: {name} gate SKIPPED (candidate bench did not "
-                "run that leg)"
-            )
+            ledger.skip(name, "candidate bench did not run that leg")
             continue
         floor = base_value * (1.0 - args.tolerance)
         status = "ok" if got >= floor else "REGRESSED"
@@ -113,17 +174,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{name}: {got:,.0f} vs baseline {base_value:,.0f} "
             f"(floor {floor:,.0f}) {status}"
         )
-        if got < floor:
-            failures.append(name)
+        if got >= floor:
+            ledger.ok(name)
+        else:
+            ledger.fail(name)
 
     fanout = candidate.get("fanout", {})
     speedup = fanout.get("shm_speedup")
     if speedup is not None:
-        floor = 1.0 - args.tolerance
-        status = "ok" if speedup >= floor else "REGRESSED"
-        print(f"fanout shm_speedup: {speedup:.2f}x (floor {floor:.2f}x) {status}")
-        if speedup < floor:
-            failures.append("fanout_shm_speedup")
+        check_ratio(
+            ledger,
+            "fanout_shm_speedup",
+            speedup,
+            1.0,
+            args.tolerance,
+            "fanout shm_speedup",
+        )
 
     # End-to-end fan-out wins: only meaningful when the candidate run
     # actually had parallel hardware and used it.
@@ -132,20 +198,22 @@ def main(argv: list[str] | None = None) -> int:
             ratio = fanout.get(name)
             if ratio is None:
                 continue
-            floor = target * (1.0 - args.tolerance)
-            status = "ok" if ratio >= floor else "REGRESSED"
-            print(
-                f"fanout {name}: {ratio:.2f}x (floor {floor:.2f}x) {status}"
+            check_ratio(
+                ledger,
+                f"fanout_{name}",
+                ratio,
+                target,
+                args.tolerance,
+                f"fanout {name}",
             )
-            if ratio < floor:
-                failures.append(f"fanout_{name}")
     elif fanout:
-        print(
-            "NOTICE: fanout shm_vs_single/shm_vs_pickle gates SKIPPED "
-            f"(workers={fanout.get('workers')}, "
+        reason = (
+            f"workers={fanout.get('workers')}, "
             f"cpu_count={fanout.get('cpu_count', 1)}; needs a "
-            "multi-core parallel run)"
+            "multi-core parallel run"
         )
+        ledger.skip("fanout_shm_vs_single", reason)
+        ledger.skip("fanout_shm_vs_pickle", reason)
 
     # Plane-cache win: cached ensemble Step 1 vs uncached, same
     # single-core self-skip convention as the fan-out ratios.
@@ -153,20 +221,20 @@ def main(argv: list[str] | None = None) -> int:
     detect_speedup = detect_leg.get("detect_speedup")
     if detect_speedup is not None:
         if detect_leg.get("cpu_count", 1) > 1:
-            floor = 1.5 * (1.0 - args.tolerance)
-            status = "ok" if detect_speedup >= floor else "REGRESSED"
-            print(
-                f"detect_leg detect_speedup: {detect_speedup:.2f}x "
-                f"(floor {floor:.2f}x) {status}"
+            check_ratio(
+                ledger,
+                "detect_leg_detect_speedup",
+                detect_speedup,
+                1.5,
+                args.tolerance,
+                "detect_leg detect_speedup",
             )
-            if detect_speedup < floor:
-                failures.append("detect_leg_detect_speedup")
         else:
-            print(
-                "NOTICE: detect_leg detect_speedup gate SKIPPED "
-                f"(cpu_count={detect_leg.get('cpu_count', 1)}; ratio "
+            ledger.skip(
+                "detect_leg_detect_speedup",
+                f"cpu_count={detect_leg.get('cpu_count', 1)}; ratio "
                 f"measured {detect_speedup:.2f}x, gated only on "
-                "multi-core hosts)"
+                "multi-core hosts",
             )
 
     # Bounded-memory gate: the serve leg's queue high-water marks
@@ -184,30 +252,84 @@ def main(argv: list[str] | None = None) -> int:
                 f"serve queue {feed_name}: peak {peak:,} packets "
                 f"(bound {bound:,}) {status}"
             )
-            if peak > bound:
-                failures.append(f"serve_queue_{feed_name}_unbounded")
+            gate = f"serve_queue_{feed_name}_bounded"
+            if peak <= bound:
+                ledger.ok(gate)
+            else:
+                ledger.fail(gate)
     elif candidate.get("serve") is not None:
-        print(
-            "NOTICE: serve queue bounded-memory gate SKIPPED "
-            "(candidate bench ran without --profile; no queue "
-            "high-water marks recorded)"
+        ledger.skip(
+            "serve_queue_bounded",
+            "candidate bench ran without --profile; no queue "
+            "high-water marks recorded",
         )
 
     alarm_speedup = candidate.get("alarm_path", {}).get("columnar_speedup")
     if alarm_speedup is not None:
-        floor = 2.0 * (1.0 - args.tolerance)
-        status = "ok" if alarm_speedup >= floor else "REGRESSED"
-        print(
-            f"alarm_path columnar_speedup: {alarm_speedup:.2f}x "
-            f"(floor {floor:.2f}x) {status}"
+        check_ratio(
+            ledger,
+            "alarm_path_columnar_speedup",
+            alarm_speedup,
+            2.0,
+            args.tolerance,
+            "alarm_path columnar_speedup",
         )
-        if alarm_speedup < floor:
-            failures.append("alarm_path_columnar_speedup")
 
-    if failures:
+    # Warehouse gates: mmap queries must beat CSV re-parsing, and the
+    # delta recompute must (a) never rerun Step 1 after a heuristics-
+    # only change — an absolute correctness bound — and (b) beat full
+    # relabeling wall-clock.
+    warehouse = candidate.get("warehouse")
+    if warehouse is not None:
+        check_ratio(
+            ledger,
+            "warehouse_query_speedup",
+            warehouse["query_speedup"],
+            2.0,
+            args.tolerance,
+            "warehouse query_speedup",
+        )
+        recompute = warehouse["recompute"]
+        reruns = recompute["step1_reruns"]
+        status = "ok" if reruns == 0 else "DELTA BROKEN"
+        print(
+            f"warehouse recompute step1_reruns: {reruns} "
+            f"(bound 0) {status}"
+        )
+        gate = "warehouse_recompute_zero_step1"
+        if reruns == 0:
+            ledger.ok(gate)
+        else:
+            ledger.fail(gate)
+        check_ratio(
+            ledger,
+            "warehouse_recompute_speedup",
+            recompute["recompute_speedup"],
+            1.0,
+            args.tolerance,
+            "warehouse recompute_speedup",
+        )
+    else:
+        ledger.skip(
+            "warehouse_query_speedup",
+            "candidate bench did not run the warehouse leg",
+        )
+
+    # Machine-readable gate accounting, written back into the artifact
+    # CI archives: which gates this run enforced, which self-skipped.
+    candidate["gates"] = ledger.to_payload()
+    with open(args.candidate, "w") as handle:
+        json.dump(candidate, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"gates: {len(ledger.ran)} ran, {len(ledger.skipped)} skipped "
+        f"(recorded in {args.candidate})"
+    )
+
+    if ledger.failures:
         print(
             f"bench regression >{args.tolerance:.0%} in: "
-            + ", ".join(failures),
+            + ", ".join(ledger.failures),
             file=sys.stderr,
         )
         return 1

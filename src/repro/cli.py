@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven subcommands expose the library to non-Python users::
+Twelve subcommands expose the library to non-Python users::
 
     mawilab generate      --seed 7 --duration 30 --anomaly sasser \
                           --anomaly ping_flood --out day.pcap --truth truth.json
@@ -17,6 +17,9 @@ Eleven subcommands expose the library to non-Python users::
                           --older-than 30d
     mawilab serve         --port 8738 --db-root labels-db \
                           --schedule 86400 --cache-dir .mawilab-cache
+    mawilab warehouse ingest    --root wh --start 2004-01-01 --months 6
+    mawilab warehouse query     --root wh --taxonomy anomalous --dport 445
+    mawilab warehouse recompute --root wh --strategy average
 
 `label` runs the full 4-step pipeline on one closed trace; `stream`
 runs the same method *online* over a sliding window — the pcap is read
@@ -34,7 +37,10 @@ writes one label CSV per day plus a JSON batch report, and can resume
 an interrupted run; `serve` runs the labeling daemon — concurrent
 HTTP packet feeds with bounded-ring backpressure, live ``/labels``
 queries, and an optional resumable archive-ingest schedule (see
-``docs/serving.md``).  All commands are deterministic given their
+``docs/serving.md``); `warehouse` manages the memory-mapped columnar
+label store — ingest, zero-copy cross-day queries, CSV export,
+checksum verification, and configuration-delta recompute (see
+``docs/warehouse.md``).  All commands are deterministic given their
 seeds.
 
 The pipeline commands accept ``--engine {auto,numpy,python}``: the
@@ -294,6 +300,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         payload["fanout"] = _bench_fanout(args, archive)
     if args.serve_queries > 0:
         payload["serve"] = _bench_serve(args, archive)
+    if args.warehouse_days > 0:
+        payload["warehouse"] = _bench_warehouse(args, archive)
     rendered = json.dumps(payload, indent=2) + "\n"
     if args.out:
         with open(args.out, "w") as handle:
@@ -676,6 +684,155 @@ def _bench_serve(args: argparse.Namespace, archive) -> dict:
     return leg
 
 
+def _bench_warehouse(args: argparse.Namespace, archive) -> dict:
+    """Warehouse leg: columnar cross-day queries vs CSV re-parsing,
+    plus the delta-recompute path.
+
+    ``--warehouse-days`` archive days are labeled once and dual-written
+    into a :class:`~repro.labeling.database.LabelDatabase` (the CSV
+    baseline) and a :class:`~repro.labeling.warehouse.Warehouse`
+    (mmap'd columnar segments).  The leg then measures:
+
+    * cross-day query throughput — the same taxonomy filter answered
+      from mapped columns (``Warehouse.query``) and by re-parsing every
+      day's CSV (``LabelDatabase.load_day``); ``query_speedup`` is the
+      ratio the CI regression gate enforces,
+    * cold-open latency — a fresh :class:`Warehouse` handle mapping
+      every day's label segment,
+    * delta recompute — a heuristics-only configuration change
+      (combiner strategy) relabeled via ``Warehouse.recompute``, which
+      must reuse every day's Step 1 alarms from the previous version's
+      segments (``step1_reruns`` is gated at exactly zero) and beat the
+      full relabeling wall time (``recompute_speedup``).
+
+    The warehouse CSV export is asserted byte-identical to the stored
+    database CSV for every day, so the speedups are pure data-path
+    effects.
+    """
+    import dataclasses
+    import os
+    import tempfile
+    import time
+
+    from repro.labeling.database import LabelDatabase, _day_relpath
+    from repro.labeling.warehouse import (
+        Warehouse,
+        archive_meta,
+        warehouse_fingerprint,
+    )
+    from repro.runner.config import PipelineConfig
+
+    dates = _month_dates("2005-01-01", args.warehouse_days)
+    config = PipelineConfig(engine=args.engine)
+    pipeline = config.build_pipeline()
+    query_reps = 20
+    with tempfile.TemporaryDirectory(prefix="bench-warehouse-") as root:
+        database = LabelDatabase(os.path.join(root, "csv"))
+        warehouse = Warehouse(os.path.join(root, "warehouse"))
+        version = warehouse.ensure_version(
+            warehouse_fingerprint(
+                archive.fingerprint(),
+                pipeline.ensemble_fingerprint(),
+                repr(config),
+            ),
+            ensemble_fingerprint=pipeline.ensemble_fingerprint(),
+            config=repr(config),
+            archive=archive_meta(archive),
+        )
+
+        started = time.perf_counter()
+        for date in dates:
+            result = pipeline.run(archive.day(date).trace)
+            database.store_day(date, result)
+            warehouse.store_result(date, result, version=version)
+        full_label_seconds = time.perf_counter() - started
+
+        for date in dates:
+            path = os.path.join(database.root, _day_relpath(date))
+            with open(path) as handle:
+                if warehouse.export_csv(date) != handle.read():
+                    raise RuntimeError(
+                        f"warehouse leg: export for {date} is not "
+                        "byte-identical to the stored CSV"
+                    )
+
+        warehouse.close()
+        started = time.perf_counter()
+        cold = Warehouse(os.path.join(root, "warehouse"))
+        for date in dates:
+            cold.open_labels(date)
+        cold_open_seconds = time.perf_counter() - started
+        cold.close()
+
+        started = time.perf_counter()
+        for _ in range(query_reps):
+            rows = warehouse.query(
+                taxonomy="anomalous", engine=args.engine
+            )
+        warehouse_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(query_reps):
+            csv_rows = [
+                (date, record)
+                for date in dates
+                for record in database.load_day(date)
+                if record.taxonomy == "anomalous"
+            ]
+        csv_seconds = time.perf_counter() - started
+        # The CSV path yields one row per (community, rule); the
+        # warehouse one per community — compare matched communities.
+        csv_hits = {(date, record.community_id) for date, record in csv_rows}
+        if len(csv_hits) != len(rows):
+            raise RuntimeError(
+                "warehouse leg: mmap query and CSV scan disagree "
+                f"({len(rows)} vs {len(csv_hits)} communities)"
+            )
+
+        # Heuristics-only change: the detection ensemble is untouched,
+        # so every day's Step 1 alarms must come back from the previous
+        # version's alarm segments — zero ensemble reruns.
+        started = time.perf_counter()
+        report = warehouse.recompute(
+            dataclasses.replace(config, strategy="average"),
+            archive=archive,
+        )
+        recompute_seconds = time.perf_counter() - started
+        if report.step1_reruns:
+            raise RuntimeError(
+                "warehouse leg: heuristics-only recompute reran "
+                f"Step 1 on {report.step1_reruns} day(s)"
+            )
+        warehouse.close()
+
+    return {
+        "days": len(dates),
+        "query_reps": query_reps,
+        "n_query_rows": len(rows),
+        "full_label_seconds": round(full_label_seconds, 6),
+        "cold_open_seconds": round(cold_open_seconds, 6),
+        "warehouse_queries_per_sec": round(
+            query_reps / warehouse_seconds, 1
+        ),
+        "csv_queries_per_sec": round(query_reps / csv_seconds, 1),
+        "query_speedup": round(csv_seconds / warehouse_seconds, 3),
+        "recompute": {
+            "seconds": round(recompute_seconds, 6),
+            "step1_reruns": report.step1_reruns,
+            "cache_hits": report.cache_hits,
+            "segment_hits": report.segment_hits,
+            "days_changed": sum(
+                1
+                for day in report.days
+                if day.added or day.removed or day.taxonomy_changed
+            ),
+            "recompute_speedup": round(
+                full_label_seconds / recompute_seconds, 3
+            ),
+        },
+    }
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the labeling daemon until interrupted."""
     import threading
@@ -693,6 +850,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hop=args.hop,
         max_ring_packets=args.max_ring_packets,
         db_root=args.db_root,
+        warehouse_root=args.warehouse_root,
     )
     # SIGTERM/SIGINT drain the pool and unlink shm before dying.
     service.install_signals()
@@ -716,6 +874,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             session=service.session,
             cache_dir=args.cache_dir,
             index=service.index,
+            warehouse=service.warehouse,
         )
 
         def _progress(outcome) -> None:
@@ -928,6 +1087,191 @@ def _cmd_label_archive(args: argparse.Namespace) -> int:
     return 1 if batch.failures() else 0
 
 
+def _cmd_warehouse_ingest(args: argparse.Namespace) -> int:
+    """Label archive days into columnar warehouse segments."""
+    from repro.labeling.warehouse import (
+        Warehouse,
+        archive_meta,
+        warehouse_fingerprint,
+    )
+    from repro.mawi.archive import SyntheticArchive
+    from repro.runner.cache import AlarmCache
+
+    archive = SyntheticArchive(seed=args.seed, trace_duration=args.duration)
+    dates = args.date or _month_dates(args.start, args.months)
+    config = _pipeline_config(args)
+    pipeline = config.build_pipeline()
+    ensemble_fp = pipeline.ensemble_fingerprint()
+    cache = AlarmCache(args.cache_dir) if args.cache_dir else None
+    with Warehouse(args.root) as warehouse:
+        version = warehouse.ensure_version(
+            warehouse_fingerprint(
+                archive.fingerprint(), ensemble_fp, repr(config)
+            ),
+            ensemble_fingerprint=ensemble_fp,
+            config=repr(config),
+            archive=archive_meta(archive),
+        )
+        stored = skipped = cache_hits = 0
+        for date in dates:
+            if warehouse.has_day(date, version) and not args.force:
+                print(f"{date}: already stored", file=sys.stderr)
+                skipped += 1
+                continue
+            trace = archive.day(date).trace
+            alarms = None
+            key = None
+            if cache is not None:
+                key = AlarmCache.make_key(
+                    archive.fingerprint(), date, ensemble_fp
+                )
+                alarms = cache.get(key)
+            if alarms is None:
+                result = pipeline.run(trace)
+                if cache is not None and key is not None:
+                    cache.put(key, result.alarms)
+            else:
+                cache_hits += 1
+                result = pipeline.run_with_alarms(trace, alarms)
+            warehouse.store_result(date, result, version=version)
+            stored += 1
+            print(
+                f"{date}: {len(result.labels)} labels, "
+                f"{len(result.alarms)} alarms"
+                + (" [cached alarms]" if alarms is not None else ""),
+                file=sys.stderr,
+            )
+    print(
+        f"version {version}: {stored} stored, {skipped} skipped, "
+        f"{cache_hits} alarm-cache hits -> {args.root}"
+    )
+    return 0
+
+
+def _cmd_warehouse_query(args: argparse.Namespace) -> int:
+    """Cross-day label rows from mapped columns, as JSON."""
+    from repro.errors import WarehouseError
+    from repro.labeling.warehouse import Warehouse
+
+    try:
+        with Warehouse(args.root) as warehouse:
+            rows = warehouse.query(
+                date=args.date,
+                date_from=args.date_from,
+                date_to=args.date_to,
+                taxonomy=args.taxonomy,
+                src=args.src,
+                dst=args.dst,
+                sport=args.sport,
+                dport=args.dport,
+                t0=args.t0,
+                t1=args.t1,
+                limit=args.limit,
+                version=args.warehouse_version,
+                engine=args.engine,
+            )
+    except WarehouseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps({"n": len(rows), "rows": rows}, indent=2))
+    return 0
+
+
+def _cmd_warehouse_stats(args: argparse.Namespace) -> int:
+    """Per-day and total label counts, from the manifest alone."""
+    from repro.errors import WarehouseError
+    from repro.labeling.warehouse import Warehouse
+
+    try:
+        stats = Warehouse(args.root).stats(args.warehouse_version)
+    except WarehouseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
+def _cmd_warehouse_export(args: argparse.Namespace) -> int:
+    """One day's labels as CSV — byte-identical to ``label``."""
+    from repro.errors import WarehouseError
+    from repro.labeling.warehouse import Warehouse
+
+    try:
+        with Warehouse(args.root) as warehouse:
+            rendered = warehouse.export_csv(
+                args.date, args.warehouse_version
+            )
+    except WarehouseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote labels to {args.out}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    return 0
+
+
+def _cmd_warehouse_verify(args: argparse.Namespace) -> int:
+    """Hash-check every segment against the manifest."""
+    from repro.errors import WarehouseError
+    from repro.labeling.warehouse import Warehouse
+
+    try:
+        with Warehouse(args.root) as warehouse:
+            versions = (
+                [args.warehouse_version]
+                if args.warehouse_version
+                else warehouse.versions()
+            )
+            for version in versions:
+                checked = warehouse.verify(version)
+                print(
+                    f"{checked['version']}: {checked['segments']} segments "
+                    f"across {checked['days']} days ok"
+                )
+    except WarehouseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_warehouse_recompute(args: argparse.Namespace) -> int:
+    """Relabel every ingested day under a new configuration, reusing
+    cached/stored Step 1 alarms (delta recompute)."""
+    from repro.errors import WarehouseError
+    from repro.labeling.warehouse import Warehouse
+
+    try:
+        with Warehouse(args.root) as warehouse:
+            report = warehouse.recompute(
+                _pipeline_config(args),
+                cache_dir=args.cache_dir,
+                dates=args.date or None,
+            )
+    except WarehouseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not report.changed:
+        print(
+            f"no-op: configuration fingerprint {report.fingerprint} "
+            f"already current ({report.old_version})",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"{report.old_version} -> {report.new_version}: "
+            f"{len(report.days)} days relabeled in "
+            f"{report.elapsed:.2f}s ({report.cache_hits} cache hits, "
+            f"{report.segment_hits} segment hits, "
+            f"{report.step1_reruns} full reruns)",
+            file=sys.stderr,
+        )
+    print(json.dumps(report.to_payload(), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mawilab",
@@ -1047,6 +1391,13 @@ def build_parser() -> argparse.ArgumentParser:
         "memory limit the regression gate checks peaks against)",
     )
     bench.add_argument(
+        "--warehouse-days",
+        type=int,
+        default=6,
+        help="warehouse-leg archive-day count for the mmap-query vs "
+        "CSV-scan and delta-recompute comparison (0 skips the leg)",
+    )
+    bench.add_argument(
         "--profile",
         action="store_true",
         help="record per-phase wall times (export / attach / compute / "
@@ -1139,6 +1490,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--db-root",
         help="LabelDatabase root; closed feeds and scheduled days "
         "persist their label CSVs here",
+    )
+    serve.add_argument(
+        "--warehouse-root",
+        help="columnar label warehouse root; closed feeds and "
+        "scheduled days are dual-written there and /labels answers "
+        "ingested days zero-copy from mmap",
     )
     serve.add_argument(
         "--schedule",
@@ -1261,6 +1618,133 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pipeline_options(label_archive)
     label_archive.set_defaults(func=_cmd_label_archive)
+
+    warehouse = sub.add_parser(
+        "warehouse",
+        help="manage the memory-mapped columnar label warehouse",
+    )
+    warehouse_sub = warehouse.add_subparsers(
+        dest="warehouse_command", required=True
+    )
+
+    def warehouse_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--root", required=True, help="warehouse root directory"
+        )
+
+    def warehouse_version_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--at-version",
+            dest="warehouse_version",
+            help="operate on a specific warehouse version "
+            "(default: current)",
+        )
+
+    w_ingest = warehouse_sub.add_parser(
+        "ingest",
+        help="label synthetic archive days into columnar segments",
+    )
+    warehouse_root(w_ingest)
+    w_ingest.add_argument("--seed", type=int, default=2010)
+    w_ingest.add_argument("--duration", type=float, default=30.0)
+    w_ingest.add_argument("--start", default="2004-01-01")
+    w_ingest.add_argument("--months", type=int, default=6)
+    w_ingest.add_argument(
+        "--date",
+        action="append",
+        help="explicit ISO date to ingest (repeatable; overrides "
+        "--start/--months)",
+    )
+    w_ingest.add_argument(
+        "--cache-dir",
+        help="Step 1 alarm-cache directory (hits skip the ensemble)",
+    )
+    w_ingest.add_argument(
+        "--force",
+        action="store_true",
+        help="re-label days already stored under the current "
+        "configuration",
+    )
+    _add_pipeline_options(w_ingest)
+    w_ingest.set_defaults(func=_cmd_warehouse_ingest)
+
+    w_query = warehouse_sub.add_parser(
+        "query",
+        help="cross-day label rows from mapped columns, as JSON",
+    )
+    warehouse_root(w_query)
+    w_query.add_argument("--date", help="restrict to one ISO date")
+    w_query.add_argument(
+        "--from",
+        dest="date_from",
+        help="inclusive ISO date-range start",
+    )
+    w_query.add_argument(
+        "--to", dest="date_to", help="inclusive ISO date-range end"
+    )
+    w_query.add_argument(
+        "--taxonomy", choices=("anomalous", "suspicious", "notice")
+    )
+    w_query.add_argument("--src", help="source address (dotted quad)")
+    w_query.add_argument("--dst", help="destination address")
+    w_query.add_argument("--sport", type=int, help="source port")
+    w_query.add_argument("--dport", type=int, help="destination port")
+    w_query.add_argument(
+        "--t0", type=float, help="only labels active at/after this time"
+    )
+    w_query.add_argument(
+        "--t1", type=float, help="only labels active at/before this time"
+    )
+    w_query.add_argument("--limit", type=int, help="stop after N rows")
+    warehouse_version_option(w_query)
+    _add_engine_option(w_query)
+    w_query.set_defaults(func=_cmd_warehouse_query)
+
+    w_stats = warehouse_sub.add_parser(
+        "stats",
+        help="per-day and total label counts from the manifest",
+    )
+    warehouse_root(w_stats)
+    warehouse_version_option(w_stats)
+    w_stats.set_defaults(func=_cmd_warehouse_stats)
+
+    w_export = warehouse_sub.add_parser(
+        "export",
+        help="render one day's labels as CSV (byte-identical to "
+        "`label`)",
+    )
+    warehouse_root(w_export)
+    w_export.add_argument("--date", required=True)
+    w_export.add_argument("--out", help="output path (stdout if omitted)")
+    warehouse_version_option(w_export)
+    w_export.set_defaults(func=_cmd_warehouse_export)
+
+    w_verify = warehouse_sub.add_parser(
+        "verify",
+        help="hash-check every segment against the manifest",
+    )
+    warehouse_root(w_verify)
+    warehouse_version_option(w_verify)
+    w_verify.set_defaults(func=_cmd_warehouse_verify)
+
+    w_recompute = warehouse_sub.add_parser(
+        "recompute",
+        help="relabel ingested days under a new configuration, "
+        "reusing stored Step 1 alarms (delta recompute)",
+    )
+    warehouse_root(w_recompute)
+    w_recompute.add_argument(
+        "--cache-dir",
+        help="Step 1 alarm-cache directory consulted before the "
+        "previous version's alarm segments",
+    )
+    w_recompute.add_argument(
+        "--date",
+        action="append",
+        help="restrict the recompute to this ISO date (repeatable)",
+    )
+    _add_pipeline_options(w_recompute)
+    w_recompute.set_defaults(func=_cmd_warehouse_recompute)
 
     return parser
 

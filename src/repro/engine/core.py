@@ -53,6 +53,7 @@ KERNEL_OPS = (
     "alarm_codes",
     "label_assign",
     "feature_plane",
+    "warehouse_select",
 )
 
 

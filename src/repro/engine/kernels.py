@@ -326,6 +326,100 @@ def _label_assign_python(accepted, relative_distance, mu, suspicious_distance=0.
     return codes
 
 
+# -- warehouse predicate pushdown --------------------------------------
+#
+# Both kernels take the same plain-array view of one stored day: the
+# per-record ``taxonomy_code`` / ``t0`` / ``t1`` columns plus the flat
+# per-rule columns (``rule_record`` maps each rule row back to its
+# record; ``-1`` in a rule field is the wildcard ``None``).  They
+# return the matching record indices in row order — segments are
+# scanned in place, no record objects exist until the caller renders
+# the selected rows.
+
+
+@NUMPY_ENGINE.register("warehouse_select")
+def _warehouse_select_numpy(
+    columns,
+    taxonomy_code=None,
+    src=None,
+    dst=None,
+    sport=None,
+    dport=None,
+    t0=None,
+    t1=None,
+):
+    """Vectorized predicate pushdown over mapped label columns."""
+    n = len(columns["taxonomy_code"])
+    mask = np.ones(n, dtype=bool)
+    if taxonomy_code is not None:
+        mask &= np.asarray(columns["taxonomy_code"]) == int(taxonomy_code)
+    if t0 is not None:
+        mask &= np.asarray(columns["t1"]) >= float(t0)
+    if t1 is not None:
+        mask &= np.asarray(columns["t0"]) <= float(t1)
+    rule_record = np.asarray(columns["rule_record"])
+    for value, key in (
+        (src, "rule_src"),
+        (dst, "rule_dst"),
+        (sport, "rule_sport"),
+        (dport, "rule_dport"),
+    ):
+        if value is None:
+            continue
+        hits = rule_record[np.asarray(columns[key]) == int(value)]
+        rule_mask = np.zeros(n, dtype=bool)
+        rule_mask[hits] = True
+        mask &= rule_mask
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+@PYTHON_ENGINE.register("warehouse_select")
+def _warehouse_select_python(
+    columns,
+    taxonomy_code=None,
+    src=None,
+    dst=None,
+    sport=None,
+    dport=None,
+    t0=None,
+    t1=None,
+):
+    """Per-row reference scan (the oracle for the mmap fast path)."""
+    n = len(columns["taxonomy_code"])
+    rule_record = columns["rule_record"]
+    matched = None
+    for value, key in (
+        (src, "rule_src"),
+        (dst, "rule_dst"),
+        (sport, "rule_sport"),
+        (dport, "rule_dport"),
+    ):
+        if value is None:
+            continue
+        column = columns[key]
+        rows = {
+            int(rule_record[j])
+            for j in range(len(column))
+            if int(column[j]) == int(value)
+        }
+        matched = rows if matched is None else matched & rows
+    out = []
+    for i in range(n):
+        if (
+            taxonomy_code is not None
+            and int(columns["taxonomy_code"][i]) != int(taxonomy_code)
+        ):
+            continue
+        if t0 is not None and float(columns["t1"][i]) < float(t0):
+            continue
+        if t1 is not None and float(columns["t0"][i]) > float(t1):
+            continue
+        if matched is not None and i not in matched:
+            continue
+        out.append(i)
+    return np.asarray(out, dtype=np.int64)
+
+
 # -- traffic extraction ------------------------------------------------
 
 

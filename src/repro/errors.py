@@ -60,3 +60,12 @@ class LabelingError(ReproError):
 
 class ServeError(ReproError):
     """The serving layer (daemon, feeds, scheduler, HTTP) misbehaved."""
+
+
+class WarehouseError(ReproError):
+    """The label warehouse is missing, corrupt, or misused.
+
+    Raised for unreadable manifests, truncated or checksum-failing
+    segment files, queries against dates that were never ingested, and
+    recompute requests the stored metadata cannot satisfy.
+    """

@@ -17,6 +17,29 @@ from pathlib import Path
 from typing import Union
 
 
+def write_atomic_bytes(path: Union[str, Path], payload: bytes) -> None:
+    """Binary twin of :func:`write_atomic` (tmp file + ``os.replace``).
+
+    The warehouse's columnar segment files go through this: a reader
+    memory-mapping the path sees either the previous complete segment
+    or the new complete segment, never a torn one.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def write_atomic(path: Union[str, Path], text: str) -> None:
     """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
 

@@ -10,6 +10,10 @@
 * :mod:`repro.labeling.mawilab` — :class:`MAWILabPipeline`, the whole
   4-step method on one trace, plus the label records and CSV/XML
   writers that form the public database format.
+* :mod:`repro.labeling.warehouse` — :class:`Warehouse`, the versioned
+  memory-mapped columnar spill of :class:`LabelStore` /
+  ``AlarmTable`` with zero-copy cross-day queries and delta
+  recompute.
 """
 
 from repro.labeling.heuristics import (
@@ -38,6 +42,7 @@ from repro.labeling.mawilab import (
     labels_to_csv,
     labels_to_xml,
 )
+from repro.labeling.warehouse import Warehouse, warehouse_fingerprint
 
 __all__ = [
     "CATEGORY_ATTACK",
@@ -62,4 +67,6 @@ __all__ = [
     "PipelineResult",
     "labels_to_csv",
     "labels_to_xml",
+    "Warehouse",
+    "warehouse_fingerprint",
 ]

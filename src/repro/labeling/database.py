@@ -139,10 +139,55 @@ class LabelDatabase:
         self._write_index_entry(date, _summary_of(records, n_alarms))
         return path
 
+    # The index used to be read, modified, and atomically rewritten in
+    # full on every stored day — O(days²) across an archive ingest.
+    # Stores now append one row to ``index-journal.csv`` (an O(1)
+    # append; a torn final line is tolerated on read) and readers merge
+    # the journal over ``index.csv``; the journal is compacted back
+    # into the index atomically once it passes
+    # ``_JOURNAL_COMPACT_AFTER`` rows, so reads stay O(days) and the
+    # journal stays bounded.
+
+    _JOURNAL_COMPACT_AFTER = 64
+
+    def _journal_path(self) -> str:
+        return os.path.join(self.root, "index-journal.csv")
+
     def _write_index_entry(self, date: str, counts: dict) -> None:
-        entries = self._read_index()
-        entries[date] = {"date": date, **counts}
-        self._write_index(entries)
+        row = {"date": date, **counts}
+        index_path = os.path.join(self.root, "index.csv")
+        if not os.path.exists(index_path):
+            # First store (or a wiped index): compacting now seeds the
+            # index file readers and operators expect to exist.
+            self._write_index({**self._read_index(), date: row})
+            return
+        with open(self._journal_path(), "a", newline="") as handle:
+            csv.writer(handle).writerow(
+                [row[name] for name in _INDEX_FIELDS]
+            )
+        if self._journal_rows() >= self._JOURNAL_COMPACT_AFTER:
+            self._write_index(self._read_index())
+
+    def _journal_rows(self) -> int:
+        try:
+            with open(self._journal_path(), newline="") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
+
+    def _read_journal(self) -> dict[str, dict]:
+        entries: dict[str, dict] = {}
+        try:
+            with open(self._journal_path(), newline="") as handle:
+                for row in csv.reader(handle):
+                    # Skip short/torn rows (e.g. a crash mid-append);
+                    # later rows win, matching append order.
+                    if len(row) != len(_INDEX_FIELDS):
+                        continue
+                    entries[row[0]] = dict(zip(_INDEX_FIELDS, row))
+        except OSError:
+            return {}
+        return entries
 
     def _write_index(self, entries: dict[str, dict]) -> None:
         import io
@@ -153,6 +198,13 @@ class LabelDatabase:
         for key in sorted(entries):
             writer.writerow(entries[key])
         write_atomic(os.path.join(self.root, "index.csv"), out.getvalue())
+        # The full index supersedes the journal.  Removing it after the
+        # atomic publish is crash-safe: re-applying surviving journal
+        # rows over the new index is idempotent.
+        try:
+            os.unlink(self._journal_path())
+        except OSError:
+            pass
 
     def _update_index(self, date: str, result: PipelineResult) -> None:
         self._write_index_entry(
@@ -196,10 +248,14 @@ class LabelDatabase:
 
     def _read_index(self) -> dict[str, dict]:
         index_path = os.path.join(self.root, "index.csv")
-        if not os.path.exists(index_path):
-            return {}
-        with open(index_path, newline="") as handle:
-            return {row["date"]: row for row in csv.DictReader(handle)}
+        entries: dict[str, dict] = {}
+        if os.path.exists(index_path):
+            with open(index_path, newline="") as handle:
+                entries = {
+                    row["date"]: row for row in csv.DictReader(handle)
+                }
+        entries.update(self._read_journal())
+        return entries
 
     # -- reading -------------------------------------------------------
 

@@ -303,6 +303,12 @@ class LabelingService:
         Optional :class:`~repro.labeling.database.LabelDatabase` root;
         when set, each feed's final labels are persisted there on
         close (atomic day files + index).
+    warehouse_root:
+        Optional :class:`~repro.labeling.warehouse.Warehouse` root;
+        when set, fully-ingested days (scheduler dual-writes, feed
+        closes) answer ``/labels`` from memory-mapped columns instead
+        of the live index, and closing feeds persist their day there
+        too.
     """
 
     def __init__(
@@ -315,12 +321,18 @@ class LabelingService:
         hop: Optional[float] = None,
         max_ring_packets: int = 65536,
         db_root: Optional[str] = None,
+        warehouse_root: Optional[str] = None,
     ) -> None:
+        from repro.labeling.warehouse import Warehouse
+
         self.session = LabelingSession(
             config=config, engine=engine, workers=workers
         )
         self.index = LiveLabelIndex()
         self.database = LabelDatabase(db_root) if db_root else None
+        self.warehouse = (
+            Warehouse(warehouse_root) if warehouse_root else None
+        )
         self.default_window = window
         self.default_hop = hop
         self.default_max_ring_packets = max_ring_packets
@@ -426,12 +438,104 @@ class LabelingService:
         if self.database is not None:
             store = self.index.store_for(feed.date)
             self.database.store_day_labels(feed.date, store)
+        if self.warehouse is not None:
+            self.warehouse.store_day(
+                feed.date,
+                self.index.store_for(feed.date),
+                version=self._warehouse_version(),
+            )
         return status
 
     def feeds_status(self) -> list[dict]:
         with self._lock:
             feeds = list(self._feeds.values())
         return [feed.status() for feed in feeds]
+
+    # -- label reads ---------------------------------------------------
+    #
+    # The query fast path: a date fully ingested into the warehouse
+    # answers from its memory-mapped columns (no CSV parse, no record
+    # materialization beyond the selected rows); anything else falls
+    # back to the live index of in-flight days.
+
+    def _warehouse_version(self) -> str:
+        """The warehouse version feed-persisted days land in.
+
+        Keyed like the scheduler's version digest, with the archive
+        slot pinned to ``"live"`` — feeds have no archive fingerprint.
+        """
+        from repro.labeling.warehouse import warehouse_fingerprint
+
+        return self.warehouse.ensure_version(
+            warehouse_fingerprint(
+                "live",
+                self.session.pipeline.ensemble_fingerprint(),
+                repr(self.session.config),
+            ),
+            ensemble_fingerprint=(
+                self.session.pipeline.ensemble_fingerprint()
+            ),
+            config=repr(self.session.config),
+        )
+
+    def labels_csv(self, date: str) -> str:
+        """One day's labels as CSV, warehouse-first."""
+        if self.warehouse is not None and self.warehouse.has_day(date):
+            return self.warehouse.export_csv(date)
+        store = self.index.store_for(date)
+        from repro.labeling.mawilab import labels_to_csv
+
+        return labels_to_csv(store.to_records())
+
+    def query_labels(
+        self,
+        date: Optional[str] = None,
+        taxonomy: Optional[str] = None,
+        src=None,
+        dst=None,
+        sport: Optional[int] = None,
+        dport: Optional[int] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> list[dict]:
+        """Label rows matching the predicates, warehouse-first.
+
+        A named date that is fully ingested scans mmap columns; other
+        dates (and the all-days query) use the live index, which does
+        not support the warehouse-only ``sport`` / ``dport`` filters.
+        """
+        from repro.errors import LabelingError
+
+        if (
+            self.warehouse is not None
+            and date is not None
+            and self.warehouse.has_day(date)
+        ):
+            return self.warehouse.query(
+                date=date,
+                taxonomy=taxonomy,
+                src=src,
+                dst=dst,
+                sport=sport,
+                dport=dport,
+                t0=t0,
+                t1=t1,
+                limit=limit,
+            )
+        if sport is not None or dport is not None:
+            raise LabelingError(
+                "sport/dport filters require a warehouse-ingested date"
+            )
+        return self.index.query(
+            date=date,
+            taxonomy=taxonomy,
+            src=src,
+            dst=dst,
+            t0=t0,
+            t1=t1,
+            limit=limit,
+        )
 
     # -- reporting -----------------------------------------------------
 
@@ -451,6 +555,12 @@ class LabelingService:
             "feeds_open": open_feeds,
             "feeds_failed": failed,
             "days_published": len(self.index.dates()),
+            "warehouse_days": (
+                len(self.warehouse.dates())
+                if self.warehouse is not None
+                and self.warehouse.current_version is not None
+                else 0
+            ),
         }
 
     def metrics(self) -> dict:

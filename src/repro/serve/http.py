@@ -46,7 +46,6 @@ from urllib.parse import parse_qs, urlsplit
 import numpy as np
 
 from repro.errors import LabelingError, ServeError
-from repro.labeling.mawilab import labels_to_csv
 from repro.net.table import COLUMNS, PacketTable
 from repro.serve.daemon import LabelingService
 
@@ -344,16 +343,21 @@ class LabelServer:
         return payload
 
     def _labels(self, params: dict):
+        from repro.errors import WarehouseError
+
         date = _query_param(params, "date")
         fmt = _query_param(params, "format") or "json"
         if fmt == "csv":
             if not date:
                 raise _HTTPError(400, "format=csv requires date=")
             try:
-                store = self.service.index.store_for(date)
+                # Warehouse-first: a fully-ingested day renders from
+                # its mmap columns, not the live index.
+                return 200, self.service.labels_csv(date), "text/csv"
             except LabelingError as exc:
                 raise _HTTPError(404, str(exc)) from exc
-            return 200, labels_to_csv(store.to_records()), "text/csv"
+            except WarehouseError as exc:
+                raise _HTTPError(500, str(exc)) from exc
         if fmt != "json":
             raise _HTTPError(400, f"unknown format {fmt!r}")
 
@@ -368,24 +372,33 @@ class LabelServer:
                     400, f"{name}= must be a number, got {raw!r}"
                 ) from exc
 
-        limit_raw = _query_param(params, "limit")
+        def _int(name: str) -> Optional[int]:
+            raw = _query_param(params, name)
+            if raw is None:
+                return None
+            try:
+                return int(raw)
+            except ValueError as exc:
+                raise _HTTPError(
+                    400, f"{name}= must be an integer, got {raw!r}"
+                ) from exc
+
+        limit = _int("limit")
         try:
-            limit = int(limit_raw) if limit_raw is not None else None
-        except ValueError as exc:
-            raise _HTTPError(
-                400, f"limit= must be an integer, got {limit_raw!r}"
-            ) from exc
-        try:
-            rows = self.service.index.query(
+            rows = self.service.query_labels(
                 date=date,
                 taxonomy=_query_param(params, "taxonomy"),
                 src=_query_param(params, "src"),
                 dst=_query_param(params, "dst"),
+                sport=_int("sport"),
+                dport=_int("dport"),
                 t0=_float("t0"),
                 t1=_float("t1"),
                 limit=limit,
             )
         except LabelingError as exc:
+            raise _HTTPError(400, str(exc)) from exc
+        except WarehouseError as exc:
             raise _HTTPError(400, str(exc)) from exc
         return self._json({"labels": rows, "count": len(rows)})
 

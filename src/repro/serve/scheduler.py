@@ -18,7 +18,6 @@ stalls the rest of the archive.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import threading
 import time
@@ -30,6 +29,11 @@ from repro.engine import EngineSpec
 from repro.errors import ServeError
 from repro.ioutil import write_atomic
 from repro.labeling.database import LabelDatabase, LiveLabelIndex
+from repro.labeling.warehouse import (
+    Warehouse,
+    archive_meta,
+    warehouse_fingerprint,
+)
 from repro.runner.cache import AlarmCache
 from repro.runner.config import PipelineConfig
 from repro.session import LabelingSession
@@ -164,6 +168,11 @@ class ArchiveScheduler:
         Optional :class:`~repro.labeling.database.LiveLabelIndex` to
         publish each completed day into (the serving daemon's index),
         so scheduled days become queryable without a restart.
+    warehouse:
+        Optional :class:`~repro.labeling.warehouse.Warehouse` (or root
+        path); each completed day is dual-written there as columnar
+        segments alongside the CSV, so archived days answer queries
+        zero-copy from mmap instead of re-parsing text.
     max_retries:
         Extra attempts per day per pass after the first failure.
     backoff:
@@ -189,6 +198,7 @@ class ArchiveScheduler:
         cache_dir: Optional[str] = None,
         journal_path: Optional[str | Path] = None,
         index: Optional[LiveLabelIndex] = None,
+        warehouse: Optional[Warehouse | str] = None,
         max_retries: int = 2,
         backoff: float = 0.05,
         sleep: Callable[[float], None] = time.sleep,
@@ -216,17 +226,32 @@ class ArchiveScheduler:
             else Path(self.database.root) / "ingest-journal.json"
         )
         self.version = version or self._default_version()
+        self.warehouse = (
+            warehouse
+            if warehouse is None or isinstance(warehouse, Warehouse)
+            else Warehouse(warehouse)
+        )
+        self.warehouse_version: Optional[str] = None
+        if self.warehouse is not None:
+            # Dual-write target: the warehouse version is keyed by the
+            # same digest as the scheduler version, so a recompute under
+            # an unchanged configuration lands in the same version.
+            self.warehouse_version = self.warehouse.ensure_version(
+                self._default_version(),
+                ensemble_fingerprint=(
+                    self.session.pipeline.ensemble_fingerprint()
+                ),
+                config=repr(self.session.config),
+                archive=archive_meta(self.archive),
+            )
         self.stats = SchedulerStats()
 
     def _default_version(self) -> str:
-        material = ":".join(
-            (
-                self.archive.fingerprint(),
-                self.session.pipeline.ensemble_fingerprint(),
-                repr(self.session.config),
-            )
+        return warehouse_fingerprint(
+            self.archive.fingerprint(),
+            self.session.pipeline.ensemble_fingerprint(),
+            repr(self.session.config),
         )
-        return "v" + hashlib.sha256(material.encode()).hexdigest()[:12]
 
     # -- one pass ------------------------------------------------------
 
@@ -330,6 +355,10 @@ class ArchiveScheduler:
         else:
             result = pipeline.run_with_alarms(day.trace, alarms)
         csv_path = self.database.store_day(date, result)
+        if self.warehouse is not None:
+            self.warehouse.store_result(
+                date, result, version=self.warehouse_version
+            )
         if self.index is not None:
             self.index.publish_result(date, result)
         return cache_hit, csv_path

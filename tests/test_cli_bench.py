@@ -19,6 +19,8 @@ class TestBenchCommand:
                     "7",
                     "--fanout-workers",
                     "0",
+                    "--warehouse-days",
+                    "0",
                 ]
             )
             == 0
@@ -35,8 +37,9 @@ class TestBenchCommand:
         assert all(v >= 0 for v in payload["stages"].values())
         assert payload["total"] >= max(payload["stages"].values())
         assert payload["n_packets"] > 0
-        # Fan-out leg explicitly skipped.
+        # Fan-out and warehouse legs explicitly skipped.
         assert "fanout" not in payload
+        assert "warehouse" not in payload
 
     def test_records_streaming_throughput(self, capsys):
         """The bench artifact carries the streaming leg's metrics, so
@@ -52,6 +55,8 @@ class TestBenchCommand:
                     "--seed",
                     "7",
                     "--fanout-workers",
+                    "0",
+                    "--warehouse-days",
                     "0",
                 ]
             )
@@ -84,6 +89,8 @@ class TestBenchCommand:
                     "512",
                     "--fanout-workers",
                     "0",
+                    "--warehouse-days",
+                    "0",
                 ]
             )
             == 0
@@ -114,6 +121,8 @@ class TestBenchCommand:
                     "2",
                     "--fanout-packets",
                     "50000",
+                    "--warehouse-days",
+                    "0",
                 ]
             )
             == 0
@@ -167,6 +176,8 @@ class TestBenchCommand:
                     "2",
                     "--fanout-packets",
                     "50000",
+                    "--warehouse-days",
+                    "0",
                 ]
             )
             == 0
@@ -204,6 +215,8 @@ class TestBenchCommand:
                     "0",
                     "--alarm-path-reps",
                     "2",
+                    "--warehouse-days",
+                    "0",
                 ]
             )
             == 0
@@ -229,6 +242,8 @@ class TestBenchCommand:
                     "--engine",
                     "python",
                     "--fanout-workers",
+                    "0",
+                    "--warehouse-days",
                     "0",
                     "--out",
                     str(out),
@@ -257,6 +272,8 @@ class TestBenchCommand:
                     "0",
                     "--serve-queries",
                     "5",
+                    "--warehouse-days",
+                    "0",
                     "--profile",
                 ]
             )
@@ -272,6 +289,44 @@ class TestBenchCommand:
         assert serve["p95_commit_seconds"] > 0
         queue = serve["queues"]["bench"]
         assert 0 < queue["peak_packets"] <= queue["max_packets"]
+
+    def test_records_warehouse_leg(self, capsys):
+        """The warehouse leg reports the mmap-vs-CSV query speedup and
+        the delta-recompute metrics the CI gate enforces, and the leg
+        itself raises if exports drift from the stored CSVs or the
+        heuristics-only recompute reruns Step 1."""
+        assert (
+            main(
+                [
+                    "bench",
+                    "--serve-queries",
+                    "0",
+                    "--duration",
+                    "4",
+                    "--seed",
+                    "7",
+                    "--fanout-workers",
+                    "0",
+                    "--alarm-path-reps",
+                    "0",
+                    "--warehouse-days",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        leg = json.loads(capsys.readouterr().out)["warehouse"]
+        assert leg["days"] == 2
+        assert leg["full_label_seconds"] > 0
+        assert leg["cold_open_seconds"] >= 0
+        assert leg["warehouse_queries_per_sec"] > 0
+        assert leg["csv_queries_per_sec"] > 0
+        assert leg["query_speedup"] > 0
+        recompute = leg["recompute"]
+        assert recompute["step1_reruns"] == 0
+        assert recompute["segment_hits"] == 2
+        assert recompute["days_changed"] >= 0
+        assert recompute["recompute_speedup"] > 0
 
     def test_engine_choices_validated(self):
         parser = build_parser()

@@ -247,6 +247,70 @@ def label_assign_inputs(draw):
     )
 
 
+@st.composite
+def warehouse_select_inputs(draw):
+    """Mapped-column shapes plus a random predicate set.
+
+    Ragged rules are modeled as parallel flat arrays with a
+    rule->record map, exactly the layout
+    :meth:`repro.labeling.warehouse.Warehouse.query` hands the kernel;
+    -1 encodes a wildcard rule field, so -1 is excluded from the value
+    alphabet drawn for predicates.
+    """
+    n = draw(st.integers(0, 12))
+    t0s, t1s = [], []
+    for _ in range(n):
+        lo = draw(st.floats(0.0, 8.0, allow_nan=False))
+        t0s.append(lo)
+        t1s.append(lo + draw(st.floats(0.0, 4.0, allow_nan=False)))
+    n_rules = draw(st.integers(0, 3 * n)) if n else 0
+    rule_field = st.sampled_from([-1, 0, 1, 2, 3])
+    columns = {
+        "taxonomy_code": np.array(
+            draw(st.lists(st.integers(0, 2), min_size=n, max_size=n)),
+            dtype=np.int64,
+        ),
+        "t0": np.array(t0s, dtype=np.float64),
+        "t1": np.array(t1s, dtype=np.float64),
+        "rule_record": np.array(
+            sorted(
+                draw(
+                    st.lists(
+                        st.integers(0, n - 1),
+                        min_size=n_rules,
+                        max_size=n_rules,
+                    )
+                )
+            )
+            if n_rules
+            else [],
+            dtype=np.int64,
+        ),
+        **{
+            f"rule_{field}": np.array(
+                draw(
+                    st.lists(
+                        rule_field, min_size=n_rules, max_size=n_rules
+                    )
+                ),
+                dtype=np.int64,
+            )
+            for field in ("src", "dst", "sport", "dport")
+        },
+    }
+    maybe_value = st.none() | st.integers(0, 3)
+    predicates = dict(
+        taxonomy_code=draw(st.none() | st.integers(0, 2)),
+        src=draw(maybe_value),
+        dst=draw(maybe_value),
+        sport=draw(maybe_value),
+        dport=draw(maybe_value),
+        t0=draw(st.none() | st.floats(0.0, 12.0, allow_nan=False)),
+        t1=draw(st.none() | st.floats(0.0, 12.0, allow_nan=False)),
+    )
+    return columns, predicates
+
+
 # -- the parity table --------------------------------------------------
 
 
@@ -354,6 +418,11 @@ def _run_feature_plane(engine, payload):
     return _normalize_plane(plane)
 
 
+def _run_warehouse_select(engine, payload):
+    columns, predicates = payload
+    return engine.kernel("warehouse_select")(columns, **predicates).tolist()
+
+
 def _run_label_assign(engine, payload):
     accepted, distance, mu, suspicious_distance = payload
     return engine.kernel("label_assign")(
@@ -406,6 +475,11 @@ KERNEL_CASES = [
     KernelCase("alarm_codes", alarm_code_inputs, _run_alarm_codes),
     KernelCase("label_assign", label_assign_inputs(), _run_label_assign),
     KernelCase("feature_plane", feature_plane_inputs(), _run_feature_plane),
+    KernelCase(
+        "warehouse_select",
+        warehouse_select_inputs(),
+        _run_warehouse_select,
+    ),
 ]
 
 
